@@ -1,0 +1,55 @@
+// Figure 3: dynamic-segment bandwidth utilization, 25..100 minislots.
+//
+// Reported as delivered dynamic traffic normalized by the dynamic
+// segment's wire capacity (both channels). FSPEC mirrors every frame
+// (half its capacity carries redundant copies) and strands low-priority
+// ids, so its useful utilization stays low. CoEfficient schedules the
+// channels independently *and* steals idle static slots for dynamic
+// overflow, so under load its normalized utilization can exceed 100% —
+// the dynamic segment alone could not have carried that traffic, which
+// is precisely the cooperative-scheduling headline (+52..56 points in
+// the paper).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace coeff::bench;
+  std::printf("Fig.3 — dynamic-segment bandwidth utilization\n");
+  print_header("synthetic statics + saturating SAE aperiodics, BER=1e-7");
+  std::printf("%9s | %10s %10s %10s | %12s %12s\n", "minislots", "CoEff[%]",
+              "FSPEC[%]", "gain[pts]", "CoEff Mb/s", "FSPEC Mb/s");
+  for (std::int64_t minislots : {25, 50, 75, 100}) {
+    coeff::core::ExperimentConfig config;
+    config.cluster = coeff::core::paper_cluster_dynamic_suite(minislots);
+    apply_loaded_defaults(config);
+    // Saturating stress: the utilization comparison presumes a dynamic
+    // segment that stays loaded across the whole 25..100 minislot sweep.
+    config.arrivals.burst = 20;
+    config.ber = 1e-7;
+    const auto pair = run_both(config);
+
+    auto dyn_util = [](const coeff::core::ExperimentResult& r) {
+      const double capacity_bits =
+          r.run.dynamic_wire_capacity.as_seconds() * r.run.bus_bit_rate;
+      return capacity_bits <= 0.0
+                 ? 0.0
+                 : static_cast<double>(r.run.dynamics.useful_payload_bits) /
+                       capacity_bits;
+    };
+    auto throughput = [](const coeff::core::ExperimentResult& r) {
+      const double secs = r.run.running_time.as_seconds();
+      return secs <= 0.0 ? 0.0
+                         : static_cast<double>(
+                               r.run.dynamics.useful_payload_bits) /
+                               secs / 1e6;
+    };
+    const double c = dyn_util(pair.coeff) * 100.0;
+    const double f = dyn_util(pair.fspec) * 100.0;
+    std::printf("%9lld | %10.1f %10.1f %10.1f | %12.2f %12.2f\n",
+                static_cast<long long>(minislots), c, f, c - f,
+                throughput(pair.coeff), throughput(pair.fspec));
+  }
+  std::printf(
+      "\nCoEff values above 100%% = dynamic traffic carried through stolen\n"
+      "static slack on top of a saturated dynamic segment.\n");
+  return 0;
+}

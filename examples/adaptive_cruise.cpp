@@ -1,0 +1,55 @@
+// Adaptive Cruise Controller scenario (Table III) with mixed traffic:
+// ACC's periodic control frames share the bus with event-triggered
+// aperiodic messages, the situation CoEfficient's cooperative
+// scheduling is built for. Sweeps the aperiodic burst size and reports
+// how each scheme's dynamic-segment service degrades.
+//
+//   ./build/examples/adaptive_cruise
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace coeff;
+
+  core::ExperimentConfig base;
+  base.cluster = core::paper_cluster_apps();
+  base.statics = net::adaptive_cruise();
+
+  sim::Rng rng(21);
+  net::SaeAperiodicOptions sae;
+  sae.static_slots =
+      static_cast<int>(base.cluster.g_number_of_static_slots);
+  sae.min_bits = 256;
+  sae.max_bits = 2000;
+  base.dynamics = net::sae_aperiodic(sae, rng);
+  base.ber = 1e-7;
+  base.sil = fault::Sil::kSil3;
+  base.batch_window = sim::millis(1000);
+
+  std::printf("ACC + 30 aperiodic messages on %s\n\n",
+              flexray::describe(base.cluster).c_str());
+  std::printf("%6s | %20s %20s | %18s %18s\n", "burst", "CoEff dyn miss[%]",
+              "FSPEC dyn miss[%]", "CoEff dyn lat[ms]", "FSPEC dyn lat[ms]");
+
+  for (int burst : {1, 2, 4, 8}) {
+    auto config = base;
+    config.arrivals.process = burst == 1 ? net::ArrivalProcess::kPeriodic
+                                         : net::ArrivalProcess::kBursty;
+    config.arrivals.burst = burst;
+    const auto coeff =
+        core::run_experiment(config, core::SchemeKind::kCoEfficient);
+    const auto fspec = core::run_experiment(config, core::SchemeKind::kFspec);
+    std::printf("%6d | %20.2f %20.2f | %18.3f %18.3f\n", burst,
+                coeff.run.dynamics.miss_ratio() * 100.0,
+                fspec.run.dynamics.miss_ratio() * 100.0,
+                coeff.run.dynamics.latency.mean_ms(),
+                fspec.run.dynamics.latency.mean_ms());
+  }
+
+  std::printf(
+      "\nCoEfficient serves the dynamic segment on both channels and pulls\n"
+      "overflow into idle static slots; FSPEC mirrors one channel onto the\n"
+      "other, so its dynamic capacity halves and low-priority ids starve.\n");
+  return 0;
+}

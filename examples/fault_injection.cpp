@@ -1,0 +1,66 @@
+// Reliability-goal exploration across IEC 61508 safety integrity
+// levels: how many retransmission copies each SIL costs, what bandwidth
+// that adds, and whether the goal survives contact with injected faults
+// (measured delivery over a long run vs the analytic Theorem-1 value).
+//
+//   ./build/examples/fault_injection
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "fault/reliability.hpp"
+
+int main() {
+  using namespace coeff;
+
+  const auto statics =
+      net::brake_by_wire().merged_with(net::adaptive_cruise());
+  const double ber = 1e-6;  // harsh environment so copies matter
+
+  std::printf("Differentiated retransmission across SIL goals "
+              "(BBW+ACC, BER=%.0e)\n\n",
+              ber);
+  std::printf("%6s %14s | %7s %7s | %14s | %12s\n", "SIL", "rho(1h)",
+              "copies", "max k", "added load", "theorem-1 R");
+  for (auto sil : {fault::Sil::kSil1, fault::Sil::kSil2, fault::Sil::kSil3,
+                   fault::Sil::kSil4}) {
+    fault::SolverOptions solver;
+    solver.ber = ber;
+    solver.rho = fault::reliability_goal(sil, solver.u);
+    solver.max_copies_per_message = 10;
+    const auto plan = fault::solve_differentiated(statics, solver);
+    std::printf("%6d %14.10f | %7d %7d | %11.0f b/s | %.10f\n",
+                static_cast<int>(sil), solver.rho, plan.total_copies(),
+                plan.max_copies(), plan.added_load_bits_per_second,
+                plan.reliability());
+  }
+
+  // Measured check: long run at SIL3, count instance losses.
+  std::printf("\nInjected-fault check (SIL3 goal, 5 s of bus time):\n");
+  core::ExperimentConfig config;
+  config.cluster = core::paper_cluster_apps();
+  config.statics = statics;
+  config.ber = ber;
+  config.sil = fault::Sil::kSil3;
+  config.batch_window = sim::seconds(5);
+  const auto coeff =
+      core::run_experiment(config, core::SchemeKind::kCoEfficient);
+  const auto fspec = core::run_experiment(config, core::SchemeKind::kFspec);
+  auto report = [](const char* name, const core::ExperimentResult& r) {
+    const auto& s = r.run.statics;
+    std::printf(
+        "  %-12s released=%lld undelivered=%lld (%.4f%%) corrupted "
+        "copies=%lld scheduled reliability=%.9f\n",
+        name, static_cast<long long>(s.released),
+        static_cast<long long>(s.released - s.delivered),
+        100.0 * static_cast<double>(s.released - s.delivered) /
+            static_cast<double>(s.released),
+        static_cast<long long>(s.copies_corrupted), r.reliability_scheduled);
+  };
+  report("CoEfficient", coeff);
+  report("FSPEC", fspec);
+  std::printf(
+      "\nFSPEC's uniform mirrored rounds either fit (wasting bandwidth) or\n"
+      "get dropped by best effort; the differentiated plan spends copies\n"
+      "exactly where Theorem 1 says the failure probability needs them.\n");
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "core/coefficient.hpp"
+
+#include <algorithm>
+
+#include "sched/task.hpp"
+
+namespace coeff::core {
+
+CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
+                                           net::MessageSet statics,
+                                           net::MessageSet dynamics,
+                                           sim::Time batch_window,
+                                           const CoEfficientOptions& options)
+    : SchedulerBase(cfg, std::move(statics), std::move(dynamics),
+                    batch_window),
+      options_(options) {
+  if (options_.rho > 0.0) {
+    fault::SolverOptions solver;
+    solver.ber = options_.ber;
+    solver.rho = options_.rho;
+    solver.u = options_.u;
+    solver.max_copies_per_message = options_.max_copies_per_message;
+    plan_ = options_.use_uniform_plan ? fault::solve_uniform(statics_, solver)
+                                      : fault::solve_differentiated(statics_,
+                                                                    solver);
+    const auto& msgs = statics_.messages();
+    for (std::size_t z = 0; z < msgs.size(); ++z) {
+      copies_by_message_[msgs[z].id] = plan_.copies[z];
+    }
+  }
+  if (options_.use_fp_admission) {
+    // Model the bus as a preemptive fixed-priority processor: each static
+    // message is a periodic task whose cost is its wire time (§III-A).
+    std::vector<sched::PeriodicTask> tasks;
+    for (const auto& m : statics_.messages()) {
+      sched::PeriodicTask t;
+      t.id = m.id;
+      t.wcet = cfg_.transmission_time(m.size_bits);
+      t.period = m.period;
+      t.offset = m.offset;
+      t.deadline = m.deadline;
+      tasks.push_back(t);
+    }
+    sched::TaskSet set{std::move(tasks)};
+    if (!set.empty()) {
+      stealer_ = std::make_unique<sched::SlackStealer>(set);
+    }
+  }
+}
+
+void CoEfficientScheduler::on_static_release(Instance& inst,
+                                             const net::Message& m) {
+  add_copies(inst, 1);  // the primary
+  const sched::SlotAssignment* a = table_.assignment_of(m.id);
+  if (a != nullptr) {
+    auto& buffers =
+        nodes_.at(static_cast<std::size_t>(m.node)).static_buffers();
+    // An unsent previous value would be silently overwritten (FlexRay
+    // static buffers hold the latest value); release its owed copy.
+    if (auto old = buffers.read(a->slot); old.has_value()) {
+      if (Instance* prev = instances_.find(old->instance)) {
+        cancel_copies(*prev, 1);
+      }
+    }
+    flexray::PendingMessage pending;
+    pending.instance = inst.key;
+    pending.frame_id = static_cast<flexray::FrameId>(a->slot);
+    pending.payload_bits = m.size_bits;
+    pending.release = inst.release;
+    pending.deadline = inst.abs_deadline;
+    buffers.write(a->slot, pending);
+  } else {
+    // Unplaced message: the primary cannot be staged; it will be counted
+    // as a miss at its deadline.
+    cancel_copies(inst, 1);
+  }
+
+  auto it = copies_by_message_.find(m.id);
+  const int kz = it == copies_by_message_.end() ? 0 : it->second;
+  if (kz <= 0) return;
+
+  int admitted = kz;
+  if (stealer_ != nullptr) {
+    // §III-C acceptance test: each copy is a hard aperiodic job; admit
+    // only what the fixed-priority slack analysis can guarantee.
+    const sim::Time p = cfg_.transmission_time(m.size_bits);
+    const sim::Time t = std::max(stealer_->now(), sim::Time::zero());
+    admitted = 0;
+    for (int c = 0; c < kz; ++c) {
+      if (stealer_->admit_hard(t, p, inst.abs_deadline)) {
+        ++admitted;
+      } else {
+        ++stats_.admission_rejections;
+      }
+    }
+  }
+  stats_.retransmission_copies_planned += kz;
+  stats_.retransmission_copies_dropped += kz - admitted;
+  if (admitted <= 0) return;
+
+  add_copies(inst, admitted);
+  RetxJob job;
+  job.instance = inst.key;
+  job.node = m.node;
+  job.bits = m.size_bits;
+  job.release = inst.release;
+  job.deadline = inst.abs_deadline;
+  job.home_slot = a != nullptr ? a->slot : 0;
+  // Keep the queue EDF-ordered.
+  auto pos = std::upper_bound(
+      retx_jobs_.begin(), retx_jobs_.end(), job,
+      [](const RetxJob& a, const RetxJob& b) { return a.deadline < b.deadline; });
+  for (int c = 0; c < admitted; ++c) {
+    pos = retx_jobs_.insert(pos, job);
+  }
+}
+
+void CoEfficientScheduler::on_dynamic_release(
+    Instance& inst, const net::Message& m,
+    const flexray::PendingMessage& pending) {
+  add_copies(inst, 1);
+  nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
+}
+
+void CoEfficientScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+                                               sim::Time at) {
+  // Copies whose deadline passed with no fitting slack are abandoned.
+  for (auto it = retx_jobs_.begin(); it != retx_jobs_.end();) {
+    if (it->deadline < at) {
+      if (Instance* inst = instances_.find(it->instance)) {
+        cancel_copies(*inst, 1);
+      }
+      ++stats_.retransmission_copies_dropped;
+      if (stealer_ != nullptr && stealer_->hard_backlog() > sim::Time::zero()) {
+        const sim::Time p = cfg_.transmission_time(it->bits);
+        stealer_->on_hard_executed(std::min(p, stealer_->hard_backlog()));
+      }
+      it = retx_jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::deque<CoEfficientScheduler::RetxJob>::iterator
+CoEfficientScheduler::find_retx(std::int64_t capacity_bits,
+                                sim::Time slot_start, sim::Time slot_end,
+                                std::int64_t slot,
+                                flexray::ChannelId channel) {
+  for (auto it = retx_jobs_.begin(); it != retx_jobs_.end(); ++it) {
+    if (it->bits > capacity_bits) continue;  // selective: slack must fit
+    if (it->release > slot_start) continue;  // not yet produced
+    if (it->deadline < slot_end) continue;   // would land too late
+    if (options_.disable_slack_stealing &&
+        (slot != it->home_slot || channel != flexray::ChannelId::kB)) {
+      continue;  // ablation: copies may only mirror their own slot
+    }
+    return it;  // the deque is EDF-ordered; first eligible is earliest
+  }
+  return retx_jobs_.end();
+}
+
+std::optional<flexray::PendingMessage>
+CoEfficientScheduler::peek_dynamic_for_slack(std::int64_t capacity_bits,
+                                             sim::Time slot_start) const {
+  // Soft aperiodics are served from stolen slack in FIFO (oldest
+  // release first) order, the classic slack-stealing service discipline
+  // ([26], [27]). Only messages that have already waited at least one
+  // full cycle qualify — they demonstrably missed a dynamic-segment
+  // opportunity (FTDMA congestion or an out-of-range frame id); fresh
+  // arrivals go through the dynamic segment.
+  std::optional<flexray::PendingMessage> best;
+  for (const auto& node : nodes_) {
+    for (const auto& pending : node.dynamic_queue().contents()) {
+      if (pending.payload_bits > capacity_bits) continue;
+      if (pending.release + cycle_duration_ > slot_start) continue;
+      if (!best || pending.release < best->release ||
+          (pending.release == best->release &&
+           pending.priority < best->priority)) {
+        best = pending;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
+    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
+  const sim::Time slot_start =
+      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+  const sim::Time slot_end = slot_start + cfg_.static_slot_duration();
+
+  const std::optional<int> occupant = table_.message_at(slot, cycle);
+  if (occupant.has_value() && channel == flexray::ChannelId::kA) {
+    // Primary transmission from the owning node's CHI buffer.
+    const net::Message* m = statics_.find(*occupant);
+    auto& buffers =
+        nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
+    const auto pending = buffers.read(slot);
+    if (!pending.has_value() || pending->release > slot_start) {
+      return std::nullopt;
+    }
+    buffers.clear(slot);
+    flexray::TxRequest req;
+    req.instance = pending->instance;
+    req.frame_id = static_cast<flexray::FrameId>(slot);
+    req.sender = m->node;
+    req.payload_bits = pending->payload_bits;
+    return req;
+  }
+
+  // Idle wire (channel B mirror of an occupied slot, or a fully idle
+  // slot): selective slack stealing, earliest deadline first across the
+  // hard retransmission copies and the soft dynamic overflow; a hard
+  // copy wins a tie.
+  const std::int64_t capacity = cfg_.static_slot_capacity_bits();
+  const auto retx_it = find_retx(capacity, slot_start, slot_end, slot, channel);
+  const auto dyn = options_.disable_slack_stealing
+                       ? std::optional<flexray::PendingMessage>{}
+                       : peek_dynamic_for_slack(capacity, slot_start);
+  ++idle_slot_counter_;
+  // Hard copies normally win the stolen slot, with two exceptions that
+  // keep soft response times low (§III-B: soft aperiodics are serviced
+  // in slack at the highest priority):
+  //  * laxity deference — a hard copy with at least a full cycle of
+  //    laxity can use a later slot just as well;
+  //  * a deferrable-server share — every kSoftShare-th idle slot is
+  //    reserved for waiting soft traffic so sustained retransmission
+  //    pressure cannot starve it.
+  const bool retx_can_wait =
+      retx_it != retx_jobs_.end() &&
+      retx_it->deadline >= slot_end + cycle_duration_;
+  const bool soft_reserved = idle_slot_counter_ % kSoftShare == 0;
+  const bool retx_wins =
+      retx_it != retx_jobs_.end() &&
+      !(dyn.has_value() && (retx_can_wait || soft_reserved));
+  if (retx_wins) {
+    const RetxJob job = *retx_it;
+    retx_jobs_.erase(retx_it);
+    ++stats_.slack_slots_stolen;
+    if (stealer_ != nullptr && stealer_->hard_backlog() > sim::Time::zero()) {
+      const sim::Time p = cfg_.transmission_time(job.bits);
+      stealer_->on_hard_executed(std::min(p, stealer_->hard_backlog()));
+    }
+    flexray::TxRequest req;
+    req.instance = job.instance;
+    req.frame_id = static_cast<flexray::FrameId>(slot);
+    req.sender = job.node;
+    req.payload_bits = job.bits;
+    req.retransmission = true;
+    return req;
+  }
+  if (dyn.has_value()) {
+    const net::Message* m = dynamic_message_for_frame(dyn->frame_id);
+    nodes_.at(static_cast<std::size_t>(m->node))
+        .dynamic_queue()
+        .pop(dyn->instance);
+    ++stats_.slack_slots_stolen;
+    ++stats_.dynamic_in_static_slots;
+    flexray::TxRequest req;
+    req.instance = dyn->instance;
+    req.frame_id = static_cast<flexray::FrameId>(slot);
+    req.sender = m->node;
+    req.payload_bits = dyn->payload_bits;
+    return req;
+  }
+  return std::nullopt;
+}
+
+std::optional<flexray::TxRequest> CoEfficientScheduler::dynamic_slot(
+    flexray::ChannelId channel, std::int64_t cycle,
+    std::int64_t slot_counter, std::int64_t minislot,
+    std::int64_t minislots_remaining) {
+  if (options_.single_channel_dynamics &&
+      channel == flexray::ChannelId::kB) {
+    return std::nullopt;  // ablation: channel B carries no dynamic frames
+  }
+  const net::Message* m = dynamic_message_for_frame(
+      static_cast<int>(slot_counter));
+  if (m == nullptr) return std::nullopt;
+  auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
+  const auto pending =
+      queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  if (!pending.has_value()) return std::nullopt;
+  const sim::Time at = cycle_duration_ * cycle +
+                       cfg_.static_segment_duration() +
+                       cfg_.minislot_duration() * minislot;
+  if (pending->release > at) return std::nullopt;
+  // FTDMA feasibility: fits the remaining minislots and starts in time.
+  if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
+    return std::nullopt;
+  }
+  if (minislot + 1 > cfg_.latest_tx_minislot()) return std::nullopt;
+  queue.pop(pending->instance);
+  flexray::TxRequest req;
+  req.instance = pending->instance;
+  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
+  req.sender = m->node;
+  req.payload_bits = pending->payload_bits;
+  return req;
+}
+
+void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
+  account_outcome(outcome);
+  if (outcome.request.retransmission) {
+    ++stats_.retransmission_copies_sent;
+  }
+}
+
+}  // namespace coeff::core

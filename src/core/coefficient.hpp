@@ -1,0 +1,120 @@
+// CoEfficient: cooperative, reliability-aware dual-channel scheduling
+// (the paper's contribution, §III).
+//
+// * Static messages (hard periodic): primary copy on channel A in the
+//   slot the schedule table reserves.
+// * Retransmitted segments (hard aperiodic): the differentiated plan
+//   (fault::solve_differentiated) assigns each static message k_z extra
+//   copies per instance to meet the reliability goal rho. Copies are
+//   placed by *selective slack stealing*: any (slot, channel) pair that
+//   the static table leaves idle — channel B's mirror of an occupied A
+//   slot, or a fully idle slot on either channel — whose capacity fits
+//   the copy and whose end lies before the instance deadline. Copies
+//   are served earliest-deadline-first; a copy whose deadline passes
+//   with no fitting slack is dropped and counted.
+// * Dynamic messages (soft aperiodic): FTDMA over *both* channels with
+//   independent slot counters (dual-channel cooperation), plus overflow
+//   into stolen static slack once no retransmission copy wants it.
+// * Optionally, every retransmission copy passes the fixed-priority
+//   slack-stealing acceptance test of §III-B/§III-C before it may claim
+//   wire slack (use_fp_admission).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/scheduler_base.hpp"
+#include "fault/reliability.hpp"
+#include "sched/slack_stealer.hpp"
+
+namespace coeff::core {
+
+struct CoEfficientOptions {
+  double ber = 1e-7;
+  /// Reliability goal over the time unit `u`; 0 disables retransmission
+  /// planning entirely (pure cooperative scheduling).
+  double rho = 0.0;
+  sim::Time u = sim::seconds(3600);
+  int max_copies_per_message = 8;
+  /// Run the fixed-priority slack acceptance test (SlackStealer) on
+  /// every retransmission copy in addition to slot-level placement.
+  bool use_fp_admission = false;
+
+  // --- Ablation switches (DESIGN.md §6) --------------------------------
+  /// Replace the differentiated plan with the uniform one (same k for
+  /// every message) at the same reliability goal.
+  bool use_uniform_plan = false;
+  /// Disable selective slack stealing: retransmission copies may only
+  /// ride channel B of their own message's slot, and dynamic overflow
+  /// never enters the static segment.
+  bool disable_slack_stealing = false;
+  /// Serve the dynamic segment on channel A only (channel B idle there),
+  /// as in schemes that pin one channel per role.
+  bool single_channel_dynamics = false;
+};
+
+class CoEfficientScheduler : public SchedulerBase {
+ public:
+  CoEfficientScheduler(const flexray::ClusterConfig& cfg,
+                       net::MessageSet statics, net::MessageSet dynamics,
+                       sim::Time batch_window,
+                       const CoEfficientOptions& options);
+
+  [[nodiscard]] const fault::RetransmissionPlan& plan() const { return plan_; }
+
+  // --- TransmissionPolicy ----------------------------------------------
+  std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
+                                                std::int64_t cycle,
+                                                std::int64_t slot) override;
+  std::optional<flexray::TxRequest> dynamic_slot(
+      flexray::ChannelId channel, std::int64_t cycle,
+      std::int64_t slot_counter, std::int64_t minislot,
+      std::int64_t minislots_remaining) override;
+  void on_tx_complete(const flexray::TxOutcome& outcome) override;
+
+ protected:
+  void on_cycle_start_hook(std::int64_t cycle, sim::Time at) override;
+  void on_static_release(Instance& inst, const net::Message& m) override;
+  void on_dynamic_release(Instance& inst, const net::Message& m,
+                          const flexray::PendingMessage& pending) override;
+
+ private:
+  /// A planned retransmission copy waiting for slack.
+  struct RetxJob {
+    std::uint64_t instance;
+    int node;
+    std::int64_t bits;
+    sim::Time release;
+    sim::Time deadline;
+    std::int64_t home_slot = 0;  ///< the message's own static slot
+  };
+
+  /// Earliest-deadline retransmission job that fits `capacity_bits` and
+  /// whose deadline admits completion by `slot_end`; end() if none.
+  /// `slot`/`channel` identify the offered wire for the
+  /// disable_slack_stealing ablation filter.
+  std::deque<RetxJob>::iterator find_retx(std::int64_t capacity_bits,
+                                          sim::Time slot_start,
+                                          sim::Time slot_end,
+                                          std::int64_t slot,
+                                          flexray::ChannelId channel);
+
+  /// Earliest-deadline queued dynamic message (across all nodes) that
+  /// fits `capacity_bits`, for transmission in stolen static slack.
+  [[nodiscard]] std::optional<flexray::PendingMessage> peek_dynamic_for_slack(
+      std::int64_t capacity_bits, sim::Time slot_start) const;
+
+  /// One stolen slot in kSoftShare is reserved for soft traffic when
+  /// both hard copies and soft messages are waiting.
+  static constexpr std::int64_t kSoftShare = 4;
+
+  CoEfficientOptions options_;
+  fault::RetransmissionPlan plan_;
+  std::int64_t idle_slot_counter_ = 0;
+  std::unordered_map<int, int> copies_by_message_;  ///< k_z by message id
+  std::deque<RetxJob> retx_jobs_;                   ///< EDF-ordered
+  std::unique_ptr<sched::SlackStealer> stealer_;    ///< when use_fp_admission
+};
+
+}  // namespace coeff::core

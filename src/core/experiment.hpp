@@ -1,0 +1,99 @@
+// Experiment harness: builds a cluster + scheduler + fault injector from
+// a declarative config, runs the batch, and returns the metrics the
+// paper's figures are drawn from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/coefficient.hpp"
+#include "core/fspec.hpp"
+#include "core/metrics.hpp"
+#include "fault/iec61508.hpp"
+#include "flexray/config.hpp"
+#include "net/workloads.hpp"
+
+namespace coeff::core {
+
+enum class SchemeKind : std::uint8_t { kCoEfficient, kFspec, kHosa };
+
+[[nodiscard]] constexpr const char* to_string(SchemeKind s) {
+  switch (s) {
+    case SchemeKind::kCoEfficient:
+      return "CoEfficient";
+    case SchemeKind::kFspec:
+      return "FSPEC";
+    case SchemeKind::kHosa:
+      return "HOSA";
+  }
+  return "?";
+}
+
+struct ExperimentConfig {
+  flexray::ClusterConfig cluster;
+  net::MessageSet statics;
+  net::MessageSet dynamics;
+
+  double ber = 1e-7;
+  /// Reliability goal over `u`; if 0, derived from `sil`.
+  double rho = 0.0;
+  fault::Sil sil = fault::Sil::kSil3;
+  sim::Time u = sim::seconds(3600);
+  int max_copies = 8;
+
+  /// Instances are released during [0, batch_window).
+  sim::Time batch_window = sim::seconds(1);
+  /// Running-time mode: dynamic entries never expire and the run
+  /// continues past the window until every owed copy has been sent.
+  bool drain_batch = false;
+  /// Enable the fixed-priority acceptance test inside CoEfficient.
+  bool use_fp_admission = false;
+
+  /// CoEfficient ablation switches (see CoEfficientOptions).
+  bool ablation_uniform_plan = false;
+  bool ablation_no_slack = false;
+  bool ablation_single_channel = false;
+
+  net::ArrivalOptions arrivals;
+  std::uint64_t seed = 42;
+  /// Safety cap on post-window drain, in multiples of the window.
+  int max_drain_factor = 64;
+};
+
+struct ExperimentResult {
+  RunStats run;
+  SchemeKind scheme = SchemeKind::kCoEfficient;
+  double rho_target = 0.0;
+  /// Theoretical reliability of what the scheme actually scheduled
+  /// (CoEfficient: the differentiated plan; FSPEC: placed clone rounds,
+  /// accounting for clones that did not fit).
+  double reliability_scheduled = 0.0;
+  int fspec_rounds = 0;          ///< FSPEC only
+  /// Bandwidth the retransmission plan adds (CoEfficient only).
+  double plan_added_load_bits_per_second = 0.0;
+  std::int64_t cycles_run = 0;
+  bool drained = true;           ///< false if the drain cap was hit
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              SchemeKind scheme);
+
+/// Paper §IV-A default cluster for the running-time / static experiments
+/// (5 ms cycle, 80 or 120 static slots, remaining bandwidth dynamic).
+/// The bus bit rate is raised to 50 Mb/s so one 40-macrotick static slot
+/// carries the largest Table-II message (the paper's parameter set is
+/// inconsistent on this point; see DESIGN.md).
+[[nodiscard]] flexray::ClusterConfig paper_cluster_static_suite(
+    std::int64_t static_slots);
+
+/// Paper §IV-A cluster for the dynamic-segment experiments: 80 static
+/// slots and the given number of minislots (25..100).
+[[nodiscard]] flexray::ClusterConfig paper_cluster_dynamic_suite(
+    std::int64_t minislots);
+
+/// Paper §IV-A cluster for the BBW/ACC application suites: 1 ms cycle,
+/// 0.75 ms static segment (the sets' fastest period is 1 ms).
+[[nodiscard]] flexray::ClusterConfig paper_cluster_apps(
+    std::int64_t minislots = 25);
+
+}  // namespace coeff::core

@@ -1,0 +1,166 @@
+#include "core/fspec.hpp"
+
+#include <stdexcept>
+
+namespace coeff::core {
+
+sched::StaticScheduleTable FspecScheduler::build_exclusive_table(
+    const flexray::ClusterConfig& cfg, const net::MessageSet& statics) {
+  sched::TableBuildOptions options;
+  options.exclusive_slots = true;
+  return sched::StaticScheduleTable::build(statics, cfg, options);
+}
+
+FspecScheduler::FspecScheduler(const flexray::ClusterConfig& cfg,
+                               net::MessageSet statics,
+                               net::MessageSet dynamics,
+                               sim::Time batch_window,
+                               const FspecOptions& options)
+    // `statics` is deliberately copied (not moved) into the base: the
+    // exclusive table is built from the same still-valid argument, and
+    // argument evaluation order is unspecified.
+    : SchedulerBase(cfg, statics, std::move(dynamics), batch_window,
+                    build_exclusive_table(cfg, statics)),
+      options_(options) {
+  if (options_.rounds < 1) {
+    throw std::invalid_argument("FspecScheduler: rounds must be >= 1");
+  }
+}
+
+void FspecScheduler::on_static_release(Instance& inst, const net::Message& m) {
+  if (table_.assignment_of(m.id) == nullptr) {
+    return;  // no exclusive slot left: counted as a miss at the deadline
+  }
+  add_copies(inst, 2 * options_.rounds);
+  stats_.retransmission_copies_planned += 2 * (options_.rounds - 1);
+  RoundState& st = round_state_[m.id];
+  if (st.current == 0) {
+    st.current = inst.key;
+    st.rounds_done = 0;
+    return;
+  }
+  // The single staged buffer holds the latest value; a staged instance
+  // that never got on the wire is overwritten and forfeits its copies.
+  if (st.staged != 0) {
+    if (Instance* prev = instances_.find(st.staged)) {
+      cancel_copies(*prev, prev->copies_required - prev->copies_sent);
+    }
+  }
+  st.staged = inst.key;
+}
+
+void FspecScheduler::on_dynamic_release(Instance& inst,
+                                        const net::Message& m,
+                                        const flexray::PendingMessage& pending) {
+  add_copies(inst, 2);  // channel A frame + its channel B mirror
+  nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
+}
+
+void FspecScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+                                         sim::Time /*at*/) {
+  // The mirror staging map must drain within its cycle; anything left
+  // means channel B never carried the copy (should not happen — both
+  // channels see identical arbitration). Forfeit such copies.
+  for (const auto& [_, req] : dynamic_mirror_) {
+    if (Instance* inst = instances_.find(req.instance)) {
+      cancel_copies(*inst, 1);
+    }
+  }
+  dynamic_mirror_.clear();
+}
+
+std::optional<flexray::TxRequest> FspecScheduler::static_slot(
+    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
+  const auto occupant = table_.message_at(slot, cycle);
+  if (!occupant.has_value()) return std::nullopt;  // unreserved slots idle
+  auto it = round_state_.find(*occupant);
+  if (it == round_state_.end() || it->second.current == 0) {
+    return std::nullopt;  // reserved but no fresh data: wasted occurrence
+  }
+  RoundState& st = it->second;
+  if (channel == flexray::ChannelId::kA && st.staged != 0 &&
+      st.rounds_done >= 1) {
+    // Best effort: once the old instance has had a shot, fresh data
+    // preempts its remaining retransmission rounds.
+    if (Instance* prev = instances_.find(st.current)) {
+      cancel_copies(*prev, prev->copies_required - prev->copies_sent);
+    }
+    st.current = st.staged;
+    st.staged = 0;
+    st.rounds_done = 0;
+  }
+  Instance* inst = instances_.find(st.current);
+  if (inst == nullptr) {
+    throw std::logic_error("FspecScheduler: round train lost its instance");
+  }
+  const sim::Time slot_start =
+      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+  if (inst->release > slot_start) return std::nullopt;
+  flexray::TxRequest req;
+  req.instance = inst->key;
+  req.frame_id = static_cast<flexray::FrameId>(slot);
+  req.sender = inst->node;
+  req.payload_bits = inst->size_bits;
+  req.retransmission = st.rounds_done > 0;
+  // Round bookkeeping advances in on_tx_complete on the channel-B copy.
+  return req;
+}
+
+std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
+    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot_counter,
+    std::int64_t minislot, std::int64_t minislots_remaining) {
+  if (channel == flexray::ChannelId::kB) {
+    // Replay exactly what channel A carried in this dynamic slot.
+    auto it = dynamic_mirror_.find(slot_counter);
+    if (it == dynamic_mirror_.end()) return std::nullopt;
+    flexray::TxRequest req = it->second;
+    dynamic_mirror_.erase(it);
+    return req;
+  }
+
+  const net::Message* m =
+      dynamic_message_for_frame(static_cast<int>(slot_counter));
+  if (m == nullptr) return std::nullopt;
+  auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
+  const auto pending = queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  if (!pending.has_value()) return std::nullopt;
+  const sim::Time at = cycle_duration_ * cycle +
+                       cfg_.static_segment_duration() +
+                       cfg_.minislot_duration() * minislot;
+  if (pending->release > at) return std::nullopt;
+  if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
+    return std::nullopt;
+  }
+  if (minislot + 1 > cfg_.latest_tx_minislot()) return std::nullopt;
+  queue.pop(pending->instance);
+  flexray::TxRequest req;
+  req.instance = pending->instance;
+  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
+  req.sender = m->node;
+  req.payload_bits = pending->payload_bits;
+  dynamic_mirror_[slot_counter] = req;  // channel B will replay it
+  return req;
+}
+
+void FspecScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
+  account_outcome(outcome);
+  if (outcome.request.retransmission) {
+    ++stats_.retransmission_copies_sent;
+  }
+  if (outcome.segment != flexray::Segment::kStatic ||
+      outcome.channel != flexray::ChannelId::kB) {
+    return;
+  }
+  // A mirrored static pair completed: one round done for this message.
+  Instance* inst = instances_.find(outcome.request.instance);
+  if (inst == nullptr) return;
+  RoundState& st = round_state_[inst->message_id];
+  if (st.current != inst->key) return;
+  if (++st.rounds_done >= options_.rounds) {
+    st.current = st.staged;
+    st.staged = 0;
+    st.rounds_done = 0;
+  }
+}
+
+}  // namespace coeff::core

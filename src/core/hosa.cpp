@@ -1,0 +1,112 @@
+#include "core/hosa.hpp"
+
+namespace coeff::core {
+
+HosaScheduler::HosaScheduler(const flexray::ClusterConfig& cfg,
+                             net::MessageSet statics,
+                             net::MessageSet dynamics, sim::Time batch_window)
+    : SchedulerBase(cfg, std::move(statics), std::move(dynamics),
+                    batch_window) {}
+
+void HosaScheduler::on_static_release(Instance& inst, const net::Message& m) {
+  const sched::SlotAssignment* a = table_.assignment_of(m.id);
+  if (a == nullptr) return;  // unplaced: miss at the deadline
+  add_copies(inst, 2);       // one mirrored pair per instance
+  auto& buffers = nodes_.at(static_cast<std::size_t>(m.node)).static_buffers();
+  if (auto old = buffers.read(a->slot); old.has_value()) {
+    if (Instance* prev = instances_.find(old->instance)) {
+      cancel_copies(*prev, prev->copies_required - prev->copies_sent);
+    }
+  }
+  flexray::PendingMessage pending;
+  pending.instance = inst.key;
+  pending.frame_id = static_cast<flexray::FrameId>(a->slot);
+  pending.payload_bits = m.size_bits;
+  pending.release = inst.release;
+  pending.deadline = inst.abs_deadline;
+  buffers.write(a->slot, pending);
+}
+
+void HosaScheduler::on_dynamic_release(Instance& inst, const net::Message& m,
+                                       const flexray::PendingMessage& pending) {
+  add_copies(inst, 2);  // channel A frame + its channel B mirror
+  nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
+}
+
+void HosaScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+                                        sim::Time /*at*/) {
+  for (const auto& [_, req] : dynamic_mirror_) {
+    if (Instance* inst = instances_.find(req.instance)) {
+      cancel_copies(*inst, 1);
+    }
+  }
+  dynamic_mirror_.clear();
+}
+
+std::optional<flexray::TxRequest> HosaScheduler::static_slot(
+    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
+  const auto occupant = table_.message_at(slot, cycle);
+  if (!occupant.has_value()) return std::nullopt;  // idle slacks stay idle
+  const net::Message* m = statics_.find(*occupant);
+  auto& buffers = nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
+  const sim::Time slot_start =
+      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+  const auto pending = buffers.read(slot);
+  if (!pending.has_value() || pending->release > slot_start) {
+    return std::nullopt;
+  }
+  flexray::TxRequest req;
+  req.instance = pending->instance;
+  req.frame_id = static_cast<flexray::FrameId>(slot);
+  req.sender = m->node;
+  req.payload_bits = pending->payload_bits;
+  req.retransmission = channel == flexray::ChannelId::kB;
+  if (channel == flexray::ChannelId::kB) {
+    buffers.clear(slot);  // the mirrored pair is complete
+  }
+  return req;
+}
+
+std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
+    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot_counter,
+    std::int64_t minislot, std::int64_t minislots_remaining) {
+  if (channel == flexray::ChannelId::kB) {
+    auto it = dynamic_mirror_.find(slot_counter);
+    if (it == dynamic_mirror_.end()) return std::nullopt;
+    flexray::TxRequest req = it->second;
+    req.retransmission = true;
+    dynamic_mirror_.erase(it);
+    return req;
+  }
+  const net::Message* m =
+      dynamic_message_for_frame(static_cast<int>(slot_counter));
+  if (m == nullptr) return std::nullopt;
+  auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
+  const auto pending = queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  if (!pending.has_value()) return std::nullopt;
+  const sim::Time at = cycle_duration_ * cycle +
+                       cfg_.static_segment_duration() +
+                       cfg_.minislot_duration() * minislot;
+  if (pending->release > at) return std::nullopt;
+  if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
+    return std::nullopt;
+  }
+  if (minislot + 1 > cfg_.latest_tx_minislot()) return std::nullopt;
+  queue.pop(pending->instance);
+  flexray::TxRequest req;
+  req.instance = pending->instance;
+  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
+  req.sender = m->node;
+  req.payload_bits = pending->payload_bits;
+  dynamic_mirror_[slot_counter] = req;
+  return req;
+}
+
+void HosaScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
+  account_outcome(outcome);
+  if (outcome.request.retransmission) {
+    ++stats_.retransmission_copies_sent;
+  }
+}
+
+}  // namespace coeff::core

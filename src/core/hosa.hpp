@@ -1,0 +1,45 @@
+// HOSA-style baseline ([7]: holistic dual-channel scheduling with
+// best-effort redundancy).
+//
+// Sits between FSPEC and CoEfficient: like CoEfficient it uses the
+// optimized (cycle-multiplexed) static schedule table, so no exclusive
+// slots are wasted; like FSPEC it relies on plain dual-channel
+// mirroring for fault tolerance — every frame, static and dynamic, is
+// duplicated on channel B, "consum[ing] substantial bandwidth to
+// support fault tolerance" (§V-B), and idle slacks stay idle.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/scheduler_base.hpp"
+
+namespace coeff::core {
+
+class HosaScheduler : public SchedulerBase {
+ public:
+  HosaScheduler(const flexray::ClusterConfig& cfg, net::MessageSet statics,
+                net::MessageSet dynamics, sim::Time batch_window);
+
+  // --- TransmissionPolicy ----------------------------------------------
+  std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
+                                                std::int64_t cycle,
+                                                std::int64_t slot) override;
+  std::optional<flexray::TxRequest> dynamic_slot(
+      flexray::ChannelId channel, std::int64_t cycle,
+      std::int64_t slot_counter, std::int64_t minislot,
+      std::int64_t minislots_remaining) override;
+  void on_tx_complete(const flexray::TxOutcome& outcome) override;
+
+ protected:
+  void on_cycle_start_hook(std::int64_t cycle, sim::Time at) override;
+  void on_static_release(Instance& inst, const net::Message& m) override;
+  void on_dynamic_release(Instance& inst, const net::Message& m,
+                          const flexray::PendingMessage& pending) override;
+
+ private:
+  /// Channel-B mirror staging for the dynamic segment.
+  std::unordered_map<std::int64_t, flexray::TxRequest> dynamic_mirror_;
+};
+
+}  // namespace coeff::core

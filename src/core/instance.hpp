@@ -1,0 +1,82 @@
+// Message-instance lifecycle tracking shared by both schedulers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::core {
+
+/// One released instance (job) of a message and the transmissions the
+/// active scheme still owes for it.
+struct Instance {
+  std::uint64_t key = 0;
+  int message_id = 0;
+  net::MessageKind kind = net::MessageKind::kStatic;
+  std::int64_t index = 0;  ///< k-th release of its message
+  int node = 0;
+  std::int64_t size_bits = 0;
+  sim::Time release;
+  sim::Time abs_deadline;
+  /// Total wire transmissions owed (scheme-specific: primaries, planned
+  /// retransmission copies, mirror rounds). May be reduced if copies are
+  /// cancelled (no slack before the deadline / queue expiry).
+  int copies_required = 1;
+  int copies_sent = 0;
+  bool delivered = false;       ///< an uncorrupted copy landed in time
+  sim::Time delivered_at;
+  bool miss_recorded = false;   ///< deadline passed undelivered (counted)
+};
+
+class InstanceStore {
+ public:
+  [[nodiscard]] static std::uint64_t make_key(int message_id,
+                                              std::int64_t index) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(message_id))
+            << 32) |
+           static_cast<std::uint32_t>(index);
+  }
+
+  Instance& create(int message_id, std::int64_t index) {
+    const std::uint64_t key = make_key(message_id, index);
+    Instance& inst = map_[key];
+    inst.key = key;
+    inst.message_id = message_id;
+    inst.index = index;
+    return inst;
+  }
+
+  [[nodiscard]] Instance* find(std::uint64_t key) {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Instance* find(std::uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void erase(std::uint64_t key) { map_.erase(key); }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Stable snapshot of keys (iteration while mutating the store).
+  [[nodiscard]] std::vector<std::uint64_t> keys() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(map_.size());
+    for (const auto& [k, _] : map_) out.push_back(k);
+    return out;
+  }
+
+  auto begin() { return map_.begin(); }
+  auto end() { return map_.end(); }
+  [[nodiscard]] auto begin() const { return map_.begin(); }
+  [[nodiscard]] auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Instance> map_;
+};
+
+}  // namespace coeff::core

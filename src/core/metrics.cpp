@@ -1,0 +1,77 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+
+namespace coeff::core {
+
+namespace {
+
+double utilization(std::int64_t useful_bits, sim::Time capacity,
+                   double bit_rate) {
+  if (capacity <= sim::Time::zero() || bit_rate <= 0.0) return 0.0;
+  const double capacity_bits = capacity.as_seconds() * bit_rate;
+  if (capacity_bits <= 0.0) return 0.0;
+  return static_cast<double>(useful_bits) / capacity_bits;
+}
+
+}  // namespace
+
+double RunStats::static_bandwidth_utilization() const {
+  return utilization(useful_bits_static_wire, static_wire_capacity,
+                     bus_bit_rate);
+}
+
+double RunStats::dynamic_bandwidth_utilization() const {
+  return utilization(useful_bits_dynamic_wire, dynamic_wire_capacity,
+                     bus_bit_rate);
+}
+
+double RunStats::overall_bandwidth_utilization() const {
+  return utilization(useful_bits_static_wire + useful_bits_dynamic_wire,
+                     static_wire_capacity + dynamic_wire_capacity,
+                     bus_bit_rate);
+}
+
+double RunStats::overall_miss_ratio() const {
+  const std::int64_t settled =
+      statics.delivered + statics.missed + dynamics.delivered + dynamics.missed;
+  if (settled == 0) return 0.0;
+  return static_cast<double>(statics.missed + dynamics.missed) /
+         static_cast<double>(settled);
+}
+
+std::string RunStats::summary() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "running_time=%s\n"
+      "static : released=%lld delivered=%lld missed=%lld (%.2f%%) "
+      "avg_latency=%.3fms copies=%lld\n"
+      "dynamic: released=%lld delivered=%lld missed=%lld (%.2f%%) "
+      "avg_latency=%.3fms copies=%lld\n"
+      "bw_util: static=%.1f%% dynamic=%.1f%% overall=%.1f%%\n"
+      "retx   : planned=%lld sent=%lld dropped=%lld | slack_slots=%lld "
+      "dyn_in_static=%lld\n",
+      sim::to_string(running_time).c_str(),
+      static_cast<long long>(statics.released),
+      static_cast<long long>(statics.delivered),
+      static_cast<long long>(statics.missed), statics.miss_ratio() * 100.0,
+      statics.latency.mean_ms(),
+      static_cast<long long>(statics.copies_sent),
+      static_cast<long long>(dynamics.released),
+      static_cast<long long>(dynamics.delivered),
+      static_cast<long long>(dynamics.missed), dynamics.miss_ratio() * 100.0,
+      dynamics.latency.mean_ms(),
+      static_cast<long long>(dynamics.copies_sent),
+      static_bandwidth_utilization() * 100.0,
+      dynamic_bandwidth_utilization() * 100.0,
+      overall_bandwidth_utilization() * 100.0,
+      static_cast<long long>(retransmission_copies_planned),
+      static_cast<long long>(retransmission_copies_sent),
+      static_cast<long long>(retransmission_copies_dropped),
+      static_cast<long long>(slack_slots_stolen),
+      static_cast<long long>(dynamic_in_static_slots));
+  return buf;
+}
+
+}  // namespace coeff::core

@@ -1,0 +1,240 @@
+#include "core/scheduler_base.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace coeff::core {
+
+SchedulerBase::SchedulerBase(const flexray::ClusterConfig& cfg,
+                             net::MessageSet statics, net::MessageSet dynamics,
+                             sim::Time batch_window,
+                             std::optional<sched::StaticScheduleTable> table)
+    : cfg_(cfg),
+      statics_(std::move(statics)),
+      dynamics_(std::move(dynamics)),
+      table_(table.has_value()
+                 ? std::move(*table)
+                 : sched::StaticScheduleTable::build(statics_, cfg_)),
+      batch_window_(batch_window),
+      cycle_duration_(cfg.cycle_duration()) {
+  statics_.validate();
+  dynamics_.validate();
+  if (batch_window_ <= sim::Time::zero()) {
+    throw std::invalid_argument("SchedulerBase: non-positive batch window");
+  }
+  stats_.bus_bit_rate = static_cast<double>(cfg_.bus_bit_rate);
+
+  nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    nodes_.emplace_back(i, "ecu" + std::to_string(i));
+  }
+  for (const auto& a : table_.assignments()) {
+    // Assignments for ids not in the base set (e.g. FSPEC's redundant
+    // clones) are registered by the subclass, which knows the mapping.
+    const net::Message* m = statics_.find(a.message_id);
+    if (m == nullptr) continue;
+    nodes_.at(static_cast<std::size_t>(m->node)).static_buffers().add_slot(
+        a.slot);
+  }
+  for (const auto& m : dynamics_.messages()) {
+    if (m.frame_id <= cfg_.g_number_of_static_slots) {
+      throw std::invalid_argument(
+          "SchedulerBase: dynamic message " + std::to_string(m.id) +
+          " frame id must exceed the static slot count");
+    }
+    // Two or more messages may share a dynamic frame id (§II-B) as long
+    // as one node owns the id: the node's priority queue decides which
+    // goes out in the current cycle.
+    auto [it, inserted] = dynamic_by_frame_id_.emplace(m.frame_id, &m);
+    if (!inserted && it->second->node != m.node) {
+      throw std::invalid_argument(
+          "SchedulerBase: dynamic frame id " + std::to_string(m.frame_id) +
+          " shared across different nodes");
+    }
+    if (inserted) {
+      nodes_.at(static_cast<std::size_t>(m.node))
+          .add_dynamic_frame_id(static_cast<flexray::FrameId>(m.frame_id));
+    }
+  }
+  for (const auto& m : statics_.messages()) next_static_index_[m.id] = 0;
+}
+
+const net::Message* SchedulerBase::dynamic_message_for_frame(
+    int frame_id) const {
+  auto it = dynamic_by_frame_id_.find(frame_id);
+  return it == dynamic_by_frame_id_.end() ? nullptr : it->second;
+}
+
+void SchedulerBase::add_copies(Instance& inst, int copies) {
+  inst.copies_required += copies;
+  owed_copies_ += copies;
+}
+
+void SchedulerBase::cancel_copies(Instance& inst, int copies) {
+  const int outstanding = inst.copies_required - inst.copies_sent;
+  const int cancelled = std::min(copies, outstanding);
+  inst.copies_required -= cancelled;
+  owed_copies_ -= cancelled;
+}
+
+void SchedulerBase::release_statics_until(sim::Time until) {
+  const sim::Time cap = std::min(until, batch_window_);
+  for (const auto& m : statics_.messages()) {
+    std::int64_t& next = next_static_index_[m.id];
+    while (true) {
+      const sim::Time release = m.offset + m.period * next;
+      if (release >= cap) break;
+      Instance& inst = instances_.create(m.id, next);
+      inst.kind = net::MessageKind::kStatic;
+      inst.node = m.node;
+      inst.size_bits = m.size_bits;
+      inst.release = release;
+      inst.abs_deadline = release + m.deadline;
+      inst.copies_required = 0;
+      ++segment(net::MessageKind::kStatic).released;
+      on_static_release(inst, m);
+      ++next;
+    }
+  }
+}
+
+void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
+  const net::Message* m = dynamics_.find(message_id);
+  if (m == nullptr) {
+    throw std::invalid_argument("add_dynamic_arrival: unknown message " +
+                                std::to_string(message_id));
+  }
+  std::int64_t& next = next_dynamic_index_[message_id];
+  Instance& inst = instances_.create(message_id, next++);
+  inst.kind = net::MessageKind::kDynamic;
+  inst.node = m->node;
+  inst.size_bits = m->size_bits;
+  inst.release = at;
+  inst.abs_deadline = at + m->deadline;
+  inst.copies_required = 0;
+  ++segment(net::MessageKind::kDynamic).released;
+
+  flexray::PendingMessage pending;
+  pending.instance = inst.key;
+  pending.frame_id = static_cast<flexray::FrameId>(m->frame_id);
+  pending.payload_bits = m->size_bits;
+  pending.release = at;
+  pending.deadline = inst.abs_deadline;
+  pending.priority = m->frame_id;  // FTDMA: lower frame id wins
+  on_dynamic_release(inst, *m, pending);
+}
+
+void SchedulerBase::on_cycle_start(std::int64_t cycle, sim::Time at) {
+  release_statics_until(at + cycle_duration_);
+  sweep(at);
+  on_cycle_start_hook(cycle, at);
+}
+
+void SchedulerBase::on_cycle_end(std::int64_t /*cycle*/, sim::Time /*at*/) {}
+
+void SchedulerBase::on_dynamic_declined(flexray::ChannelId /*channel*/,
+                                        std::int64_t /*cycle*/,
+                                        const flexray::TxRequest& request) {
+  // Defensive: put the message back so it can retry in a later cycle.
+  Instance* inst = instances_.find(request.instance);
+  if (inst == nullptr) return;
+  const net::Message* m = dynamics_.find(inst->message_id);
+  if (m == nullptr) return;
+  flexray::PendingMessage pending;
+  pending.instance = inst->key;
+  pending.frame_id = static_cast<flexray::FrameId>(m->frame_id);
+  pending.payload_bits = m->size_bits;
+  pending.release = inst->release;
+  pending.deadline = inst->abs_deadline;
+  pending.priority = m->frame_id;
+  nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue().push(pending);
+}
+
+void SchedulerBase::account_outcome(const flexray::TxOutcome& outcome) {
+  Instance* inst = instances_.find(outcome.request.instance);
+  if (inst == nullptr) {
+    throw std::logic_error("account_outcome: unknown instance");
+  }
+  ++inst->copies_sent;
+  --owed_copies_;
+  last_activity_ = std::max(last_activity_, outcome.end);
+  SegmentMetrics& seg = segment(inst->kind);
+  ++seg.copies_sent;
+  if (outcome.corrupted) ++seg.copies_corrupted;
+  if (!outcome.corrupted && !inst->delivered) {
+    inst->delivered = true;
+    inst->delivered_at = outcome.end;
+    seg.useful_payload_bits += inst->size_bits;
+    if (outcome.segment == flexray::Segment::kStatic) {
+      stats_.useful_bits_static_wire += inst->size_bits;
+    } else {
+      stats_.useful_bits_dynamic_wire += inst->size_bits;
+    }
+    seg.latency.add(outcome.end - inst->release);
+    if (outcome.end <= inst->abs_deadline) {
+      ++seg.delivered;
+    } else if (!inst->miss_recorded) {
+      // First success landed late: that is a deadline miss.
+      inst->miss_recorded = true;
+      ++seg.missed;
+    }
+  }
+  if (inst->copies_sent >= inst->copies_required) {
+    // The instance's full transmission (all copies) has left the wire.
+    seg.completion.add(outcome.end - inst->release);
+  }
+}
+
+void SchedulerBase::sweep(sim::Time now) {
+  // Expired dynamic queue entries can never be delivered in time: unless
+  // the run drains the whole batch, cancel all their outstanding copies
+  // (the miss itself is recorded in the instance sweep below). Drain
+  // runs keep expired entries (the batch must fully transmit) but still
+  // abandon entries the scheme demonstrably cannot serve — 15 periods
+  // past the deadline — so an unservable frame id cannot stall the run.
+  for (auto& node : nodes_) {
+    const auto dropped =
+        drop_expired_dynamics_
+            ? node.dynamic_queue().drop_expired(now)
+            : node.dynamic_queue().drop_if([now](
+                  const flexray::PendingMessage& m) {
+                const sim::Time patience = (m.deadline - m.release) * 15;
+                return m.deadline + patience < now;
+              });
+    for (const auto& entry : dropped) {
+      Instance* inst = instances_.find(entry.instance);
+      if (inst != nullptr) {
+        cancel_copies(*inst, inst->copies_required - inst->copies_sent);
+      }
+    }
+  }
+  for (const std::uint64_t key : instances_.keys()) {
+    Instance* inst = instances_.find(key);
+    if (inst == nullptr) continue;
+    if (!inst->delivered && !inst->miss_recorded && inst->abs_deadline < now) {
+      inst->miss_recorded = true;
+      ++segment(inst->kind).missed;
+    }
+    if (inst->copies_sent >= inst->copies_required &&
+        (inst->delivered || inst->miss_recorded)) {
+      instances_.erase(key);
+    }
+  }
+}
+
+void SchedulerBase::finalize(sim::Time now) {
+  sweep(now);
+  for (const std::uint64_t key : instances_.keys()) {
+    Instance* inst = instances_.find(key);
+    if (inst == nullptr) continue;
+    if (!inst->delivered && !inst->miss_recorded) {
+      // Nothing more will be sent for the batch; an undelivered instance
+      // is a miss even if its deadline is formally in the future.
+      inst->miss_recorded = true;
+      ++segment(inst->kind).missed;
+    }
+    instances_.erase(key);
+  }
+}
+
+}  // namespace coeff::core

@@ -1,0 +1,128 @@
+// Shared machinery for the CoEfficient and FSPEC transmission policies:
+// instance release, CHI plumbing, deadline bookkeeping, and metric
+// accumulation. The derived classes implement only what differs — how
+// slots are filled and how redundant copies are produced.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "flexray/chi.hpp"
+#include "flexray/policy.hpp"
+#include "net/message.hpp"
+#include "sched/schedule_table.hpp"
+
+namespace coeff::core {
+
+class SchedulerBase : public flexray::TransmissionPolicy {
+ public:
+  /// `batch_window`: static instances are released for all release times
+  /// in [0, batch_window); dynamic arrivals are injected externally
+  /// (add_dynamic_arrival) and should respect the same window.
+  /// `table` lets a subclass install a table built from an expanded set
+  /// (FSPEC's pre-planned redundancy); by default the table is built
+  /// from `statics` directly.
+  SchedulerBase(const flexray::ClusterConfig& cfg, net::MessageSet statics,
+                net::MessageSet dynamics, sim::Time batch_window,
+                std::optional<sched::StaticScheduleTable> table = std::nullopt);
+  ~SchedulerBase() override = default;
+
+  /// When false, dynamic queue entries survive their deadline and are
+  /// still transmitted (running-time experiments drain the full batch);
+  /// misses are recorded either way. Default: true (drop expired).
+  void set_drop_expired_dynamics(bool drop) { drop_expired_dynamics_ = drop; }
+
+  /// Inject one dynamic arrival (typically from a simulation-engine
+  /// event): creates the instance and enqueues it in the producing
+  /// node's CHI dynamic queue.
+  void add_dynamic_arrival(int message_id, sim::Time at);
+
+  /// True while the scheme still owes wire transmissions for the batch.
+  [[nodiscard]] bool work_remaining() const { return owed_copies_ > 0; }
+
+  /// Settle every instance still live at end of run (records misses for
+  /// undelivered ones whose deadline passed or will pass unserved).
+  void finalize(sim::Time now);
+
+  /// End time of the last wire transmission (the batch makespan).
+  [[nodiscard]] sim::Time last_activity() const { return last_activity_; }
+
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] RunStats& stats() { return stats_; }
+  [[nodiscard]] const sched::StaticScheduleTable& table() const {
+    return table_;
+  }
+  [[nodiscard]] const net::MessageSet& static_messages() const {
+    return statics_;
+  }
+  [[nodiscard]] const net::MessageSet& dynamic_messages() const {
+    return dynamics_;
+  }
+
+  // --- TransmissionPolicy (shared parts) -------------------------------
+  void on_cycle_start(std::int64_t cycle, sim::Time at) override;
+  void on_cycle_end(std::int64_t cycle, sim::Time at) override;
+  void on_dynamic_declined(flexray::ChannelId channel, std::int64_t cycle,
+                           const flexray::TxRequest& request) override;
+
+ protected:
+  /// Subclass hook invoked from on_cycle_start after releases/sweeps.
+  virtual void on_cycle_start_hook(std::int64_t /*cycle*/, sim::Time /*at*/) {}
+
+  /// Called for every newly released static instance. The subclass must
+  /// register the copies it owes (add_copies) and stage the primary
+  /// transmission (e.g. write the CHI static buffer).
+  virtual void on_static_release(Instance& inst, const net::Message& m) = 0;
+
+  /// Called for every dynamic arrival. The subclass must register owed
+  /// copies and enqueue `pending` where its dispatch logic will find it.
+  virtual void on_dynamic_release(Instance& inst, const net::Message& m,
+                                  const flexray::PendingMessage& pending) = 0;
+
+  /// Record a wire transmission outcome against its instance: updates
+  /// copy counts, delivery state, latency, and owed-work accounting.
+  void account_outcome(const flexray::TxOutcome& outcome);
+
+  /// Reduce an instance's owed copies (cancelled retransmission or
+  /// expired queue entry) keeping the global owed counter consistent.
+  void cancel_copies(Instance& inst, int copies);
+
+  /// Add owed copies to an instance (planned redundancy).
+  void add_copies(Instance& inst, int copies);
+
+  [[nodiscard]] SegmentMetrics& segment(net::MessageKind kind) {
+    return kind == net::MessageKind::kStatic ? stats_.statics
+                                             : stats_.dynamics;
+  }
+
+  /// The node that owns a dynamic frame id, or nullptr.
+  [[nodiscard]] const net::Message* dynamic_message_for_frame(
+      int frame_id) const;
+
+  flexray::ClusterConfig cfg_;
+  net::MessageSet statics_;
+  net::MessageSet dynamics_;
+  sched::StaticScheduleTable table_;
+  sim::Time batch_window_;
+  sim::Time cycle_duration_;
+
+  InstanceStore instances_;
+  std::vector<flexray::Node> nodes_;
+  std::unordered_map<int, const net::Message*> dynamic_by_frame_id_;
+  std::unordered_map<int, std::int64_t> next_static_index_;
+  std::unordered_map<int, std::int64_t> next_dynamic_index_;
+  std::int64_t owed_copies_ = 0;
+  sim::Time last_activity_;
+  bool drop_expired_dynamics_ = true;
+  RunStats stats_;
+
+ private:
+  void release_statics_until(sim::Time until);
+  void sweep(sim::Time now);
+};
+
+}  // namespace coeff::core

@@ -1,0 +1,45 @@
+#include "fault/ber.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace coeff::fault {
+
+double frame_failure_probability(std::int64_t bits, double ber) {
+  if (bits < 0) {
+    throw std::invalid_argument("frame_failure_probability: negative bits");
+  }
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::invalid_argument("frame_failure_probability: ber out of [0,1]");
+  }
+  if (bits == 0 || ber == 0.0) return 0.0;
+  if (ber == 1.0) return 1.0;
+  // 1 - (1-ber)^W = -expm1(W * log1p(-ber)), stable for ber << 1.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+double instance_loss_probability(double p, int retransmissions) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("instance_loss_probability: p out of [0,1]");
+  }
+  if (retransmissions < 0) {
+    throw std::invalid_argument(
+        "instance_loss_probability: negative retransmission count");
+  }
+  return std::pow(p, retransmissions + 1);
+}
+
+double log_message_reliability(double p, int retransmissions,
+                               double occurrences) {
+  if (occurrences < 0.0) {
+    throw std::invalid_argument("log_message_reliability: occurrences < 0");
+  }
+  const double loss = instance_loss_probability(p, retransmissions);
+  if (loss >= 1.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return occurrences * std::log1p(-loss);
+}
+
+}  // namespace coeff::fault

@@ -1,0 +1,26 @@
+// Bit-error-rate fault arithmetic (§III-E).
+//
+// A transient fault corrupts independent bits with probability BER; a
+// frame of W bits is lost iff any bit flips, so its failure probability
+// is p = 1 - (1 - BER)^W. Computed via expm1/log1p so tiny BERs do not
+// cancel to zero in double precision.
+#pragma once
+
+#include <cstdint>
+
+namespace coeff::fault {
+
+/// Failure probability of one transmission of `bits` bits at `ber`.
+/// Preconditions: bits >= 0, 0 <= ber <= 1.
+[[nodiscard]] double frame_failure_probability(std::int64_t bits, double ber);
+
+/// Probability that an instance fails its initial transmission *and*
+/// all `retransmissions` scheduled copies: p^(k+1).
+[[nodiscard]] double instance_loss_probability(double p, int retransmissions);
+
+/// log of the per-message reliability term of Theorem 1:
+/// (u / T) * log(1 - p^(k+1)), with `occurrences` = u / T.
+[[nodiscard]] double log_message_reliability(double p, int retransmissions,
+                                             double occurrences);
+
+}  // namespace coeff::fault

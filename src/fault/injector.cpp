@@ -1,0 +1,29 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+
+namespace coeff::fault {
+
+FaultInjector::FaultInjector(double ber, std::uint64_t seed)
+    : ber_(ber), rngs_{sim::Rng{seed ^ 0x414141ULL}, sim::Rng{seed ^ 0x424242ULL}} {
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::invalid_argument("FaultInjector: ber out of [0,1]");
+  }
+}
+
+bool FaultInjector::corrupted(const flexray::TxRequest& req,
+                              flexray::ChannelId channel, sim::Time /*start*/) {
+  const double p = frame_failure_probability(req.payload_bits, ber_);
+  auto& rng = rngs_[static_cast<std::size_t>(channel)];
+  const bool fault = rng.bernoulli(p);
+  ++verdicts_;
+  if (fault) ++faults_;
+  return fault;
+}
+
+flexray::CorruptionFn FaultInjector::as_corruption_fn() {
+  return [this](const flexray::TxRequest& req, flexray::ChannelId channel,
+                sim::Time start) { return corrupted(req, channel, start); };
+}
+
+}  // namespace coeff::fault

@@ -1,0 +1,42 @@
+// Per-transmission transient-fault injector.
+//
+// Plays the role of the Vector/Elektrobit fault-injection tooling in the
+// paper's testbed: every transmission is independently corrupted with
+// probability 1 - (1 - BER)^bits. Deterministic under a fixed seed; the
+// verdict stream is independent per channel so dual-channel redundancy
+// behaves correctly (both copies can, but rarely do, fail together).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/ber.hpp"
+#include "flexray/bus.hpp"
+#include "sim/random.hpp"
+
+namespace coeff::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(double ber, std::uint64_t seed);
+
+  /// Verdict for one transmission (the flexray::CorruptionFn contract).
+  bool corrupted(const flexray::TxRequest& req, flexray::ChannelId channel,
+                 sim::Time start);
+
+  /// Adapter usable directly as a Cluster corruption hook. The injector
+  /// must outlive the returned callable.
+  [[nodiscard]] flexray::CorruptionFn as_corruption_fn();
+
+  [[nodiscard]] double ber() const { return ber_; }
+  [[nodiscard]] std::int64_t verdicts() const { return verdicts_; }
+  [[nodiscard]] std::int64_t faults() const { return faults_; }
+
+ private:
+  double ber_;
+  std::array<sim::Rng, flexray::kNumChannels> rngs_;
+  std::int64_t verdicts_ = 0;
+  std::int64_t faults_ = 0;
+};
+
+}  // namespace coeff::fault

@@ -1,0 +1,30 @@
+#include "flexray/bus.hpp"
+
+namespace coeff::flexray {
+
+TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
+                            sim::Time duration, std::int64_t cycle,
+                            std::int64_t slot, Segment segment) {
+  TxOutcome out;
+  out.request = req;
+  out.channel = id_;
+  out.start = start;
+  out.end = start + duration;
+  out.cycle = cycle;
+  out.slot = slot;
+  out.segment = segment;
+  out.corrupted = corruption_ ? corruption_(req, id_, start) : false;
+
+  ++stats_.frames;
+  if (out.corrupted) ++stats_.corrupted_frames;
+  if (req.retransmission) ++stats_.retransmission_frames;
+  stats_.payload_bits += req.payload_bits;
+  if (segment == Segment::kStatic) {
+    stats_.busy_static += duration;
+  } else {
+    stats_.busy_dynamic += duration;
+  }
+  return out;
+}
+
+}  // namespace coeff::flexray

@@ -1,0 +1,86 @@
+// Bus channel model: transmission requests, outcomes, and per-channel
+// accounting.
+//
+// A Channel does not decide *what* to send (that is the scheduler
+// policy's job) nor *whether a fault occurs* (that is the fault
+// injector's); it clocks a requested frame onto the wire, asks the
+// corruption hook for a verdict, and keeps utilization statistics that
+// the metrics layer reads (busy time per segment, frame/corruption
+// counts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "flexray/config.hpp"
+#include "flexray/frame.hpp"
+#include "flexray/timing.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::flexray {
+
+/// What a scheduler asks the bus to carry in one slot.
+struct TxRequest {
+  /// Scheduler-opaque message-instance identifier, echoed in the outcome.
+  std::uint64_t instance = 0;
+  /// Frame ID; must equal the slot (static) / slot counter (dynamic).
+  FrameId frame_id = 0;
+  /// Sending node index.
+  int sender = -1;
+  /// Payload size in bits (excluding frame header/trailer overhead).
+  std::int64_t payload_bits = 0;
+  /// True when this transmission is a scheduled retransmission copy.
+  bool retransmission = false;
+};
+
+/// What actually happened on the wire.
+struct TxOutcome {
+  TxRequest request;
+  ChannelId channel = ChannelId::kA;
+  sim::Time start;
+  sim::Time end;
+  std::int64_t cycle = 0;
+  std::int64_t slot = 0;  ///< static slot number or dynamic slot counter
+  Segment segment = Segment::kStatic;
+  bool corrupted = false;
+};
+
+/// Decides whether a given transmission is corrupted by a transient
+/// fault. Deterministic given the injector's seed.
+using CorruptionFn =
+    std::function<bool(const TxRequest&, ChannelId, sim::Time start)>;
+
+struct ChannelStats {
+  std::int64_t frames = 0;
+  std::int64_t corrupted_frames = 0;
+  std::int64_t retransmission_frames = 0;
+  sim::Time busy_static;   ///< wire time spent in static slots
+  sim::Time busy_dynamic;  ///< wire time spent in dynamic slots
+  std::int64_t payload_bits = 0;
+  std::int64_t minislots_used = 0;  ///< minislots consumed by dynamic TX
+};
+
+class Channel {
+ public:
+  Channel(ChannelId id, CorruptionFn corruption)
+      : id_(id), corruption_(std::move(corruption)) {}
+
+  /// Clock a frame onto the wire. `duration` is the wire occupancy
+  /// (already bounded by the slot by the caller).
+  TxOutcome transmit(const TxRequest& req, sim::Time start, sim::Time duration,
+                     std::int64_t cycle, std::int64_t slot, Segment segment);
+
+  /// Dynamic-segment bookkeeping: record minislots consumed.
+  void account_minislots(std::int64_t n) { stats_.minislots_used += n; }
+
+  [[nodiscard]] ChannelId id() const { return id_; }
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ChannelStats{}; }
+
+ private:
+  ChannelId id_;
+  CorruptionFn corruption_;
+  ChannelStats stats_;
+};
+
+}  // namespace coeff::flexray

@@ -1,0 +1,112 @@
+#include "flexray/chi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coeff::flexray {
+
+void StaticBufferSet::add_slot(std::int64_t slot) {
+  buffers_.emplace(slot, std::nullopt);
+}
+
+bool StaticBufferSet::owns(std::int64_t slot) const {
+  return buffers_.contains(slot);
+}
+
+bool StaticBufferSet::write(std::int64_t slot, PendingMessage msg) {
+  auto it = buffers_.find(slot);
+  if (it == buffers_.end()) {
+    throw std::invalid_argument("StaticBufferSet::write: slot not owned");
+  }
+  const bool overwritten = it->second.has_value();
+  it->second = std::move(msg);
+  return overwritten;
+}
+
+std::optional<PendingMessage> StaticBufferSet::read(std::int64_t slot) const {
+  auto it = buffers_.find(slot);
+  if (it == buffers_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StaticBufferSet::clear(std::int64_t slot) {
+  auto it = buffers_.find(slot);
+  if (it != buffers_.end()) it->second.reset();
+}
+
+std::vector<std::int64_t> StaticBufferSet::owned_slots() const {
+  std::vector<std::int64_t> slots;
+  slots.reserve(buffers_.size());
+  for (const auto& [slot, _] : buffers_) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+std::size_t StaticBufferSet::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, msg] : buffers_) {
+    if (msg.has_value()) ++n;
+  }
+  return n;
+}
+
+void DynamicQueue::push(PendingMessage msg) {
+  const std::uint64_t seq = arrival_seq_++;
+  // Insert before the first strictly-lower-urgency entry; equal
+  // priorities stay FIFO.
+  std::size_t pos = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].priority > msg.priority) {
+      pos = i;
+      break;
+    }
+  }
+  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(msg));
+  seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
+}
+
+std::optional<PendingMessage> DynamicQueue::peek(FrameId id) const {
+  for (const auto& msg : queue_) {
+    if (msg.frame_id == id) return msg;
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingMessage> DynamicQueue::peek_head() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front();
+}
+
+bool DynamicQueue::pop(std::uint64_t instance) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].instance == instance) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PendingMessage> DynamicQueue::drop_expired(sim::Time now) {
+  return drop_if(
+      [now](const PendingMessage& m) { return m.deadline < now; });
+}
+
+std::vector<PendingMessage> DynamicQueue::drop_if(
+    const std::function<bool(const PendingMessage&)>& pred) {
+  std::vector<PendingMessage> dropped;
+  for (std::size_t i = 0; i < queue_.size();) {
+    if (pred(queue_[i])) {
+      dropped.push_back(queue_[i]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace coeff::flexray

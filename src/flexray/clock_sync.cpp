@@ -1,0 +1,136 @@
+#include "flexray/clock_sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace coeff::flexray {
+
+int ftm_discard_count(std::size_t n) {
+  if (n < 3) return 0;
+  if (n < 8) return 1;
+  return 2;
+}
+
+sim::Time fault_tolerant_midpoint(std::vector<sim::Time> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("fault_tolerant_midpoint: no measurements");
+  }
+  std::sort(values.begin(), values.end());
+  const int k = ftm_discard_count(values.size());
+  const sim::Time lo = values[static_cast<std::size_t>(k)];
+  const sim::Time hi = values[values.size() - 1 - static_cast<std::size_t>(k)];
+  return sim::nanos((lo.ns() + hi.ns()) / 2);
+}
+
+sim::Time LocalClock::local_time(sim::Time global) const {
+  const double elapsed = static_cast<double>((global - base_global_).ns());
+  return base_local_ +
+         sim::nanos(static_cast<std::int64_t>(
+             elapsed * (1.0 + rate_error_ + rate_trim_)));
+}
+
+void LocalClock::rebase(sim::Time global) {
+  base_local_ = local_time(global);
+  base_global_ = global;
+}
+
+ClockSyncResult simulate_clock_sync(const ClockSyncOptions& opt, int rounds) {
+  if (opt.num_nodes < 2 || opt.sync_nodes < 2 ||
+      opt.sync_nodes > opt.num_nodes) {
+    throw std::invalid_argument("simulate_clock_sync: bad node counts");
+  }
+  sim::Rng rng(opt.seed);
+  std::vector<LocalClock> clocks;
+  clocks.reserve(static_cast<std::size_t>(opt.num_nodes));
+  for (int i = 0; i < opt.num_nodes; ++i) {
+    clocks.emplace_back(
+        rng.uniform(-opt.max_rate_error_ppm, opt.max_rate_error_ppm));
+  }
+  auto is_byzantine = [&](int node) {
+    return std::find(opt.byzantine_nodes.begin(), opt.byzantine_nodes.end(),
+                     node) != opt.byzantine_nodes.end();
+  };
+
+  ClockSyncResult result;
+  sim::Time global;
+  const sim::Time cycle_half = sim::nanos(opt.double_cycle.ns() / 2);
+  std::vector<sim::Time> prev_offset_correction(
+      static_cast<std::size_t>(opt.num_nodes));
+
+  for (int round = 0; round < rounds; ++round) {
+    // Two measurement instants per double cycle (the even and the odd
+    // cycle), with no corrections in between: the deviation at the
+    // second instant drives the offset correction, and the *difference*
+    // between the two deviations of the same pair isolates the pure
+    // rate error, exactly as the spec's rate-measurement phase does.
+    const sim::Time mid = global + opt.double_cycle - cycle_half;
+    global += opt.double_cycle;
+    const auto take_snapshot = [&](sim::Time at) {
+      std::vector<sim::Time> snap(static_cast<std::size_t>(opt.num_nodes));
+      for (int i = 0; i < opt.num_nodes; ++i) {
+        snap[static_cast<std::size_t>(i)] =
+            clocks[static_cast<std::size_t>(i)].local_time(at);
+      }
+      return snap;
+    };
+    const auto snap1 = take_snapshot(mid);
+    const auto snap2 = take_snapshot(global);
+
+    for (int i = 0; i < opt.num_nodes; ++i) {
+      std::vector<sim::Time> offset_devs;
+      std::vector<sim::Time> rate_devs;
+      for (int j = 0; j < opt.sync_nodes; ++j) {
+        if (j == i) continue;
+        if (is_byzantine(j)) {
+          offset_devs.push_back(sim::micros(rng.uniform_int(-5000, 5000)));
+          rate_devs.push_back(sim::micros(rng.uniform_int(-5000, 5000)));
+          continue;
+        }
+        auto pair_dev = [&](const std::vector<sim::Time>& snap) {
+          sim::Time d = snap[static_cast<std::size_t>(j)] -
+                        snap[static_cast<std::size_t>(i)];
+          if (opt.measurement_noise > sim::Time::zero()) {
+            d += sim::nanos(rng.uniform_int(-opt.measurement_noise.ns(),
+                                            opt.measurement_noise.ns()));
+          }
+          return d;
+        };
+        const sim::Time d1 = pair_dev(snap1);
+        const sim::Time d2 = pair_dev(snap2);
+        offset_devs.push_back(d2);
+        rate_devs.push_back(d2 - d1);  // rate error over cycle_half
+      }
+      const sim::Time offset_corr = fault_tolerant_midpoint(offset_devs);
+      const sim::Time rate_corr = fault_tolerant_midpoint(rate_devs);
+      // Corrections act from this instant on.
+      clocks[static_cast<std::size_t>(i)].rebase(global);
+      // Positive correction = this clock is behind: advance it.
+      clocks[static_cast<std::size_t>(i)].correct_offset(
+          sim::nanos(-offset_corr.ns()));
+      const double ppm = static_cast<double>(rate_corr.ns()) /
+                         static_cast<double>(cycle_half.ns()) * 1e6;
+      // Damped (pClusterDriftDamping-style) for robustness to byzantine
+      // measurements surviving the midpoint.
+      clocks[static_cast<std::size_t>(i)].correct_rate(-ppm * 0.5);
+      prev_offset_correction[static_cast<std::size_t>(i)] = offset_corr;
+    }
+
+    // Record the max pairwise deviation among correct nodes.
+    sim::Time worst;
+    for (int i = 0; i < opt.num_nodes; ++i) {
+      if (is_byzantine(i)) continue;
+      for (int j = i + 1; j < opt.num_nodes; ++j) {
+        if (is_byzantine(j)) continue;
+        const sim::Time d =
+            clocks[static_cast<std::size_t>(i)].local_time(global) -
+            clocks[static_cast<std::size_t>(j)].local_time(global);
+        worst = std::max(worst, sim::nanos(std::llabs(d.ns())));
+      }
+    }
+    result.max_deviation_history.push_back(worst);
+  }
+  return result;
+}
+
+}  // namespace coeff::flexray

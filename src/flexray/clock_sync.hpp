@@ -1,0 +1,90 @@
+// Distributed clock synchronization (FlexRay spec ch. 8).
+//
+// Every node runs on a local oscillator with a bounded rate error; the
+// TDMA schedule only works if all nodes agree on slot boundaries, so
+// each node measures its deviation against the sync frames it receives
+// and corrects both its offset (every double cycle) and its rate. The
+// combination function is the fault-tolerant midpoint (FTM): with n
+// measurements, discard the k largest and k smallest (k = 0 for n < 3,
+// 1 for n < 8, else 2) and take the midpoint of the remaining extremes,
+// which tolerates k arbitrarily faulty clocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::flexray {
+
+/// Spec discard count for the fault-tolerant midpoint.
+[[nodiscard]] int ftm_discard_count(std::size_t n);
+
+/// Fault-tolerant midpoint of deviation measurements (ns values).
+/// Precondition: !values.empty().
+[[nodiscard]] sim::Time fault_tolerant_midpoint(std::vector<sim::Time> values);
+
+/// A drifting local clock: from its base point, local time advances at
+/// (1 + rate error + trim) of global time. Corrections act from the
+/// base point onwards — call rebase() at the correction instant so a
+/// rate trim never rewrites the past.
+class LocalClock {
+ public:
+  explicit LocalClock(double rate_error_ppm)
+      : rate_error_(rate_error_ppm * 1e-6) {}
+
+  /// Local reading at global instant `t` (>= the base point).
+  [[nodiscard]] sim::Time local_time(sim::Time global) const;
+
+  /// Move the base point to `global`, freezing the reading there, so
+  /// subsequent corrections apply from this instant on.
+  void rebase(sim::Time global);
+
+  /// Step the local reading back by `delta` (offset correction).
+  void correct_offset(sim::Time delta) { base_local_ -= delta; }
+
+  /// Trim the rate by `delta_ppm` from the base point onwards.
+  void correct_rate(double delta_ppm) { rate_trim_ -= delta_ppm * 1e-6; }
+
+  [[nodiscard]] double effective_rate_error() const {
+    return rate_error_ + rate_trim_;
+  }
+
+ private:
+  double rate_error_;       ///< physical oscillator error (fixed)
+  double rate_trim_ = 0.0;  ///< correction applied by sync
+  sim::Time base_global_;
+  sim::Time base_local_;
+};
+
+struct ClockSyncOptions {
+  int num_nodes = 10;
+  /// Number of sync-frame-sending nodes (>= 2 per the spec).
+  int sync_nodes = 4;
+  /// Max oscillator error, ppm; node errors are uniform in [-max, max].
+  double max_rate_error_ppm = 150.0;
+  /// Measurement noise bound (uniform, +-), models digitization.
+  sim::Time measurement_noise = sim::micros(1) - sim::micros(1);  // 0
+  sim::Time double_cycle = sim::millis(10);  ///< correction period
+  /// Indices of nodes whose sync measurements are arbitrarily wrong.
+  std::vector<int> byzantine_nodes;
+  std::uint64_t seed = 1;
+};
+
+struct ClockSyncResult {
+  /// Max pairwise deviation among correct nodes after each double cycle.
+  std::vector<sim::Time> max_deviation_history;
+  [[nodiscard]] sim::Time final_deviation() const {
+    return max_deviation_history.empty() ? sim::Time::zero()
+                                         : max_deviation_history.back();
+  }
+};
+
+/// Simulate `rounds` double cycles of offset+rate correction across a
+/// cluster of drifting clocks. Byzantine sync nodes report random
+/// deviations; FTM must keep the correct nodes converged regardless.
+[[nodiscard]] ClockSyncResult simulate_clock_sync(const ClockSyncOptions& opt,
+                                                  int rounds);
+
+}  // namespace coeff::flexray

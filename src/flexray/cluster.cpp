@@ -1,0 +1,126 @@
+#include "flexray/cluster.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace coeff::flexray {
+
+Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg,
+                 TransmissionPolicy& policy, CorruptionFn corruption,
+                 sim::Trace* trace)
+    : engine_(engine),
+      timing_(cfg),
+      policy_(policy),
+      channels_{Channel{ChannelId::kA, corruption},
+                Channel{ChannelId::kB, corruption}},
+      trace_(trace) {}
+
+void Cluster::run_cycles(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    execute_cycle(next_cycle_);
+    ++next_cycle_;
+  }
+}
+
+void Cluster::run_until(sim::Time t) {
+  while (timing_.cycle_start(next_cycle_) < t) {
+    execute_cycle(next_cycle_);
+    ++next_cycle_;
+  }
+}
+
+void Cluster::execute_cycle(std::int64_t cycle) {
+  const sim::Time start = timing_.cycle_start(cycle);
+  engine_.run_until(start);  // deliver arrivals due before this cycle
+  if (trace_) trace_->emit(start, sim::TraceKind::kCycleStart, cycle);
+  policy_.on_cycle_start(cycle, start);
+
+  execute_static_segment(cycle);
+  execute_dynamic_segment(cycle, ChannelId::kA);
+  execute_dynamic_segment(cycle, ChannelId::kB);
+
+  const sim::Time end = timing_.cycle_start(cycle + 1);
+  engine_.run_until(end);
+  policy_.on_cycle_end(cycle, end);
+}
+
+void Cluster::execute_static_segment(std::int64_t cycle) {
+  const ClusterConfig& cfg = config();
+  for (std::int64_t slot = 1; slot <= cfg.g_number_of_static_slots; ++slot) {
+    const sim::Time slot_start = timing_.static_slot_start(cycle, slot);
+    engine_.run_until(slot_start);
+    for (auto& channel : channels_) {
+      auto req = policy_.static_slot(channel.id(), cycle, slot);
+      if (!req) continue;
+      if (req->frame_id != slot) {
+        throw std::logic_error(
+            "Cluster: static frame id " + std::to_string(req->frame_id) +
+            " does not match slot " + std::to_string(slot));
+      }
+      if (req->payload_bits > cfg.static_slot_capacity_bits()) {
+        throw std::logic_error("Cluster: static payload exceeds slot capacity");
+      }
+      // A static slot always occupies its full fixed duration on the wire.
+      const TxOutcome out =
+          channel.transmit(*req, slot_start, cfg.static_slot_duration(), cycle,
+                           slot, Segment::kStatic);
+      if (trace_) {
+        trace_->emit(slot_start,
+                     out.corrupted ? sim::TraceKind::kTxCorrupted
+                                   : sim::TraceKind::kTxSuccess,
+                     req->sender, req->frame_id,
+                     static_cast<std::int64_t>(channel.id()));
+      }
+      policy_.on_tx_complete(out);
+    }
+  }
+}
+
+void Cluster::execute_dynamic_segment(std::int64_t cycle, ChannelId cid) {
+  const ClusterConfig& cfg = config();
+  Channel& channel = channels_[static_cast<std::size_t>(cid)];
+  std::int64_t minislot = 0;
+  std::int64_t slot_counter = cfg.g_number_of_static_slots + 1;
+
+  while (minislot < cfg.g_number_of_minislots) {
+    const sim::Time at = timing_.minislot_start(cycle, minislot);
+    engine_.run_until(at);
+    const std::int64_t remaining = cfg.g_number_of_minislots - minislot;
+    auto req =
+        policy_.dynamic_slot(cid, cycle, slot_counter, minislot, remaining);
+    bool sent = false;
+    if (req) {
+      const std::int64_t need = cfg.minislots_for(req->payload_bits);
+      // FTDMA rule: a transmission may start only at or before pLatestTx
+      // and must complete within the dynamic segment.
+      const bool starts_in_time = minislot + 1 <= cfg.latest_tx_minislot();
+      if (starts_in_time && need <= remaining) {
+        const sim::Time tx_start =
+            at + cfg.gd_macrotick * cfg.gd_minislot_action_point_offset;
+        const TxOutcome out =
+            channel.transmit(*req, tx_start,
+                             cfg.transmission_time(req->payload_bits), cycle,
+                             slot_counter, Segment::kDynamic);
+        channel.account_minislots(need);
+        if (trace_) {
+          trace_->emit(tx_start,
+                       out.corrupted ? sim::TraceKind::kTxCorrupted
+                                     : sim::TraceKind::kTxSuccess,
+                       req->sender, req->frame_id,
+                       static_cast<std::int64_t>(cid));
+        }
+        policy_.on_tx_complete(out);
+        minislot += need;
+        sent = true;
+      } else {
+        policy_.on_dynamic_declined(cid, cycle, *req);
+      }
+    }
+    if (!sent) {
+      minislot += 1;  // empty dynamic slot consumes exactly one minislot
+    }
+    ++slot_counter;
+  }
+}
+
+}  // namespace coeff::flexray

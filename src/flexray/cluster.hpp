@@ -1,0 +1,68 @@
+// The cluster: drives the FlexRay cycle structure over both channels.
+//
+// The Cluster owns the two channels and the cycle walk; scheduling
+// decisions are delegated to the installed TransmissionPolicy and fault
+// verdicts to the CorruptionFn. Slot-level timing is computed
+// arithmetically (CycleTiming); the simulation engine is advanced to
+// each slot boundary so that policy- or workload-scheduled events (e.g.
+// aperiodic arrivals) are delivered in order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "flexray/bus.hpp"
+#include "flexray/policy.hpp"
+#include "flexray/timing.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace coeff::flexray {
+
+class Cluster {
+ public:
+  /// `trace` may be nullptr to disable tracing.
+  Cluster(sim::Engine& engine, const ClusterConfig& cfg,
+          TransmissionPolicy& policy, CorruptionFn corruption,
+          sim::Trace* trace = nullptr);
+
+  /// Execute the next `n` communication cycles.
+  void run_cycles(std::int64_t n);
+
+  /// Execute whole cycles until the cycle containing `t` has completed.
+  void run_until(sim::Time t);
+
+  [[nodiscard]] std::int64_t cycles_run() const { return next_cycle_; }
+  [[nodiscard]] const Channel& channel(ChannelId id) const {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const CycleTiming& timing() const { return timing_; }
+  [[nodiscard]] const ClusterConfig& config() const {
+    return timing_.config();
+  }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// Total wire capacity of the dynamic segment so far (minislots
+  /// elapsed across both channels), for utilization metrics.
+  [[nodiscard]] std::int64_t dynamic_minislots_elapsed() const {
+    return next_cycle_ * config().g_number_of_minislots * kNumChannels;
+  }
+  /// Total static slots elapsed across both channels.
+  [[nodiscard]] std::int64_t static_slots_elapsed() const {
+    return next_cycle_ * config().g_number_of_static_slots * kNumChannels;
+  }
+
+ private:
+  void execute_cycle(std::int64_t cycle);
+  void execute_static_segment(std::int64_t cycle);
+  void execute_dynamic_segment(std::int64_t cycle, ChannelId channel);
+
+  sim::Engine& engine_;
+  CycleTiming timing_;
+  TransmissionPolicy& policy_;
+  std::array<Channel, kNumChannels> channels_;
+  sim::Trace* trace_;
+  std::int64_t next_cycle_ = 0;
+};
+
+}  // namespace coeff::flexray

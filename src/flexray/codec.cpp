@@ -1,0 +1,102 @@
+#include "flexray/codec.hpp"
+
+namespace coeff::flexray {
+
+namespace {
+
+/// Read `width` bits MSB-first starting at absolute bit `pos`.
+std::uint32_t read_bits(const std::vector<std::uint8_t>& bytes,
+                        std::size_t pos, int width) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::size_t bit = pos + static_cast<std::size_t>(i);
+    const bool set =
+        (bytes[bit / 8] & static_cast<std::uint8_t>(0x80u >> (bit % 8))) != 0;
+    value = (value << 1) | (set ? 1u : 0u);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::kTruncated:
+      return "truncated";
+    case DecodeError::kLengthMismatch:
+      return "length_mismatch";
+    case DecodeError::kHeaderCrc:
+      return "header_crc";
+    case DecodeError::kFrameCrc:
+      return "frame_crc";
+    case DecodeError::kBadFrameId:
+      return "bad_frame_id";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> wire =
+      frame_bytes(frame.header(), frame.payload());
+  const std::uint32_t crc = frame.trailer_crc();
+  wire.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  return wire;
+}
+
+DecodeResult decode_frame(ChannelId channel,
+                          const std::vector<std::uint8_t>& wire) {
+  DecodeResult result;
+  // Minimum frame: 5 header bytes + 3 trailer bytes.
+  if (wire.size() < 8) {
+    result.error = DecodeError::kTruncated;
+    return result;
+  }
+
+  FrameHeader header;
+  header.reserved = read_bits(wire, 0, 1) != 0;
+  header.payload_preamble = read_bits(wire, 1, 1) != 0;
+  header.null_frame = read_bits(wire, 2, 1) != 0;
+  header.sync = read_bits(wire, 3, 1) != 0;
+  header.startup = read_bits(wire, 4, 1) != 0;
+  header.id = static_cast<FrameId>(read_bits(wire, 5, 11));
+  header.payload_words = static_cast<std::uint8_t>(read_bits(wire, 16, 7));
+  header.crc = static_cast<std::uint16_t>(read_bits(wire, 23, 11));
+  header.cycle_count = static_cast<std::uint8_t>(read_bits(wire, 34, 6));
+
+  if (header.id == 0) {
+    result.error = DecodeError::kBadFrameId;
+    return result;
+  }
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(header.payload_words) * 2;
+  if (wire.size() != 5 + payload_bytes + 3) {
+    result.error = DecodeError::kLengthMismatch;
+    return result;
+  }
+  if (header_crc(header.sync, header.startup, header.id,
+                 header.payload_words) != header.crc) {
+    result.error = DecodeError::kHeaderCrc;
+    return result;
+  }
+
+  std::vector<std::uint8_t> payload(wire.begin() + 5,
+                                    wire.begin() + 5 +
+                                        static_cast<std::ptrdiff_t>(
+                                            payload_bytes));
+  const std::uint32_t wire_crc =
+      (static_cast<std::uint32_t>(wire[wire.size() - 3]) << 16) |
+      (static_cast<std::uint32_t>(wire[wire.size() - 2]) << 8) |
+      static_cast<std::uint32_t>(wire[wire.size() - 1]);
+  if (frame_crc(channel, frame_bytes(header, payload)) != wire_crc) {
+    result.error = DecodeError::kFrameCrc;
+    return result;
+  }
+
+  result.frame = Frame::assemble(channel, header, std::move(payload),
+                                 wire_crc);
+  return result;
+}
+
+}  // namespace coeff::flexray

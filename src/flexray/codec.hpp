@@ -1,0 +1,45 @@
+// Wire codec: serialize a frame to its on-the-bus byte stream and parse
+// it back, verifying both CRCs. This is what a communication controller
+// does at the ends of every slot; the simulator's fast path models
+// corruption statistically, but the codec backs the fault-injection
+// tests and any future pcap-style trace export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "flexray/frame.hpp"
+
+namespace coeff::flexray {
+
+enum class DecodeError : std::uint8_t {
+  kTruncated,        ///< fewer bytes than the header + trailer need
+  kLengthMismatch,   ///< header payload length disagrees with the buffer
+  kHeaderCrc,        ///< 11-bit header CRC check failed
+  kFrameCrc,         ///< 24-bit frame CRC check failed
+  kBadFrameId,       ///< frame id 0 (invalid on the wire)
+};
+
+[[nodiscard]] const char* to_string(DecodeError e);
+
+/// Result of decode_frame: a frame or the first error found.
+struct DecodeResult {
+  std::optional<Frame> frame;
+  std::optional<DecodeError> error;
+
+  [[nodiscard]] bool ok() const { return frame.has_value(); }
+};
+
+/// Serialize the complete wire image: 5 header bytes, payload, 3
+/// trailer-CRC bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parse a wire image received on `channel`. All integrity checks run;
+/// the first failure is reported.
+[[nodiscard]] DecodeResult decode_frame(ChannelId channel,
+                                        const std::vector<std::uint8_t>& wire);
+
+}  // namespace coeff::flexray

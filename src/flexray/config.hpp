@@ -1,0 +1,124 @@
+// FlexRay cluster configuration.
+//
+// Parameter names follow the FlexRay Protocol Specification v2.1
+// conventions: `gd*` are global duration parameters, `g*` global counts,
+// `p*` per-node parameters. The paper's evaluation (§IV-A) uses
+// gdMacrotick = 1 us, gdMinislot = 8 MT, gdStaticSlot = 40 MT,
+// gNumberOfStaticSlots in {80, 120}, gNumberOfMinislots in {25..100},
+// and cycles of 5 ms (static suite) or 1 ms (dynamic suite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace coeff::flexray {
+
+/// The two redundant FlexRay channels.
+enum class ChannelId : std::uint8_t { kA = 0, kB = 1 };
+inline constexpr int kNumChannels = 2;
+
+[[nodiscard]] constexpr const char* to_string(ChannelId c) {
+  return c == ChannelId::kA ? "A" : "B";
+}
+
+struct ClusterConfig {
+  // --- Global timing -----------------------------------------------------
+  /// Duration of one macrotick. All other durations are multiples of it.
+  sim::Time gd_macrotick = sim::micros(1);
+  /// Macroticks per communication cycle (gMacroPerCycle).
+  std::int64_t g_macro_per_cycle = 5000;
+
+  // --- Static segment ----------------------------------------------------
+  /// Number of static slots per cycle (gNumberOfStaticSlots).
+  std::int64_t g_number_of_static_slots = 80;
+  /// Macroticks per static slot (gdStaticSlot).
+  std::int64_t gd_static_slot = 40;
+
+  // --- Dynamic segment ---------------------------------------------------
+  /// Number of minislots in the dynamic segment (gNumberOfMinislots).
+  std::int64_t g_number_of_minislots = 50;
+  /// Macroticks per minislot (gdMinislot).
+  std::int64_t gd_minislot = 8;
+  /// Idle phase appended to every used dynamic slot, in minislots
+  /// (gdDynamicSlotIdlePhase).
+  std::int64_t gd_dynamic_slot_idle_phase = 1;
+  /// Action-point offset inside a minislot, in macroticks
+  /// (gdMinislotActionPointOffset). Purely a latency offset here.
+  std::int64_t gd_minislot_action_point_offset = 2;
+  /// Last minislot in which a transmission may *start*
+  /// (pLatestTx; per-node in the spec, cluster-wide here as in the paper).
+  std::int64_t p_latest_tx = 0;  ///< 0 = derive as g_number_of_minislots
+
+  // --- Symbol window / NIT -----------------------------------------------
+  /// Macroticks of symbol window (gdSymbolWindow; 0 in the paper).
+  std::int64_t gd_symbol_window = 0;
+
+  // --- Payload / bus -----------------------------------------------------
+  /// Bus bit rate in bits per second (10 Mbit/s per the FlexRay spec).
+  std::int64_t bus_bit_rate = 10'000'000;
+  /// Maximum payload of one frame, in bits (254 bytes per the spec).
+  std::int64_t max_payload_bits = 254 * 8;
+
+  /// Number of ECU nodes in the cluster.
+  int num_nodes = 10;
+
+  // --- Derived quantities --------------------------------------------------
+  [[nodiscard]] sim::Time cycle_duration() const {
+    return gd_macrotick * g_macro_per_cycle;
+  }
+  [[nodiscard]] sim::Time static_slot_duration() const {
+    return gd_macrotick * gd_static_slot;
+  }
+  [[nodiscard]] sim::Time static_segment_duration() const {
+    return static_slot_duration() * g_number_of_static_slots;
+  }
+  [[nodiscard]] sim::Time minislot_duration() const {
+    return gd_macrotick * gd_minislot;
+  }
+  [[nodiscard]] sim::Time dynamic_segment_duration() const {
+    return minislot_duration() * g_number_of_minislots;
+  }
+  [[nodiscard]] sim::Time symbol_window_duration() const {
+    return gd_macrotick * gd_symbol_window;
+  }
+  /// Network idle time: whatever remains of the cycle after the
+  /// static segment, dynamic segment and symbol window.
+  [[nodiscard]] sim::Time network_idle_time() const {
+    return cycle_duration() - static_segment_duration() -
+           dynamic_segment_duration() - symbol_window_duration();
+  }
+  /// Effective pLatestTx (derives the default).
+  [[nodiscard]] std::int64_t latest_tx_minislot() const {
+    return p_latest_tx > 0 ? p_latest_tx : g_number_of_minislots;
+  }
+  /// Time to clock `bits` onto the bus.
+  [[nodiscard]] sim::Time transmission_time(std::int64_t bits) const;
+  /// Bits that fit in one static slot (slot duration * bit rate).
+  [[nodiscard]] std::int64_t static_slot_capacity_bits() const;
+  /// Minislots consumed by a dynamic transmission of `bits`, including
+  /// the dynamic-slot idle phase.
+  [[nodiscard]] std::int64_t minislots_for(std::int64_t bits) const;
+
+  /// Throws std::invalid_argument naming the first violated constraint.
+  void validate() const;
+
+  /// Paper §IV-A static-suite configuration: 5 ms cycle, 3 ms static
+  /// segment (75 slots of 40 MT), remaining budget dynamic.
+  [[nodiscard]] static ClusterConfig static_suite(
+      std::int64_t num_static_slots = 80);
+
+  /// Paper §IV-A dynamic-suite configuration: 1 ms cycle, 0.75 ms static
+  /// segment, `minislots` dynamic minislots.
+  [[nodiscard]] static ClusterConfig dynamic_suite(std::int64_t minislots = 50);
+
+  /// Paper §IV-A application-suite configuration for BBW/ACC (whose
+  /// fastest period is 1 ms): 1 ms cycle, 0.75 ms static segment of 15
+  /// slots x 50 MT, remaining bandwidth dynamic.
+  [[nodiscard]] static ClusterConfig app_suite(std::int64_t minislots = 25);
+};
+
+[[nodiscard]] std::string describe(const ClusterConfig& cfg);
+
+}  // namespace coeff::flexray

@@ -1,0 +1,151 @@
+#include "flexray/frame.hpp"
+
+#include <stdexcept>
+
+namespace coeff::flexray {
+
+namespace {
+
+constexpr std::uint32_t kHeaderPoly = 0x385;   // x^11+x^9+x^8+x^7+x^2+1
+constexpr std::uint32_t kHeaderInit = 0x1A;
+constexpr std::uint32_t kFramePoly = 0x5D6DCB;  // FlexRay 24-bit polynomial
+constexpr std::uint32_t kFrameInitA = 0xFEDCBA;
+constexpr std::uint32_t kFrameInitB = 0xABCDEF;
+
+void append_bits(std::vector<bool>& bits, std::uint32_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(((value >> i) & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc_bits(const std::vector<bool>& bits, std::uint32_t poly,
+                       int width, std::uint32_t init) {
+  const std::uint32_t top = 1u << (width - 1);
+  const std::uint32_t mask = (width == 32) ? 0xFFFFFFFFu : ((1u << width) - 1);
+  std::uint32_t crc = init;
+  for (bool bit : bits) {
+    const bool msb = (crc & top) != 0;
+    crc = (crc << 1) & mask;
+    if (msb != bit) crc ^= poly;
+  }
+  return crc & mask;
+}
+
+std::uint16_t header_crc(bool sync, bool startup, FrameId id,
+                         std::uint8_t payload_words) {
+  std::vector<bool> bits;
+  bits.reserve(20);
+  bits.push_back(sync);
+  bits.push_back(startup);
+  append_bits(bits, id, 11);
+  append_bits(bits, payload_words, 7);
+  return static_cast<std::uint16_t>(
+      crc_bits(bits, kHeaderPoly, 11, kHeaderInit));
+}
+
+std::vector<std::uint8_t> frame_bytes(const FrameHeader& h,
+                                      const std::vector<std::uint8_t>& payload) {
+  // 5 header bytes: indicators(5) id(11) | length(7) crc(11) cycle(6)
+  std::vector<bool> bits;
+  bits.reserve(40 + payload.size() * 8);
+  bits.push_back(h.reserved);
+  bits.push_back(h.payload_preamble);
+  bits.push_back(h.null_frame);
+  bits.push_back(h.sync);
+  bits.push_back(h.startup);
+  append_bits(bits, h.id, 11);
+  append_bits(bits, h.payload_words, 7);
+  append_bits(bits, h.crc, 11);
+  append_bits(bits, h.cycle_count, 6);
+  for (std::uint8_t byte : payload) append_bits(bits, byte, 8);
+
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return out;
+}
+
+std::uint32_t frame_crc(ChannelId channel,
+                        const std::vector<std::uint8_t>& bytes) {
+  std::vector<bool> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back(((byte >> i) & 1u) != 0);
+  }
+  return crc_bits(bits, kFramePoly, 24,
+                  channel == ChannelId::kA ? kFrameInitA : kFrameInitB);
+}
+
+Frame Frame::make(ChannelId channel, FrameId id, std::uint8_t cycle_count,
+                  std::vector<std::uint8_t> payload, bool sync, bool startup) {
+  if (id == 0 || id > kMaxFrameId) {
+    throw std::invalid_argument("Frame::make: frame id out of [1, 2047]");
+  }
+  if (payload.size() > 254) {
+    throw std::invalid_argument("Frame::make: payload exceeds 254 bytes");
+  }
+  if (payload.size() % 2 != 0) {
+    payload.push_back(0);  // pad to a whole 16-bit word
+  }
+  Frame f;
+  f.channel_ = channel;
+  f.header_.sync = sync;
+  f.header_.startup = startup;
+  f.header_.id = id;
+  f.header_.payload_words = static_cast<std::uint8_t>(payload.size() / 2);
+  f.header_.cycle_count = cycle_count & 0x3F;
+  f.header_.crc = header_crc(sync, startup, id, f.header_.payload_words);
+  f.payload_ = std::move(payload);
+  f.trailer_crc_ = frame_crc(channel, frame_bytes(f.header_, f.payload_));
+  return f;
+}
+
+Frame Frame::make_null(ChannelId channel, FrameId id,
+                       std::uint8_t cycle_count) {
+  Frame f = make(channel, id, cycle_count, {});
+  f.header_.null_frame = true;
+  f.trailer_crc_ = frame_crc(channel, frame_bytes(f.header_, f.payload_));
+  return f;
+}
+
+Frame Frame::assemble(ChannelId channel, const FrameHeader& header,
+                      std::vector<std::uint8_t> payload,
+                      std::uint32_t trailer_crc) {
+  Frame f;
+  f.channel_ = channel;
+  f.header_ = header;
+  f.payload_ = std::move(payload);
+  f.trailer_crc_ = trailer_crc;
+  return f;
+}
+
+std::int64_t Frame::size_bits() const {
+  return 40 + static_cast<std::int64_t>(payload_.size()) * 8 + 24;
+}
+
+bool Frame::verify() const {
+  const std::uint16_t hcrc =
+      header_crc(header_.sync, header_.startup, header_.id,
+                 header_.payload_words);
+  if (hcrc != header_.crc) return false;
+  return frame_crc(channel_, frame_bytes(header_, payload_)) == trailer_crc_;
+}
+
+void Frame::corrupt_payload_bit(std::size_t bit) {
+  if (payload_.empty()) {
+    corrupt_header_bit(bit);
+    return;
+  }
+  const std::size_t total = payload_.size() * 8;
+  const std::size_t i = bit % total;
+  payload_[i / 8] ^= static_cast<std::uint8_t>(0x80u >> (i % 8));
+}
+
+void Frame::corrupt_header_bit(std::size_t bit) {
+  header_.id ^= static_cast<FrameId>(1u << (bit % 11));
+}
+
+}  // namespace coeff::flexray

@@ -1,0 +1,106 @@
+// FlexRay frame format: header, payload, trailer CRC.
+//
+// Layout (FlexRay spec v2.1 §4.1):
+//   header  : 5 indicator bits, 11-bit frame ID, 7-bit payload length
+//             (in 2-byte words), 11-bit header CRC, 6-bit cycle count
+//   payload : 0..254 bytes
+//   trailer : 24-bit frame CRC
+//
+// The header CRC covers the sync/startup indicators, frame ID and payload
+// length (20 bits, polynomial 0x385, init 0x1A). The frame CRC covers the
+// whole frame (polynomial 0x5D6DCB; init 0xFEDCBA on channel A, 0xABCDEF
+// on channel B so that cross-channel misrouting is detectable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexray/config.hpp"
+
+namespace coeff::flexray {
+
+/// 11-bit frame identifier; equals the slot number it is sent in.
+using FrameId = std::uint16_t;
+inline constexpr FrameId kMaxFrameId = 2047;
+
+/// CRC over an MSB-first bit stream. Exposed for tests.
+[[nodiscard]] std::uint32_t crc_bits(const std::vector<bool>& bits,
+                                     std::uint32_t poly, int width,
+                                     std::uint32_t init);
+
+/// 11-bit FlexRay header CRC over (sync, startup, frame id, length).
+[[nodiscard]] std::uint16_t header_crc(bool sync, bool startup, FrameId id,
+                                       std::uint8_t payload_words);
+
+/// 24-bit FlexRay frame CRC over header + payload bytes.
+[[nodiscard]] std::uint32_t frame_crc(ChannelId channel,
+                                      const std::vector<std::uint8_t>& bytes);
+
+struct FrameHeader {
+  bool reserved = false;
+  bool payload_preamble = false;
+  bool null_frame = false;  ///< true when the slot carries no new data
+  bool sync = false;
+  bool startup = false;
+  FrameId id = 0;
+  std::uint8_t payload_words = 0;  ///< payload length in 16-bit words
+  std::uint16_t crc = 0;           ///< 11-bit header CRC
+  std::uint8_t cycle_count = 0;    ///< 6-bit cycle counter
+};
+
+/// A fully assembled frame as it appears on one channel.
+class Frame {
+ public:
+  /// Build a data frame; computes both CRCs. Throws on invalid id or
+  /// payload size.
+  static Frame make(ChannelId channel, FrameId id, std::uint8_t cycle_count,
+                    std::vector<std::uint8_t> payload, bool sync = false,
+                    bool startup = false);
+
+  /// Build a null frame (slot owned but nothing to send).
+  static Frame make_null(ChannelId channel, FrameId id,
+                         std::uint8_t cycle_count);
+
+  /// Assemble a frame from already-parsed wire parts without
+  /// recomputing anything (codec use; `verify()` tells whether the
+  /// parts are internally consistent).
+  static Frame assemble(ChannelId channel, const FrameHeader& header,
+                        std::vector<std::uint8_t> payload,
+                        std::uint32_t trailer_crc);
+
+  [[nodiscard]] const FrameHeader& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
+    return payload_;
+  }
+  [[nodiscard]] std::uint32_t trailer_crc() const { return trailer_crc_; }
+  [[nodiscard]] ChannelId channel() const { return channel_; }
+
+  /// Total on-the-wire size in bits: 40 header + payload + 24 trailer.
+  [[nodiscard]] std::int64_t size_bits() const;
+
+  /// Recompute both CRCs and compare against the stored ones. A frame
+  /// tampered with via `corrupt_*` fails this check.
+  [[nodiscard]] bool verify() const;
+
+  /// Flip one payload bit (fault-injection hook). `bit` wraps modulo the
+  /// payload size; corrupting a zero-payload frame flips a header bit
+  /// (the frame id LSB) instead.
+  void corrupt_payload_bit(std::size_t bit);
+
+  /// Flip a header bit: the frame-id bit `bit % 11`.
+  void corrupt_header_bit(std::size_t bit);
+
+ private:
+  Frame() = default;
+
+  FrameHeader header_;
+  std::vector<std::uint8_t> payload_;
+  std::uint32_t trailer_crc_ = 0;
+  ChannelId channel_ = ChannelId::kA;
+};
+
+/// Serialize header+payload into the byte stream the frame CRC covers.
+[[nodiscard]] std::vector<std::uint8_t> frame_bytes(const FrameHeader& h,
+                                                    const std::vector<std::uint8_t>& payload);
+
+}  // namespace coeff::flexray

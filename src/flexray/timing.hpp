@@ -1,0 +1,76 @@
+// Cycle/slot/minislot timing arithmetic.
+//
+// All positions are derived from the ClusterConfig; this class keeps the
+// conversions (absolute time <-> cycle index <-> slot/minislot offsets)
+// in one tested place.
+#pragma once
+
+#include <cstdint>
+
+#include "flexray/config.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::flexray {
+
+/// Which part of the communication cycle an instant falls in.
+enum class Segment : std::uint8_t {
+  kStatic,
+  kDynamic,
+  kSymbolWindow,
+  kNetworkIdle,
+};
+
+[[nodiscard]] constexpr const char* to_string(Segment s) {
+  switch (s) {
+    case Segment::kStatic:
+      return "static";
+    case Segment::kDynamic:
+      return "dynamic";
+    case Segment::kSymbolWindow:
+      return "symbol";
+    case Segment::kNetworkIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+class CycleTiming {
+ public:
+  explicit CycleTiming(const ClusterConfig& cfg);
+
+  /// Communication-cycle index containing absolute time `t` (t >= 0).
+  [[nodiscard]] std::int64_t cycle_index(sim::Time t) const;
+
+  /// Absolute start time of cycle `c`.
+  [[nodiscard]] sim::Time cycle_start(std::int64_t c) const;
+
+  /// Offset of `t` inside its cycle.
+  [[nodiscard]] sim::Time offset_in_cycle(sim::Time t) const;
+
+  /// Segment that offset `off` (within one cycle) falls in.
+  [[nodiscard]] Segment segment_at(sim::Time off) const;
+
+  /// Absolute start time of static slot `slot` (1-based) in cycle `c`.
+  [[nodiscard]] sim::Time static_slot_start(std::int64_t c,
+                                            std::int64_t slot) const;
+
+  /// Static slot (1-based) covering offset `off`; 0 when `off` is not in
+  /// the static segment.
+  [[nodiscard]] std::int64_t static_slot_at(sim::Time off) const;
+
+  /// Absolute start time of minislot `m` (0-based) in cycle `c`.
+  [[nodiscard]] sim::Time minislot_start(std::int64_t c, std::int64_t m) const;
+
+  /// Start of the dynamic segment in cycle `c`.
+  [[nodiscard]] sim::Time dynamic_segment_start(std::int64_t c) const;
+
+  /// First cycle whose start is >= `t`.
+  [[nodiscard]] std::int64_t next_cycle_at_or_after(sim::Time t) const;
+
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  ClusterConfig cfg_;
+};
+
+}  // namespace coeff::flexray

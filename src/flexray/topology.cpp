@@ -1,0 +1,125 @@
+#include "flexray/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coeff::flexray {
+
+namespace {
+
+sim::Time wire_delay(double meters) {
+  return sim::nanos(
+      static_cast<std::int64_t>(std::ceil(meters / kMetersPerNanosecond)));
+}
+
+void require_positive_lengths(const std::vector<double>& lengths,
+                              const char* what) {
+  for (double v : lengths) {
+    if (v < 0.0) {
+      throw std::invalid_argument(std::string("Topology: negative ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kBus:
+      return "bus";
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+Topology Topology::bus(std::vector<double> positions_m) {
+  if (positions_m.size() < 2) {
+    throw std::invalid_argument("Topology::bus: need at least two nodes");
+  }
+  require_positive_lengths(positions_m, "position");
+  Topology t;
+  t.kind_ = TopologyKind::kBus;
+  t.stub_or_pos_ = std::move(positions_m);
+  return t;
+}
+
+Topology Topology::star(std::vector<double> stub_lengths_m) {
+  if (stub_lengths_m.size() < 2) {
+    throw std::invalid_argument("Topology::star: need at least two nodes");
+  }
+  require_positive_lengths(stub_lengths_m, "stub length");
+  Topology t;
+  t.kind_ = TopologyKind::kStar;
+  t.stub_or_pos_ = std::move(stub_lengths_m);
+  return t;
+}
+
+Topology Topology::hybrid(std::vector<int> star_of,
+                          std::vector<double> stub_lengths_m,
+                          double trunk_length_m) {
+  if (star_of.size() != stub_lengths_m.size() || star_of.size() < 2) {
+    throw std::invalid_argument("Topology::hybrid: inconsistent node lists");
+  }
+  require_positive_lengths(stub_lengths_m, "stub length");
+  if (trunk_length_m < 0.0) {
+    throw std::invalid_argument("Topology::hybrid: negative trunk length");
+  }
+  for (int s : star_of) {
+    if (s != 0 && s != 1) {
+      throw std::invalid_argument("Topology::hybrid: star index must be 0/1");
+    }
+  }
+  Topology t;
+  t.kind_ = TopologyKind::kHybrid;
+  t.stub_or_pos_ = std::move(stub_lengths_m);
+  t.star_of_ = std::move(star_of);
+  t.trunk_length_m_ = trunk_length_m;
+  return t;
+}
+
+sim::Time Topology::propagation_delay(std::size_t a, std::size_t b) const {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::invalid_argument("Topology: node index out of range");
+  }
+  if (a == b) return sim::Time::zero();
+  switch (kind_) {
+    case TopologyKind::kBus:
+      return wire_delay(std::fabs(stub_or_pos_[a] - stub_or_pos_[b]));
+    case TopologyKind::kStar:
+      return wire_delay(stub_or_pos_[a] + stub_or_pos_[b]) +
+             kStarCouplerDelay;
+    case TopologyKind::kHybrid: {
+      const bool same_star = star_of_[a] == star_of_[b];
+      sim::Time d = wire_delay(stub_or_pos_[a] + stub_or_pos_[b]);
+      d += kStarCouplerDelay;  // the first coupler
+      if (!same_star) {
+        d += wire_delay(trunk_length_m_) + kStarCouplerDelay;
+      }
+      return d;
+    }
+  }
+  return sim::Time::zero();
+}
+
+sim::Time Topology::worst_case_delay() const {
+  sim::Time worst;
+  for (std::size_t a = 0; a < node_count(); ++a) {
+    for (std::size_t b = 0; b < node_count(); ++b) {
+      worst = std::max(worst, propagation_delay(a, b));
+    }
+  }
+  return worst;
+}
+
+bool Topology::fits_budget(const ClusterConfig& cfg) const {
+  // The action-point offset inside each minislot is the time reserved
+  // for the farthest receiver to see the transmission start.
+  const sim::Time budget =
+      cfg.gd_macrotick * cfg.gd_minislot_action_point_offset;
+  return worst_case_delay() <= budget;
+}
+
+}  // namespace coeff::flexray

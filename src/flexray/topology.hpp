@@ -1,0 +1,72 @@
+// Cluster topology and propagation-delay budgeting (§II-B).
+//
+// A FlexRay cluster may be wired as a passive bus, an active star, or a
+// hybrid. Topology does not change the scheduling logic, but it sets
+// the worst-case propagation delay between any two nodes — and the
+// protocol only works if that delay fits inside the action-point
+// offsets the configuration reserves at the start of each slot. This
+// module computes per-pair delays and validates a configuration's
+// delay budget, the check a real integrator runs before signing off a
+// harness design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexray/config.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::flexray {
+
+enum class TopologyKind : std::uint8_t { kBus, kStar, kHybrid };
+
+[[nodiscard]] const char* to_string(TopologyKind k);
+
+/// Signal propagation speed in a twisted-pair harness, ~0.2 m/ns.
+inline constexpr double kMetersPerNanosecond = 0.2;
+
+/// An active star coupler re-times the signal and adds a fixed delay
+/// (FlexRay EPL: at most 0.25 us per star, at most 2 stars per path).
+inline constexpr sim::Time kStarCouplerDelay = sim::nanos(250);
+
+class Topology {
+ public:
+  /// Passive bus: nodes at the given positions (meters) along one cable.
+  static Topology bus(std::vector<double> positions_m);
+
+  /// Active star: every node connects to one coupler by a stub of the
+  /// given length (meters).
+  static Topology star(std::vector<double> stub_lengths_m);
+
+  /// Hybrid: two stars joined by a trunk; `star_of[i]` (0 or 1) says
+  /// which coupler node i hangs off, `stub_lengths_m[i]` its stub.
+  static Topology hybrid(std::vector<int> star_of,
+                         std::vector<double> stub_lengths_m,
+                         double trunk_length_m);
+
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t node_count() const { return stub_or_pos_.size(); }
+
+  /// One-way propagation delay from node `a` to node `b` (0 for a==b).
+  [[nodiscard]] sim::Time propagation_delay(std::size_t a,
+                                            std::size_t b) const;
+
+  /// Worst-case delay over all ordered pairs.
+  [[nodiscard]] sim::Time worst_case_delay() const;
+
+  /// The configuration's delay budget: the minislot action-point offset
+  /// must cover the worst-case propagation delay, or receivers sample
+  /// the wire before the frame arrives. Returns true when the budget
+  /// holds.
+  [[nodiscard]] bool fits_budget(const ClusterConfig& cfg) const;
+
+ private:
+  Topology() = default;
+
+  TopologyKind kind_ = TopologyKind::kBus;
+  std::vector<double> stub_or_pos_;  ///< per-node position or stub length
+  std::vector<int> star_of_;         ///< hybrid only
+  double trunk_length_m_ = 0.0;      ///< hybrid only
+};
+
+}  // namespace coeff::flexray

@@ -1,0 +1,125 @@
+#include "net/csv.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace coeff::net {
+
+namespace {
+
+constexpr const char* kHeader =
+    "id,name,node,kind,period_us,offset_us,deadline_us,size_bits,frame_id";
+
+std::string trim(const std::string& s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(trim(current));
+  return fields;
+}
+
+std::int64_t parse_int(const std::string& field, int line_no,
+                       const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("csv line " + std::to_string(line_no) +
+                                ": bad " + what + " '" + field + "'");
+  }
+}
+
+}  // namespace
+
+std::string to_csv(const MessageSet& set) {
+  std::string out = std::string(kHeader) + "\n";
+  char line[512];
+  for (const auto& m : set.messages()) {
+    std::snprintf(line, sizeof line,
+                  "%d,%s,%d,%s,%lld,%lld,%lld,%lld,%d\n", m.id,
+                  m.name.c_str(), m.node, to_string(m.kind),
+                  static_cast<long long>(m.period.ns() / 1000),
+                  static_cast<long long>(m.offset.ns() / 1000),
+                  static_cast<long long>(m.deadline.ns() / 1000),
+                  static_cast<long long>(m.size_bits), m.frame_id);
+    out += line;
+  }
+  return out;
+}
+
+MessageSet from_csv(const std::string& text) {
+  MessageSet set;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == kHeader) continue;
+    const auto fields = split_fields(trimmed);
+    if (fields.size() != 9) {
+      throw std::invalid_argument("csv line " + std::to_string(line_no) +
+                                  ": expected 9 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    Message m;
+    m.id = static_cast<int>(parse_int(fields[0], line_no, "id"));
+    m.name = fields[1];
+    m.node = static_cast<int>(parse_int(fields[2], line_no, "node"));
+    if (fields[3] == "static") {
+      m.kind = MessageKind::kStatic;
+    } else if (fields[3] == "dynamic") {
+      m.kind = MessageKind::kDynamic;
+    } else {
+      throw std::invalid_argument("csv line " + std::to_string(line_no) +
+                                  ": bad kind '" + fields[3] + "'");
+    }
+    m.period = sim::micros(parse_int(fields[4], line_no, "period"));
+    m.offset = sim::micros(parse_int(fields[5], line_no, "offset"));
+    m.deadline = sim::micros(parse_int(fields[6], line_no, "deadline"));
+    m.size_bits = parse_int(fields[7], line_no, "size");
+    m.frame_id = static_cast<int>(parse_int(fields[8], line_no, "frame_id"));
+    set.add(std::move(m));
+  }
+  set.validate();
+  return set;
+}
+
+void save_csv(const MessageSet& set, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_csv: cannot open " + path);
+  file << to_csv(set);
+  if (!file) throw std::runtime_error("save_csv: write failed on " + path);
+}
+
+MessageSet load_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return from_csv(buffer.str());
+}
+
+}  // namespace coeff::net

@@ -1,0 +1,30 @@
+// CSV import/export for message sets.
+//
+// A practical deployment maintains its communication matrix in tables
+// (the paper's Tables II/III are exactly that); this loader makes the
+// library usable with such data directly. Format, one message per line:
+//
+//   id,name,node,kind,period_us,offset_us,deadline_us,size_bits,frame_id
+//
+// `kind` is "static" or "dynamic"; header lines and '#' comments are
+// skipped; whitespace around fields is ignored.
+#pragma once
+
+#include <string>
+
+#include "net/message.hpp"
+
+namespace coeff::net {
+
+/// Serialize the set (with a header line).
+[[nodiscard]] std::string to_csv(const MessageSet& set);
+
+/// Parse a CSV document. Throws std::invalid_argument with the line
+/// number on malformed input; the returned set is validated.
+[[nodiscard]] MessageSet from_csv(const std::string& text);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_csv(const MessageSet& set, const std::string& path);
+[[nodiscard]] MessageSet load_csv(const std::string& path);
+
+}  // namespace coeff::net

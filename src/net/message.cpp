@@ -1,0 +1,97 @@
+#include "net/message.hpp"
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace coeff::net {
+
+namespace {
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("MessageSet: " + what);
+}
+}  // namespace
+
+MessageSet::MessageSet(std::vector<Message> messages)
+    : msgs_(std::move(messages)) {}
+
+void MessageSet::add(Message m) { msgs_.push_back(std::move(m)); }
+
+MessageSet MessageSet::of_kind(MessageKind kind) const {
+  MessageSet out;
+  for (const auto& m : msgs_) {
+    if (m.kind == kind) out.add(m);
+  }
+  return out;
+}
+
+MessageSet MessageSet::prefix(std::size_t n) const {
+  MessageSet out;
+  for (std::size_t i = 0; i < std::min(n, msgs_.size()); ++i) {
+    out.add(msgs_[i]);
+  }
+  return out;
+}
+
+MessageSet MessageSet::merged_with(const MessageSet& other) const {
+  MessageSet out = *this;
+  for (const auto& m : other.messages()) out.add(m);
+  return out;
+}
+
+double MessageSet::demanded_bits_per_second() const {
+  double total = 0.0;
+  for (const auto& m : msgs_) {
+    total += static_cast<double>(m.size_bits) / m.period.as_seconds();
+  }
+  return total;
+}
+
+sim::Time MessageSet::hyperperiod() const {
+  std::int64_t lcm_ns = 1;
+  for (const auto& m : msgs_) {
+    lcm_ns = std::lcm(lcm_ns, m.period.ns());
+    if (lcm_ns > sim::seconds(3600).ns()) {
+      throw std::domain_error("MessageSet::hyperperiod exceeds one hour");
+    }
+  }
+  return sim::nanos(lcm_ns);
+}
+
+void MessageSet::validate() const {
+  std::set<int> ids;
+  std::set<int> static_frame_ids;
+  for (const auto& m : msgs_) {
+    require(ids.insert(m.id).second,
+            "duplicate message id " + std::to_string(m.id));
+    require(m.period > sim::Time::zero(),
+            "message " + std::to_string(m.id) + ": period must be positive");
+    require(m.size_bits > 0,
+            "message " + std::to_string(m.id) + ": size must be positive");
+    require(m.deadline > sim::Time::zero(),
+            "message " + std::to_string(m.id) + ": deadline must be positive");
+    require(m.deadline <= m.period,
+            "message " + std::to_string(m.id) +
+                ": deadline exceeds period (constrained-deadline model)");
+    require(m.offset >= sim::Time::zero(),
+            "message " + std::to_string(m.id) + ": negative offset");
+    require(m.offset <= m.period,
+            "message " + std::to_string(m.id) + ": offset exceeds period");
+    require(m.node >= 0,
+            "message " + std::to_string(m.id) + ": negative node");
+    if (m.kind == MessageKind::kStatic && m.frame_id != 0) {
+      require(static_frame_ids.insert(m.frame_id).second,
+              "message " + std::to_string(m.id) + ": static frame id " +
+                  std::to_string(m.frame_id) + " already taken");
+    }
+  }
+}
+
+const Message* MessageSet::find(int id) const {
+  for (const auto& m : msgs_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace coeff::net

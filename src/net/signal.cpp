@@ -1,0 +1,86 @@
+#include "net/signal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace coeff::net {
+
+MessageSet pack_signals(const std::vector<Signal>& signals,
+                        const PackingOptions& options) {
+  for (const auto& s : signals) {
+    if (s.bits > options.max_frame_bits) {
+      throw std::invalid_argument("pack_signals: signal " +
+                                  std::to_string(s.id) +
+                                  " exceeds the frame payload limit");
+    }
+    if (s.bits <= 0) {
+      throw std::invalid_argument("pack_signals: signal " +
+                                  std::to_string(s.id) +
+                                  " has non-positive size");
+    }
+  }
+
+  // Group by (node, period): only same-rate signals from the same
+  // producer can share a frame without changing anyone's rate.
+  std::map<std::pair<int, std::int64_t>, std::vector<const Signal*>> groups;
+  for (const auto& s : signals) {
+    groups[{s.node, s.period.ns()}].push_back(&s);
+  }
+
+  struct Bin {
+    std::int64_t used = 0;
+    sim::Time offset = sim::Time::max();
+    sim::Time deadline = sim::Time::max();
+    std::vector<int> members;
+  };
+
+  MessageSet out;
+  int next_id = options.first_message_id;
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const Signal* a, const Signal* b) {
+                if (a->bits != b->bits) return a->bits > b->bits;
+                return a->id < b->id;  // deterministic tie-break
+              });
+    std::vector<Bin> bins;
+    for (const Signal* s : members) {
+      Bin* placed = nullptr;
+      for (auto& bin : bins) {
+        if (bin.used + s->bits <= options.max_frame_bits) {
+          placed = &bin;
+          break;
+        }
+      }
+      if (placed == nullptr) {
+        bins.emplace_back();
+        placed = &bins.back();
+      }
+      placed->used += s->bits;
+      placed->offset = std::min(placed->offset, s->offset);
+      placed->deadline = std::min(placed->deadline, s->deadline);
+      placed->members.push_back(s->id);
+    }
+
+    for (const auto& bin : bins) {
+      Message m;
+      m.id = next_id++;
+      m.name = "packed_n" + std::to_string(key.first) + "_p" +
+               std::to_string(sim::Time{key.second}.as_ms()).substr(0, 6);
+      m.node = key.first;
+      m.kind = options.kind;
+      m.period = sim::Time{key.second};
+      m.offset = bin.offset;
+      m.deadline = bin.deadline;
+      m.size_bits = bin.used;
+      out.add(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::size_t unpacked_frame_count(const std::vector<Signal>& signals) {
+  return signals.size();
+}
+
+}  // namespace coeff::net

@@ -1,0 +1,53 @@
+// ECU signals and signal-to-frame packing.
+//
+// §II-A: an ECU produces signals with period, offset, deadline and
+// length; FlexRay transmits *frames*, so signals sharing a producer and
+// compatible timing are packed together. We use first-fit-decreasing
+// bin packing within each (node, period) class — the classic frame
+// packing approach the paper cites ([9], [31]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::net {
+
+struct Signal {
+  int id = 0;
+  std::string name;
+  int node = 0;        ///< producing ECU (E_i)
+  sim::Time period;    ///< P_j^i
+  sim::Time offset;    ///< O_j^i
+  sim::Time deadline;  ///< D_j^i (relative)
+  std::int64_t bits = 0;  ///< W_j^i
+};
+
+struct PackingOptions {
+  /// Maximum payload of one packed frame, in bits.
+  std::int64_t max_frame_bits = 254 * 8;
+  /// First message id to assign to packed frames.
+  int first_message_id = 1;
+  MessageKind kind = MessageKind::kStatic;
+};
+
+/// Pack `signals` into messages. Signals are grouped by (node, period);
+/// within a group they are placed first-fit in decreasing size order.
+/// The packed message inherits the group's period, the earliest offset
+/// and the tightest deadline of its members, so meeting the message
+/// deadline meets every member's.
+///
+/// Throws std::invalid_argument if any single signal exceeds
+/// max_frame_bits.
+[[nodiscard]] MessageSet pack_signals(const std::vector<Signal>& signals,
+                                      const PackingOptions& options = {});
+
+/// Number of frames a naive one-signal-per-frame mapping would need,
+/// for comparing packing efficiency in tests/benches.
+[[nodiscard]] std::size_t unpacked_frame_count(
+    const std::vector<Signal>& signals);
+
+}  // namespace coeff::net

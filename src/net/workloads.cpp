@@ -1,0 +1,152 @@
+#include "net/workloads.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace coeff::net {
+
+namespace {
+
+struct PaperRow {
+  int offset_us;
+  int period_ms;
+  int deadline_ms;
+  int size_bits;
+};
+
+// Table II, verbatim (offsets in ms converted to us).
+constexpr std::array<PaperRow, 20> kBbwRows{{
+    {280, 8, 8, 1292},  {760, 8, 8, 285},   {580, 1, 1, 1574},
+    {720, 1, 1, 552},   {870, 1, 1, 348},   {920, 1, 1, 469},
+    {340, 1, 1, 1184},  {280, 8, 8, 875},   {750, 8, 8, 759},
+    {520, 8, 8, 932},   {950, 8, 8, 1261},  {620, 8, 8, 633},
+    {720, 8, 8, 452},   {850, 8, 8, 342},   {910, 8, 8, 856},
+    {470, 8, 8, 1578},  {560, 1, 1, 1742},  {580, 1, 1, 553},
+    {920, 1, 1, 1172},  {680, 1, 1, 878},
+}};
+
+// Table III, verbatim.
+constexpr std::array<PaperRow, 20> kAccRows{{
+    {420, 16, 16, 1024}, {620, 16, 16, 1024}, {580, 16, 16, 1024},
+    {250, 16, 16, 1024}, {390, 16, 16, 1024}, {480, 24, 24, 1024},
+    {220, 24, 24, 1024}, {510, 24, 24, 1024}, {320, 24, 24, 1024},
+    {470, 24, 24, 1024}, {650, 24, 24, 1024}, {420, 24, 24, 1024},
+    {310, 32, 32, 1280}, {560, 32, 32, 1280}, {480, 32, 32, 1280},
+    {320, 32, 32, 256},  {660, 32, 32, 256},  {420, 32, 32, 256},
+    {260, 32, 32, 1280}, {350, 32, 32, 256},
+}};
+
+MessageSet from_rows(const std::array<PaperRow, 20>& rows, const char* prefix,
+                     int first_id) {
+  MessageSet out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    Message m;
+    m.id = first_id + static_cast<int>(i);
+    m.name = std::string(prefix) + "_" + std::to_string(i + 1);
+    m.node = static_cast<int>(i) % kPaperNodeCount;
+    m.kind = MessageKind::kStatic;
+    m.period = sim::millis(row.period_ms);
+    m.offset = sim::micros(row.offset_us);
+    m.deadline = sim::millis(row.deadline_ms);
+    m.size_bits = row.size_bits;
+    out.add(std::move(m));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+MessageSet brake_by_wire() { return from_rows(kBbwRows, "bbw", 1); }
+
+MessageSet adaptive_cruise() { return from_rows(kAccRows, "acc", 101); }
+
+MessageSet synthetic_static(const SyntheticStaticOptions& opt, sim::Rng& rng) {
+  if (opt.count == 0) return {};
+  if (opt.min_period > opt.max_period || opt.min_deadline > opt.max_deadline ||
+      opt.min_bits > opt.max_bits || opt.nodes <= 0) {
+    throw std::invalid_argument("synthetic_static: inconsistent options");
+  }
+  MessageSet out;
+  const sim::Time cycle = sim::millis(5);
+  const std::int64_t min_mult =
+      std::max<std::int64_t>(1, opt.min_period / cycle);
+  const std::int64_t max_mult = std::max(min_mult, opt.max_period / cycle);
+  for (std::size_t i = 0; i < opt.count; ++i) {
+    Message m;
+    m.id = opt.first_id + static_cast<int>(i);
+    m.name = "syn_" + std::to_string(m.id);
+    m.node = static_cast<int>(i) % opt.nodes;
+    m.kind = MessageKind::kStatic;
+    // Period: a whole number of communication cycles in [min, max].
+    m.period = cycle * rng.uniform_int(min_mult, max_mult);
+    // Deadline: within [min_deadline, min(max_deadline, period)].
+    const sim::Time dmax = std::min(opt.max_deadline, m.period);
+    const sim::Time dmin = std::min(opt.min_deadline, dmax);
+    m.deadline = sim::micros(rng.uniform_int(dmin.ns() / 1000,
+                                             dmax.ns() / 1000));
+    m.offset = sim::micros(rng.uniform_int(0, 999));
+    m.size_bits = rng.uniform_int(opt.min_bits, opt.max_bits);
+    out.add(std::move(m));
+  }
+  out.validate();
+  return out;
+}
+
+MessageSet sae_aperiodic(const SaeAperiodicOptions& opt, sim::Rng& rng) {
+  MessageSet out;
+  for (std::size_t i = 0; i < opt.count; ++i) {
+    Message m;
+    m.id = opt.first_id + static_cast<int>(i);
+    m.name = "sae_" + std::to_string(i + 1);
+    m.node = static_cast<int>(i) % opt.nodes;
+    m.kind = MessageKind::kDynamic;
+    m.period = opt.period;
+    m.offset = sim::micros(rng.uniform_int(0, opt.period.ns() / 1000 - 1));
+    m.deadline = opt.deadline;
+    m.size_bits = rng.uniform_int(opt.min_bits, opt.max_bits);
+    // Paper: "30 aperiodic messages with the IDs 81 to 110 or 121 to 150".
+    m.frame_id = opt.static_slots + 1 + static_cast<int>(i);
+    out.add(std::move(m));
+  }
+  out.validate();
+  return out;
+}
+
+std::vector<sim::Time> arrivals(const Message& m, sim::Time horizon,
+                                const ArrivalOptions& opt, sim::Rng& rng) {
+  std::vector<sim::Time> out;
+  switch (opt.process) {
+    case ArrivalProcess::kPeriodic: {
+      for (sim::Time t = m.offset; t < horizon; t += m.period) {
+        out.push_back(t);
+      }
+      break;
+    }
+    case ArrivalProcess::kPoisson: {
+      const double rate = 1.0 / m.period.as_seconds();
+      double t = m.offset.as_seconds();
+      while (true) {
+        t += rng.exponential(rate);
+        const auto at = sim::nanos(static_cast<std::int64_t>(t * 1e9));
+        if (at >= horizon) break;
+        out.push_back(at);
+      }
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      for (sim::Time t = m.offset; t < horizon; t += m.period) {
+        for (int i = 0; i < opt.burst; ++i) {
+          // Back-to-back releases 100 us apart within the burst.
+          const sim::Time at = t + sim::micros(100) * i;
+          if (at < horizon) out.push_back(at);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace coeff::net

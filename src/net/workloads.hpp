@@ -1,0 +1,85 @@
+// Workload generators: the paper's evaluation inputs (§IV-A).
+//
+//  * Brake-By-Wire (Table II) and Adaptive Cruise Controller (Table III)
+//    message sets, verbatim.
+//  * Synthetic static test cases: periods 5..50 ms, deadlines 1..20 ms.
+//  * SAE-style aperiodic set: 30 messages, 50 ms period/deadline, frame
+//    IDs 81..110 (80 static slots) or 121..150 (120 static slots).
+//  * Arrival-process generators for aperiodic traffic (periodic,
+//    Poisson, bursty) used by tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::net {
+
+/// Number of ECU nodes the paper's testbed uses; messages are
+/// distributed round-robin over them.
+inline constexpr int kPaperNodeCount = 10;
+
+/// Table II: 20 Brake-By-Wire static messages.
+[[nodiscard]] MessageSet brake_by_wire();
+
+/// Table III: 20 Adaptive Cruise Controller static messages.
+[[nodiscard]] MessageSet adaptive_cruise();
+
+struct SyntheticStaticOptions {
+  std::size_t count = 100;
+  sim::Time min_period = sim::millis(5);
+  sim::Time max_period = sim::millis(50);
+  sim::Time min_deadline = sim::millis(1);
+  sim::Time max_deadline = sim::millis(20);
+  std::int64_t min_bits = 256;
+  std::int64_t max_bits = 1600;
+  int nodes = kPaperNodeCount;
+  int first_id = 1;
+};
+
+/// Randomized static message set per §IV-A ("randomly changing message
+/// parameters, such as periods and deadlines"). Periods are drawn from
+/// multiples of the 5 ms communication cycle so the set has a bounded
+/// hyperperiod; deadlines never exceed the period.
+[[nodiscard]] MessageSet synthetic_static(const SyntheticStaticOptions& opt,
+                                          sim::Rng& rng);
+
+struct SaeAperiodicOptions {
+  std::size_t count = 30;
+  /// First dynamic frame ID minus one; the paper uses the number of
+  /// static slots (80 -> IDs 81..110, 120 -> IDs 121..150).
+  int static_slots = 80;
+  sim::Time period = sim::millis(50);
+  sim::Time deadline = sim::millis(50);
+  std::int64_t min_bits = 64;
+  std::int64_t max_bits = 512;
+  int nodes = kPaperNodeCount;
+  int first_id = 1000;
+};
+
+/// SAE J2056/1-style aperiodic (dynamic-segment) message set.
+[[nodiscard]] MessageSet sae_aperiodic(const SaeAperiodicOptions& opt,
+                                       sim::Rng& rng);
+
+/// How aperiodic message instances arrive.
+enum class ArrivalProcess : std::uint8_t {
+  kPeriodic,  ///< offset + k * period (the paper's setting)
+  kPoisson,   ///< exponential interarrivals with mean = period
+  kBursty,    ///< bursts of `burst` back-to-back instances each period
+};
+
+struct ArrivalOptions {
+  ArrivalProcess process = ArrivalProcess::kPeriodic;
+  int burst = 3;  ///< instances per burst (kBursty only)
+};
+
+/// Arrival times of `m` in [0, horizon).
+[[nodiscard]] std::vector<sim::Time> arrivals(const Message& m,
+                                              sim::Time horizon,
+                                              const ArrivalOptions& opt,
+                                              sim::Rng& rng);
+
+}  // namespace coeff::net

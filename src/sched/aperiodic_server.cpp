@@ -1,0 +1,177 @@
+#include "sched/aperiodic_server.hpp"
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace coeff::sched {
+
+const char* to_string(ServerPolicy p) {
+  switch (p) {
+    case ServerPolicy::kBackground:
+      return "background";
+    case ServerPolicy::kPolling:
+      return "polling";
+    case ServerPolicy::kDeferrable:
+      return "deferrable";
+    case ServerPolicy::kSlackStealing:
+      return "slack_stealing";
+  }
+  return "unknown";
+}
+
+sim::StreamingStats ServiceResult::response_stats_ms() const {
+  sim::StreamingStats stats;
+  for (const auto& o : outcomes) {
+    if (o.finished()) stats.add(o.response().as_ms());
+  }
+  return stats;
+}
+
+namespace {
+
+struct PendingPeriodic {
+  std::size_t level;
+  sim::Time remaining;
+  sim::Time abs_deadline;
+};
+
+}  // namespace
+
+ServiceResult serve_aperiodics(const TaskSet& set,
+                               const std::vector<AperiodicJob>& jobs,
+                               const ServerConfig& config, sim::Time horizon) {
+  set.validate();
+  if (config.quantum <= sim::Time::zero()) {
+    throw std::invalid_argument("serve_aperiodics: non-positive quantum");
+  }
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].arrival < jobs[i - 1].arrival) {
+      throw std::invalid_argument(
+          "serve_aperiodics: jobs must be sorted by arrival");
+    }
+  }
+
+  ServiceResult result;
+  result.outcomes.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    AperiodicOutcome o;
+    o.id = j.id;
+    o.arrival = j.arrival;
+    o.work = j.work;
+    o.completion = sim::Time::max();
+    result.outcomes.push_back(o);
+  }
+
+  const auto& tasks = set.tasks();
+  const std::size_t n = tasks.size();
+  std::vector<std::int64_t> next_release(n, 0);
+  // Pending periodic jobs per level, FIFO.
+  std::vector<std::deque<PendingPeriodic>> pending(n);
+
+  std::deque<std::size_t> queue;  // indices into result.outcomes
+  std::size_t next_job = 0;
+  std::vector<sim::Time> job_remaining(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) job_remaining[i] = jobs[i].work;
+
+  sim::Time server_budget = sim::Time::zero();
+  std::int64_t next_replenish = 0;
+
+  std::unique_ptr<SlackStealer> stealer;
+  if (config.policy == ServerPolicy::kSlackStealing) {
+    stealer = std::make_unique<SlackStealer>(set);
+  }
+
+  const sim::Time q = config.quantum;
+  for (sim::Time now = sim::Time::zero(); now < horizon; now += q) {
+    // --- releases --------------------------------------------------------
+    for (std::size_t level = 0; level < n; ++level) {
+      while (tasks[level].offset + tasks[level].period * next_release[level] <=
+             now) {
+        const sim::Time release =
+            tasks[level].offset + tasks[level].period * next_release[level];
+        pending[level].push_back(
+            {level, tasks[level].wcet, release + tasks[level].deadline});
+        ++next_release[level];
+      }
+    }
+    while (next_job < jobs.size() && jobs[next_job].arrival <= now) {
+      queue.push_back(next_job);
+      ++next_job;
+    }
+    // --- server replenishment ---------------------------------------------
+    if (config.policy == ServerPolicy::kPolling ||
+        config.policy == ServerPolicy::kDeferrable) {
+      while (config.period * next_replenish <= now) {
+        server_budget = config.budget;
+        ++next_replenish;
+      }
+      if (config.policy == ServerPolicy::kPolling && queue.empty()) {
+        server_budget = sim::Time::zero();  // polling forfeits idle budget
+      }
+    }
+
+    // --- pick who runs this quantum ---------------------------------------
+    bool serve_aperiodic = false;
+    if (!queue.empty()) {
+      switch (config.policy) {
+        case ServerPolicy::kBackground: {
+          bool any_periodic = false;
+          for (const auto& dq : pending) {
+            if (!dq.empty()) {
+              any_periodic = true;
+              break;
+            }
+          }
+          serve_aperiodic = !any_periodic;
+          break;
+        }
+        case ServerPolicy::kPolling:
+        case ServerPolicy::kDeferrable:
+          serve_aperiodic = server_budget >= q;
+          break;
+        case ServerPolicy::kSlackStealing:
+          serve_aperiodic = stealer->try_steal(now, q);
+          break;
+      }
+    }
+
+    if (serve_aperiodic) {
+      const std::size_t job = queue.front();
+      job_remaining[job] -= q;
+      if (config.policy == ServerPolicy::kPolling ||
+          config.policy == ServerPolicy::kDeferrable) {
+        server_budget -= q;
+      }
+      if (job_remaining[job] <= sim::Time::zero()) {
+        result.outcomes[job].completion = now + q;
+        ++result.finished;
+        queue.pop_front();
+      }
+      continue;
+    }
+
+    // Highest-priority pending periodic job runs.
+    for (std::size_t level = 0; level < n; ++level) {
+      if (pending[level].empty()) continue;
+      PendingPeriodic& job = pending[level].front();
+      job.remaining -= q;
+      if (job.remaining <= sim::Time::zero()) {
+        if (now + q > job.abs_deadline) result.periodic_deadline_missed = true;
+        pending[level].pop_front();
+      }
+      break;
+    }
+  }
+
+  // Jobs still pending at the horizon keep completion = Time::max();
+  // unfinished periodic jobs past their deadline also count as misses.
+  for (const auto& dq : pending) {
+    for (const auto& job : dq) {
+      if (job.abs_deadline < horizon) result.periodic_deadline_missed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace coeff::sched

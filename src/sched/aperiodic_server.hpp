@@ -1,0 +1,77 @@
+// Soft-aperiodic service disciplines (§III-B context).
+//
+// The paper adopts slack stealing for soft aperiodics because it
+// minimizes response time among algorithms that never endanger hard
+// periodic deadlines ([26], [27]). This module implements the classic
+// alternatives so that claim is testable and benchable:
+//
+//   * background  — aperiodics run only when no periodic task is
+//                   pending (safe, slowest),
+//   * polling     — a periodic server (budget Cs every Ts) that forfeits
+//                   its budget when it finds the queue empty,
+//   * deferrable  — a periodic server that retains its budget across
+//                   idle spells and serves at the top priority,
+//   * slack stealing — serve at the top priority whenever the
+//                   SlackTable says the periodic schedule can absorb it.
+//
+// Simulation is quantum-based (default 1 us — one macrotick): exact for
+// workloads whose parameters are quantum multiples, which all of ours
+// are.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/slack_stealer.hpp"
+#include "sched/task.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace coeff::sched {
+
+enum class ServerPolicy : std::uint8_t {
+  kBackground,
+  kPolling,
+  kDeferrable,
+  kSlackStealing,
+};
+
+[[nodiscard]] const char* to_string(ServerPolicy p);
+
+struct ServerConfig {
+  ServerPolicy policy = ServerPolicy::kSlackStealing;
+  /// Server capacity per replenishment period (polling/deferrable).
+  sim::Time budget = sim::millis(1);
+  /// Replenishment period (polling/deferrable).
+  sim::Time period = sim::millis(10);
+  /// Simulation quantum; all task/job parameters should be multiples.
+  sim::Time quantum = sim::micros(1);
+};
+
+struct AperiodicOutcome {
+  std::uint64_t id = 0;
+  sim::Time arrival;
+  sim::Time work;
+  sim::Time completion;  ///< Time::max() if unfinished at the horizon
+
+  [[nodiscard]] bool finished() const { return completion != sim::Time::max(); }
+  [[nodiscard]] sim::Time response() const { return completion - arrival; }
+};
+
+struct ServiceResult {
+  std::vector<AperiodicOutcome> outcomes;
+  bool periodic_deadline_missed = false;
+  std::size_t finished = 0;
+
+  /// Response-time statistics over the finished jobs, in milliseconds.
+  [[nodiscard]] sim::StreamingStats response_stats_ms() const;
+};
+
+/// Serve `jobs` (sorted by arrival) alongside the periodic set under
+/// `config`, over [0, horizon). Jobs are FIFO within the server.
+[[nodiscard]] ServiceResult serve_aperiodics(const TaskSet& set,
+                                             const std::vector<AperiodicJob>& jobs,
+                                             const ServerConfig& config,
+                                             sim::Time horizon);
+
+}  // namespace coeff::sched

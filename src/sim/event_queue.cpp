@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace coeff::sim {
+
+std::uint64_t EventQueue::push(Time at, EventFn fn) {
+  const std::uint64_t token = next_seq_++;
+  heap_.push(Entry{at, token, std::make_shared<EventFn>(std::move(fn))});
+  ++live_;
+  return token;
+}
+
+bool EventQueue::cancel(std::uint64_t token) {
+  if (token >= next_seq_) return false;
+  if (!cancelled_.insert(token).second) return false;
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_;
+  return {top.at, std::move(*top.fn)};
+}
+
+}  // namespace coeff::sim

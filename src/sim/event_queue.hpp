@@ -1,0 +1,67 @@
+// A deterministic priority queue of timed events.
+//
+// Events that share a timestamp are delivered in insertion order (FIFO
+// tie-break via a monotonically increasing sequence number), which makes
+// whole-simulation runs reproducible bit-for-bit under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coeff::sim {
+
+/// An event is an opaque callback fired at a simulated instant.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueue `fn` to fire at absolute time `at`. Returns a token that can
+  /// be used to cancel the event before it fires.
+  std::uint64_t push(Time at, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown token
+  /// is a no-op and returns false.
+  bool cancel(std::uint64_t token);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Remove and return the earliest pending event. Precondition: !empty().
+  std::pair<Time, EventFn> pop();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    // Shared (not unique) only so Entry stays copyable for the heap; each
+    // callback has exactly one live owner at a time.
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Cancellation is lazy: the token is recorded and the entry discarded
+  // when it surfaces at the heap head.
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace coeff::sim

@@ -1,0 +1,88 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace coeff::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1 - U) with U in [0,1): argument stays in (0,1], result finite.
+  return -std::log1p(-uniform01()) / rate;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Derive the child's state from fresh parent output; the constant
+  // offsets keep the child's seed sequence disjoint from direct draws.
+  SplitMix64 sm(next_u64() ^ 0xA3EC647659359ACDULL);
+  for (auto& word : child.s_) word = sm.next();
+  return child;
+}
+
+}  // namespace coeff::sim

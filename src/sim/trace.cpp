@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace coeff::sim {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kCycleStart:
+      return "cycle_start";
+    case TraceKind::kSlotStart:
+      return "slot_start";
+    case TraceKind::kTxStart:
+      return "tx_start";
+    case TraceKind::kTxSuccess:
+      return "tx_success";
+    case TraceKind::kTxCorrupted:
+      return "tx_corrupted";
+    case TraceKind::kRetransmissionScheduled:
+      return "retx_scheduled";
+    case TraceKind::kSlackStolen:
+      return "slack_stolen";
+    case TraceKind::kDeadlineMiss:
+      return "deadline_miss";
+    case TraceKind::kDeadlineMet:
+      return "deadline_met";
+    case TraceKind::kQueueDrop:
+      return "queue_drop";
+    case TraceKind::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+void Trace::emit(Time at, TraceKind kind, std::int64_t a, std::int64_t b,
+                 std::int64_t c, std::string note) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{at, kind, a, b, c, std::move(note)});
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::dump() const {
+  std::string out;
+  char line[256];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof line, "%14s %-16s a=%lld b=%lld c=%lld %s\n",
+                  to_string(r.at).c_str(), to_string(r.kind),
+                  static_cast<long long>(r.a), static_cast<long long>(r.b),
+                  static_cast<long long>(r.c), r.note.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace coeff::sim

@@ -1,0 +1,140 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::core {
+namespace {
+
+ExperimentConfig bbw_config(double ber = 1e-7) {
+  ExperimentConfig config;
+  config.cluster = paper_cluster_apps();
+  config.statics = net::brake_by_wire();
+  sim::Rng rng(3);
+  net::SaeAperiodicOptions sae;
+  sae.static_slots = static_cast<int>(config.cluster.g_number_of_static_slots);
+  // The full 30-message SAE set: ids 16..45 against a slot-counter range
+  // of ~16..41, so the lowest-priority ids starve without slack rescue.
+  sae.count = 30;
+  config.dynamics = net::sae_aperiodic(sae, rng);
+  config.ber = ber;
+  config.sil = fault::Sil::kSil3;
+  config.batch_window = sim::millis(200);
+  config.seed = 11;
+  return config;
+}
+
+TEST(ExperimentTest, PaperClusterFactoriesValidate) {
+  EXPECT_NO_THROW(paper_cluster_static_suite(80).validate());
+  EXPECT_NO_THROW(paper_cluster_static_suite(120).validate());
+  EXPECT_NO_THROW(paper_cluster_dynamic_suite(25).validate());
+  EXPECT_NO_THROW(paper_cluster_dynamic_suite(100).validate());
+  EXPECT_NO_THROW(paper_cluster_apps().validate());
+  // The raised bit rate must make one static slot hold the largest
+  // Table-II message (1742 bits).
+  EXPECT_GE(paper_cluster_apps().static_slot_capacity_bits(), 1742);
+  EXPECT_GE(paper_cluster_static_suite(80).static_slot_capacity_bits(), 1600);
+}
+
+TEST(ExperimentTest, BothSchemesRunToCompletion) {
+  const auto config = bbw_config();
+  for (auto scheme : {SchemeKind::kCoEfficient, SchemeKind::kFspec}) {
+    const auto result = run_experiment(config, scheme);
+    EXPECT_TRUE(result.drained) << to_string(scheme);
+    EXPECT_GT(result.run.statics.released, 0);
+    EXPECT_GT(result.run.dynamics.released, 0);
+    EXPECT_GT(result.cycles_run, 0);
+  }
+}
+
+TEST(ExperimentTest, CoEfficientBeatsFspecOnMissRatio) {
+  const auto config = bbw_config();
+  const auto coeff = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto fspec = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_LT(coeff.run.overall_miss_ratio(), fspec.run.overall_miss_ratio());
+  EXPECT_LT(coeff.run.dynamics.miss_ratio(), fspec.run.dynamics.miss_ratio());
+}
+
+TEST(ExperimentTest, CoEfficientUsesSlackFspecDoesNot) {
+  const auto config = bbw_config();
+  const auto coeff = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto fspec = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_GT(coeff.run.slack_slots_stolen, 0);
+  EXPECT_EQ(fspec.run.slack_slots_stolen, 0);
+}
+
+TEST(ExperimentTest, ReliabilityTargetDerivedFromSil) {
+  const auto config = bbw_config();
+  const auto result = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_DOUBLE_EQ(result.rho_target, 1.0 - 1e-7);
+  EXPECT_GE(result.reliability_scheduled, result.rho_target);
+}
+
+TEST(ExperimentTest, FspecRoundsComeFromUniformSolver) {
+  const auto config = bbw_config();
+  const auto result = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_GE(result.fspec_rounds, 1);
+  EXPECT_LE(result.fspec_rounds, 4);
+}
+
+TEST(ExperimentTest, DeterministicUnderSeed) {
+  const auto config = bbw_config(3e-6);  // high BER so faults matter
+  const auto a = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto b = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_EQ(a.run.statics.delivered, b.run.statics.delivered);
+  EXPECT_EQ(a.run.statics.copies_corrupted, b.run.statics.copies_corrupted);
+  EXPECT_EQ(a.run.running_time, b.run.running_time);
+}
+
+TEST(ExperimentTest, SeedChangesFaultPattern) {
+  auto config = bbw_config(3e-6);
+  const auto a = run_experiment(config, SchemeKind::kCoEfficient);
+  config.seed = 999;
+  const auto b = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_NE(a.run.statics.copies_corrupted, b.run.statics.copies_corrupted);
+}
+
+TEST(ExperimentTest, DrainModeRunsPastWindow) {
+  auto config = bbw_config();
+  config.drain_batch = true;
+  const auto result = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GE(result.run.running_time, config.batch_window);
+}
+
+TEST(ExperimentTest, ZeroBerMeansNoCorruption) {
+  auto config = bbw_config(0.0);
+  config.rho = 0.0;
+  config.sil = fault::Sil::kSil1;
+  // Force rho to effectively zero by using an sil-derived goal anyway;
+  // corruption counters must stay zero regardless.
+  const auto result = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_EQ(result.run.statics.copies_corrupted, 0);
+  EXPECT_EQ(result.run.dynamics.copies_corrupted, 0);
+}
+
+TEST(ExperimentTest, WireCapacityAccountedForBothChannels) {
+  const auto config = bbw_config();
+  const auto result = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto& cfg = config.cluster;
+  const sim::Time expected_static_per_cycle =
+      cfg.static_slot_duration() * cfg.g_number_of_static_slots * 2;
+  EXPECT_EQ(result.run.static_wire_capacity,
+            expected_static_per_cycle * result.cycles_run);
+  EXPECT_GT(result.run.static_wire_busy, sim::Time::zero());
+  EXPECT_LE(result.run.static_wire_busy, result.run.static_wire_capacity);
+}
+
+TEST(ExperimentTest, InvalidClusterRejected) {
+  auto config = bbw_config();
+  config.cluster.g_number_of_static_slots = 0;
+  EXPECT_THROW((void)run_experiment(config, SchemeKind::kCoEfficient),
+               std::invalid_argument);
+}
+
+TEST(ExperimentTest, SchemeNames) {
+  EXPECT_STREQ(to_string(SchemeKind::kCoEfficient), "CoEfficient");
+  EXPECT_STREQ(to_string(SchemeKind::kFspec), "FSPEC");
+}
+
+}  // namespace
+}  // namespace coeff::core

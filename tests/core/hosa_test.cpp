@@ -1,0 +1,78 @@
+#include "core/hosa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "net/workloads.hpp"
+
+namespace coeff::core {
+namespace {
+
+ExperimentConfig three_way_config() {
+  ExperimentConfig config;
+  config.cluster = paper_cluster_dynamic_suite(25);
+  sim::Rng rng(3);
+  net::SyntheticStaticOptions statics;
+  statics.count = 100;  // beyond FSPEC's 80 exclusive slots
+  config.statics = net::synthetic_static(statics, rng);
+  net::SaeAperiodicOptions sae;
+  sae.static_slots = 80;
+  sae.min_bits = 256;
+  sae.max_bits = 2000;
+  config.dynamics = net::sae_aperiodic(sae, rng);
+  config.arrivals.process = net::ArrivalProcess::kBursty;
+  config.arrivals.burst = 3;
+  config.ber = 1e-7;
+  config.sil = fault::Sil::kSil3;
+  config.batch_window = sim::millis(500);
+  return config;
+}
+
+TEST(HosaTest, RunsAndSettlesEverything) {
+  const auto r = run_experiment(three_way_config(), SchemeKind::kHosa);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.run.statics.delivered + r.run.statics.missed,
+            r.run.statics.released);
+  EXPECT_EQ(r.run.dynamics.delivered + r.run.dynamics.missed,
+            r.run.dynamics.released);
+}
+
+TEST(HosaTest, MirrorsEveryFrame) {
+  auto config = three_way_config();
+  config.ber = 0.0;
+  config.rho = 0.5;  // trivially satisfied: no extra redundancy anywhere
+  const auto r = run_experiment(config, SchemeKind::kHosa);
+  // Every delivered instance cost exactly two copies (A + B).
+  EXPECT_EQ(r.run.statics.copies_sent, 2 * r.run.statics.delivered);
+}
+
+TEST(HosaTest, MultiplexedTableBeatsFspecOnStatics) {
+  // 100 static messages: HOSA's multiplexed table places all of them,
+  // FSPEC's exclusive slots cannot.
+  const auto config = three_way_config();
+  const auto hosa = run_experiment(config, SchemeKind::kHosa);
+  const auto fspec = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_LT(hosa.run.statics.miss_ratio(), fspec.run.statics.miss_ratio());
+}
+
+TEST(HosaTest, NoSlackStealingLosesToCoEfficientOnDynamics) {
+  const auto config = three_way_config();
+  const auto hosa = run_experiment(config, SchemeKind::kHosa);
+  const auto coeff = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_EQ(hosa.run.slack_slots_stolen, 0);
+  EXPECT_LE(coeff.run.dynamics.miss_ratio(), hosa.run.dynamics.miss_ratio());
+}
+
+TEST(HosaTest, SchemeNameRegistered) {
+  EXPECT_STREQ(to_string(SchemeKind::kHosa), "HOSA");
+}
+
+TEST(HosaTest, ReliabilityIsMirrorPairByDesign) {
+  const auto r = run_experiment(three_way_config(), SchemeKind::kHosa);
+  EXPECT_GT(r.reliability_scheduled, 0.0);
+  EXPECT_LE(r.reliability_scheduled, 1.0);
+  EXPECT_EQ(r.fspec_rounds, 0);
+}
+
+}  // namespace
+}  // namespace coeff::core

@@ -1,0 +1,69 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::core {
+namespace {
+
+TEST(InstanceStoreTest, KeyPacksMessageAndIndex) {
+  const auto k1 = InstanceStore::make_key(7, 3);
+  const auto k2 = InstanceStore::make_key(7, 4);
+  const auto k3 = InstanceStore::make_key(8, 3);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_NE(k2, k3);
+  EXPECT_NE(k1, 0u);  // key 0 is reserved as "no instance"
+}
+
+TEST(InstanceStoreTest, CreateFindErase) {
+  InstanceStore store;
+  Instance& inst = store.create(5, 2);
+  EXPECT_EQ(inst.message_id, 5);
+  EXPECT_EQ(inst.index, 2);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.find(inst.key), nullptr);
+  EXPECT_EQ(store.find(inst.key)->message_id, 5);
+  store.erase(inst.key);
+  EXPECT_EQ(store.find(InstanceStore::make_key(5, 2)), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(InstanceStoreTest, FindUnknownIsNull) {
+  InstanceStore store;
+  EXPECT_EQ(store.find(12345), nullptr);
+}
+
+TEST(InstanceStoreTest, KeysSnapshotSurvivesMutation) {
+  InstanceStore store;
+  for (int i = 0; i < 10; ++i) store.create(1, i);
+  const auto keys = store.keys();
+  EXPECT_EQ(keys.size(), 10u);
+  // Erase while iterating the snapshot: every key resolves or is gone,
+  // never a dangling pointer.
+  for (const auto key : keys) {
+    if (Instance* inst = store.find(key)) {
+      if (inst->index % 2 == 0) store.erase(key);
+    }
+  }
+  EXPECT_EQ(store.size(), 5u);
+}
+
+TEST(InstanceStoreTest, DefaultLifecycleFlags) {
+  InstanceStore store;
+  const Instance& inst = store.create(1, 0);
+  EXPECT_FALSE(inst.delivered);
+  EXPECT_FALSE(inst.miss_recorded);
+  EXPECT_EQ(inst.copies_sent, 0);
+  EXPECT_EQ(inst.copies_required, 1);
+}
+
+TEST(InstanceStoreTest, ManyMessagesNoKeyCollisions) {
+  InstanceStore store;
+  for (int m = 1; m <= 200; ++m) {
+    for (int i = 0; i < 20; ++i) store.create(m, i);
+  }
+  EXPECT_EQ(store.size(), 200u * 20u);
+}
+
+}  // namespace
+}  // namespace coeff::core

@@ -1,0 +1,57 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::core {
+namespace {
+
+TEST(SegmentMetricsTest, MissRatio) {
+  SegmentMetrics m;
+  EXPECT_DOUBLE_EQ(m.miss_ratio(), 0.0);
+  m.delivered = 75;
+  m.missed = 25;
+  EXPECT_DOUBLE_EQ(m.miss_ratio(), 0.25);
+}
+
+TEST(RunStatsTest, BandwidthUtilization) {
+  RunStats s;
+  s.bus_bit_rate = 10'000'000;
+  s.static_wire_capacity = sim::seconds(1);   // 10 Mbit capacity
+  s.dynamic_wire_capacity = sim::seconds(1);  // 10 Mbit capacity
+  s.useful_bits_static_wire = 1'000'000;
+  s.useful_bits_dynamic_wire = 5'000'000;
+  EXPECT_DOUBLE_EQ(s.static_bandwidth_utilization(), 0.1);
+  EXPECT_DOUBLE_EQ(s.dynamic_bandwidth_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(s.overall_bandwidth_utilization(), 0.3);
+}
+
+TEST(RunStatsTest, ZeroCapacityGivesZeroUtilization) {
+  RunStats s;
+  s.bus_bit_rate = 10'000'000;
+  s.useful_bits_static_wire = 100;
+  EXPECT_DOUBLE_EQ(s.static_bandwidth_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(s.overall_bandwidth_utilization(), 0.0);
+}
+
+TEST(RunStatsTest, OverallMissRatioPoolsSegments) {
+  RunStats s;
+  s.statics.delivered = 90;
+  s.statics.missed = 10;
+  s.dynamics.delivered = 40;
+  s.dynamics.missed = 60;
+  EXPECT_DOUBLE_EQ(s.overall_miss_ratio(), 70.0 / 200.0);
+}
+
+TEST(RunStatsTest, SummaryContainsHeadlineNumbers) {
+  RunStats s;
+  s.statics.released = 123;
+  s.dynamics.missed = 7;
+  s.running_time = sim::millis(42);
+  const std::string out = s.summary();
+  EXPECT_NE(out.find("released=123"), std::string::npos);
+  EXPECT_NE(out.find("missed=7"), std::string::npos);
+  EXPECT_NE(out.find("42.000ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coeff::core

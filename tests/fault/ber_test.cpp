@@ -1,0 +1,105 @@
+#include "fault/ber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coeff::fault {
+namespace {
+
+TEST(BerTest, ZeroBitsNeverFail) {
+  EXPECT_DOUBLE_EQ(frame_failure_probability(0, 0.5), 0.0);
+}
+
+TEST(BerTest, ZeroBerNeverFails) {
+  EXPECT_DOUBLE_EQ(frame_failure_probability(10'000, 0.0), 0.0);
+}
+
+TEST(BerTest, BerOneAlwaysFails) {
+  EXPECT_DOUBLE_EQ(frame_failure_probability(1, 1.0), 1.0);
+}
+
+TEST(BerTest, SingleBitEqualsBer) {
+  EXPECT_DOUBLE_EQ(frame_failure_probability(1, 1e-7), 1e-7);
+}
+
+TEST(BerTest, MatchesClosedForm) {
+  // p = 1 - (1 - ber)^W for a case where naive evaluation still works.
+  const double p = frame_failure_probability(1000, 1e-4);
+  EXPECT_NEAR(p, 1.0 - std::pow(1.0 - 1e-4, 1000), 1e-12);
+}
+
+TEST(BerTest, TinyBerDoesNotCancelToZero) {
+  // 1e-12 BER over 1000 bits ~ 1e-9; double subtraction of
+  // (1-ber)^W from 1 would lose precision without expm1/log1p.
+  const double p = frame_failure_probability(1000, 1e-12);
+  EXPECT_NEAR(p, 1e-9, 1e-12);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(BerTest, MonotoneInBits) {
+  double prev = 0.0;
+  for (std::int64_t bits : {1, 10, 100, 1000, 10'000}) {
+    const double p = frame_failure_probability(bits, 1e-7);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BerTest, MonotoneInBer) {
+  double prev = 0.0;
+  for (double ber : {1e-9, 1e-8, 1e-7, 1e-6}) {
+    const double p = frame_failure_probability(1000, ber);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BerTest, InvalidInputsThrow) {
+  EXPECT_THROW((void)frame_failure_probability(-1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)frame_failure_probability(1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)frame_failure_probability(1, 1.1), std::invalid_argument);
+}
+
+TEST(InstanceLossTest, PowersOfP) {
+  EXPECT_DOUBLE_EQ(instance_loss_probability(0.1, 0), 0.1);
+  EXPECT_DOUBLE_EQ(instance_loss_probability(0.1, 1), 0.01);
+  EXPECT_DOUBLE_EQ(instance_loss_probability(0.1, 3), 1e-4);
+}
+
+TEST(InstanceLossTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(instance_loss_probability(0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(instance_loss_probability(1.0, 5), 1.0);
+  EXPECT_THROW((void)instance_loss_probability(-0.1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)instance_loss_probability(0.5, -1),
+               std::invalid_argument);
+}
+
+TEST(LogReliabilityTest, MatchesDirectFormula) {
+  // (1 - p^{k+1})^occ in logs.
+  const double lr = log_message_reliability(1e-3, 1, 1000.0);
+  EXPECT_NEAR(lr, 1000.0 * std::log(1.0 - 1e-6), 1e-12);
+}
+
+TEST(LogReliabilityTest, PerfectMessageContributesZero) {
+  EXPECT_DOUBLE_EQ(log_message_reliability(0.0, 0, 1e6), 0.0);
+}
+
+TEST(LogReliabilityTest, CertainLossIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_message_reliability(1.0, 2, 10.0)));
+}
+
+TEST(LogReliabilityTest, MoreRetransmissionsImproveReliability) {
+  double prev = log_message_reliability(1e-3, 0, 1e5);
+  for (int k = 1; k <= 4; ++k) {
+    const double lr = log_message_reliability(1e-3, k, 1e5);
+    EXPECT_GT(lr, prev);
+    prev = lr;
+  }
+}
+
+}  // namespace
+}  // namespace coeff::fault

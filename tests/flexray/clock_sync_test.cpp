@@ -1,0 +1,115 @@
+#include "flexray/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::flexray {
+namespace {
+
+TEST(FtmTest, DiscardCountFollowsSpec) {
+  EXPECT_EQ(ftm_discard_count(1), 0);
+  EXPECT_EQ(ftm_discard_count(2), 0);
+  EXPECT_EQ(ftm_discard_count(3), 1);
+  EXPECT_EQ(ftm_discard_count(7), 1);
+  EXPECT_EQ(ftm_discard_count(8), 2);
+  EXPECT_EQ(ftm_discard_count(100), 2);
+}
+
+TEST(FtmTest, MidpointOfTwo) {
+  EXPECT_EQ(fault_tolerant_midpoint({sim::micros(10), sim::micros(20)}),
+            sim::micros(15));
+}
+
+TEST(FtmTest, SingleValuePassesThrough) {
+  EXPECT_EQ(fault_tolerant_midpoint({sim::micros(7)}), sim::micros(7));
+}
+
+TEST(FtmTest, OneOutlierDiscardedAtN3) {
+  // n=3 -> k=1: midpoint of the single middle value.
+  EXPECT_EQ(fault_tolerant_midpoint(
+                {sim::micros(1), sim::micros(2), sim::seconds(100)}),
+            sim::micros(2));
+}
+
+TEST(FtmTest, TwoOutliersDiscardedAtN8) {
+  std::vector<sim::Time> values;
+  for (int i = 1; i <= 6; ++i) values.push_back(sim::micros(i));
+  values.push_back(sim::seconds(-100));
+  values.push_back(sim::seconds(100));
+  // k=2: extremes {1us..6us} minus one more from each end -> [2us, 5us].
+  EXPECT_EQ(fault_tolerant_midpoint(values),
+            sim::nanos((2000 + 5000) / 2));
+}
+
+TEST(FtmTest, EmptyThrows) {
+  EXPECT_THROW((void)fault_tolerant_midpoint({}), std::invalid_argument);
+}
+
+TEST(LocalClockTest, DriftAccumulates) {
+  LocalClock clock(100.0);  // +100 ppm
+  // After 1 s of global time the local clock reads +100 us.
+  EXPECT_EQ(clock.local_time(sim::seconds(1)),
+            sim::seconds(1) + sim::micros(100));
+}
+
+TEST(LocalClockTest, CorrectionsApply) {
+  LocalClock clock(100.0);
+  clock.correct_offset(sim::micros(100));
+  EXPECT_EQ(clock.local_time(sim::seconds(1)), sim::seconds(1));
+  clock.correct_rate(100.0);  // cancels the oscillator error
+  EXPECT_NEAR(clock.effective_rate_error(), 0.0, 1e-12);
+}
+
+TEST(ClockSyncTest, DriftingClocksConverge) {
+  ClockSyncOptions opt;
+  opt.num_nodes = 10;
+  opt.sync_nodes = 4;
+  opt.max_rate_error_ppm = 150.0;
+  const auto result = simulate_clock_sync(opt, 50);
+  ASSERT_EQ(result.max_deviation_history.size(), 50u);
+  // Uncorrected, 300 ppm relative drift over 0.5 s would be 150 us;
+  // synchronized clocks must stay well inside a couple of microseconds.
+  EXPECT_LT(result.final_deviation(), sim::micros(5));
+  // And the deviation must not grow over time.
+  EXPECT_LE(result.max_deviation_history.back(),
+            result.max_deviation_history.front() + sim::micros(1));
+}
+
+TEST(ClockSyncTest, WithoutSyncClocksDiverge) {
+  // Sanity check of the drift model itself: 150 ppm over 10 ms is
+  // 1.5 us per round; two opposite-drift clocks separate linearly.
+  LocalClock fast(150.0), slow(-150.0);
+  const auto d1 = fast.local_time(sim::millis(10)) -
+                  slow.local_time(sim::millis(10));
+  const auto d2 = fast.local_time(sim::millis(100)) -
+                  slow.local_time(sim::millis(100));
+  EXPECT_GT(d2, d1 * 9);
+}
+
+TEST(ClockSyncTest, ToleratesByzantineSyncNode) {
+  ClockSyncOptions opt;
+  opt.num_nodes = 10;
+  opt.sync_nodes = 5;
+  opt.byzantine_nodes = {2};  // one sync node lies wildly
+  const auto result = simulate_clock_sync(opt, 50);
+  EXPECT_LT(result.final_deviation(), sim::micros(10));
+}
+
+TEST(ClockSyncTest, DeterministicUnderSeed) {
+  ClockSyncOptions opt;
+  opt.seed = 99;
+  const auto a = simulate_clock_sync(opt, 10);
+  const auto b = simulate_clock_sync(opt, 10);
+  EXPECT_EQ(a.max_deviation_history.back(), b.max_deviation_history.back());
+}
+
+TEST(ClockSyncTest, BadConfigurationRejected) {
+  ClockSyncOptions opt;
+  opt.num_nodes = 1;
+  EXPECT_THROW((void)simulate_clock_sync(opt, 1), std::invalid_argument);
+  opt.num_nodes = 4;
+  opt.sync_nodes = 5;
+  EXPECT_THROW((void)simulate_clock_sync(opt, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coeff::flexray

@@ -1,0 +1,289 @@
+#include "flexray/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace coeff::flexray {
+namespace {
+
+/// Scripted policy for driving the cluster in tests.
+class ScriptedPolicy : public TransmissionPolicy {
+ public:
+  std::function<std::optional<TxRequest>(ChannelId, std::int64_t,
+                                         std::int64_t)>
+      on_static;
+  std::function<std::optional<TxRequest>(ChannelId, std::int64_t, std::int64_t,
+                                         std::int64_t, std::int64_t)>
+      on_dynamic;
+
+  std::vector<TxOutcome> outcomes;
+  std::vector<std::int64_t> cycles_started;
+  std::vector<std::int64_t> cycles_ended;
+  std::vector<TxRequest> declined;
+
+  void on_cycle_start(std::int64_t cycle, sim::Time) override {
+    cycles_started.push_back(cycle);
+  }
+  std::optional<TxRequest> static_slot(ChannelId channel, std::int64_t cycle,
+                                       std::int64_t slot) override {
+    return on_static ? on_static(channel, cycle, slot) : std::nullopt;
+  }
+  std::optional<TxRequest> dynamic_slot(ChannelId channel, std::int64_t cycle,
+                                        std::int64_t counter,
+                                        std::int64_t minislot,
+                                        std::int64_t remaining) override {
+    return on_dynamic ? on_dynamic(channel, cycle, counter, minislot, remaining)
+                      : std::nullopt;
+  }
+  void on_tx_complete(const TxOutcome& outcome) override {
+    outcomes.push_back(outcome);
+  }
+  void on_dynamic_declined(ChannelId, std::int64_t,
+                           const TxRequest& request) override {
+    declined.push_back(request);
+  }
+  void on_cycle_end(std::int64_t cycle, sim::Time) override {
+    cycles_ended.push_back(cycle);
+  }
+};
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.g_macro_per_cycle = 1000;
+  cfg.g_number_of_static_slots = 4;
+  cfg.gd_static_slot = 40;
+  cfg.g_number_of_minislots = 20;
+  cfg.gd_minislot = 8;
+  cfg.num_nodes = 2;
+  cfg.validate();
+  return cfg;
+}
+
+TxRequest req(FrameId id, std::int64_t bits, std::uint64_t instance = 1) {
+  TxRequest r;
+  r.instance = instance;
+  r.frame_id = id;
+  r.sender = 0;
+  r.payload_bits = bits;
+  return r;
+}
+
+TEST(ClusterTest, RunsCycleLifecycle) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(3);
+  EXPECT_EQ(policy.cycles_started, (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(policy.cycles_ended, (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(cluster.cycles_run(), 3);
+  EXPECT_EQ(engine.now(), sim::millis(3));
+}
+
+TEST(ClusterTest, StaticSlotTransmissionTimesAndSegments) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_static = [](ChannelId channel, std::int64_t,
+                        std::int64_t slot) -> std::optional<TxRequest> {
+    if (channel == ChannelId::kA && slot == 2) return req(2, 100);
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(2);
+  ASSERT_EQ(policy.outcomes.size(), 2u);
+  EXPECT_EQ(policy.outcomes[0].start, sim::micros(40));  // slot 2 of cycle 0
+  EXPECT_EQ(policy.outcomes[0].end, sim::micros(80));    // full slot duration
+  EXPECT_EQ(policy.outcomes[0].segment, Segment::kStatic);
+  EXPECT_EQ(policy.outcomes[1].start, sim::millis(1) + sim::micros(40));
+  EXPECT_EQ(policy.outcomes[0].channel, ChannelId::kA);
+}
+
+TEST(ClusterTest, BothChannelsOfferedEachStaticSlot) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  int offers_a = 0, offers_b = 0;
+  policy.on_static = [&](ChannelId channel, std::int64_t,
+                         std::int64_t) -> std::optional<TxRequest> {
+    (channel == ChannelId::kA ? offers_a : offers_b)++;
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(1);
+  EXPECT_EQ(offers_a, 4);
+  EXPECT_EQ(offers_b, 4);
+}
+
+TEST(ClusterTest, StaticFrameIdMustMatchSlot) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_static = [](ChannelId, std::int64_t,
+                        std::int64_t) -> std::optional<TxRequest> {
+    return req(7, 100);  // wrong id for every slot except 7 (doesn't exist)
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  EXPECT_THROW(cluster.run_cycles(1), std::logic_error);
+}
+
+TEST(ClusterTest, StaticPayloadBeyondCapacityRejected) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_static = [](ChannelId, std::int64_t,
+                        std::int64_t slot) -> std::optional<TxRequest> {
+    if (slot == 1) return req(1, 1'000'000);
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  EXPECT_THROW(cluster.run_cycles(1), std::logic_error);
+}
+
+TEST(ClusterTest, DynamicSlotCountersStartAfterStaticSlots) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  std::vector<std::int64_t> counters;
+  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t counter,
+                          std::int64_t,
+                          std::int64_t) -> std::optional<TxRequest> {
+    if (channel == ChannelId::kA) counters.push_back(counter);
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(1);
+  // 20 empty minislots -> counters 5..24 on channel A.
+  ASSERT_EQ(counters.size(), 20u);
+  EXPECT_EQ(counters.front(), 5);
+  EXPECT_EQ(counters.back(), 24);
+}
+
+TEST(ClusterTest, DynamicTransmissionConsumesMinislots) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  std::vector<std::int64_t> minislots;
+  policy.on_dynamic = [&](ChannelId channel, std::int64_t,
+                          std::int64_t counter, std::int64_t minislot,
+                          std::int64_t) -> std::optional<TxRequest> {
+    if (channel != ChannelId::kA) return std::nullopt;
+    minislots.push_back(minislot);
+    if (counter == 5) {
+      // 10 Mb/s, 8 us minislot = 80 bits; 160 bits -> 2 + 1 idle = 3.
+      return req(5, 160);
+    }
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(1);
+  // First slot consumed 3 minislots, so the second offer is at minislot 3.
+  ASSERT_GE(minislots.size(), 2u);
+  EXPECT_EQ(minislots[0], 0);
+  EXPECT_EQ(minislots[1], 3);
+}
+
+TEST(ClusterTest, DynamicRespectsLatestTx) {
+  auto cfg = small_config();
+  cfg.p_latest_tx = 5;
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  int granted = 0;
+  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t,
+                          std::int64_t,
+                          std::int64_t) -> std::optional<TxRequest> {
+    if (channel != ChannelId::kA) return std::nullopt;
+    return req(0, 80);  // frame id irrelevant for dynamic
+  };
+  Cluster cluster(engine, cfg, policy, nullptr);
+  cluster.run_cycles(1);
+  granted = static_cast<int>(policy.outcomes.size());
+  // Starts allowed only in minislots 0..4 -> with 2-minislot slots at
+  // most 3 transmissions, and declines reported afterwards.
+  EXPECT_LE(granted, 3);
+  EXPECT_FALSE(policy.declined.empty());
+}
+
+TEST(ClusterTest, DynamicTooLargeForRemainderIsDeclined) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t,
+                          std::int64_t,
+                          std::int64_t) -> std::optional<TxRequest> {
+    if (channel != ChannelId::kA) return std::nullopt;
+    return req(0, 100'000);  // larger than the whole dynamic segment
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(1);
+  EXPECT_TRUE(policy.outcomes.empty());
+  EXPECT_EQ(policy.declined.size(), 20u);  // every minislot walks past it
+}
+
+TEST(ClusterTest, CorruptionHookControlsOutcomes) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_static = [](ChannelId channel, std::int64_t,
+                        std::int64_t slot) -> std::optional<TxRequest> {
+    if (slot == 1 && channel == ChannelId::kA) return req(1, 100);
+    return std::nullopt;
+  };
+  int verdicts = 0;
+  auto corrupt_all = [&](const TxRequest&, ChannelId, sim::Time) {
+    ++verdicts;
+    return true;
+  };
+  Cluster cluster(engine, small_config(), policy, corrupt_all);
+  cluster.run_cycles(2);
+  EXPECT_EQ(verdicts, 2);
+  for (const auto& out : policy.outcomes) EXPECT_TRUE(out.corrupted);
+  EXPECT_EQ(cluster.channel(ChannelId::kA).stats().corrupted_frames, 2);
+}
+
+TEST(ClusterTest, ChannelStatsAccumulate) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  policy.on_static = [](ChannelId channel, std::int64_t,
+                        std::int64_t slot) -> std::optional<TxRequest> {
+    if (slot <= 2 && channel == ChannelId::kA) {
+      auto r = req(static_cast<FrameId>(slot), 100);
+      r.retransmission = slot == 2;
+      return r;
+    }
+    return std::nullopt;
+  };
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(5);
+  const auto& stats = cluster.channel(ChannelId::kA).stats();
+  EXPECT_EQ(stats.frames, 10);
+  EXPECT_EQ(stats.retransmission_frames, 5);
+  EXPECT_EQ(stats.payload_bits, 1000);
+  EXPECT_EQ(stats.busy_static, sim::micros(40) * 10);
+  EXPECT_EQ(cluster.channel(ChannelId::kB).stats().frames, 0);
+}
+
+TEST(ClusterTest, EngineEventsDeliveredAtSlotBoundaries) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  sim::Time fired_at;
+  // Schedule an "arrival" mid-cycle; it must run before later slots ask
+  // the policy for content.
+  engine.schedule_at(sim::micros(50), [&] { fired_at = engine.now(); });
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(1);
+  EXPECT_EQ(fired_at, sim::micros(50));
+}
+
+TEST(ClusterTest, RunUntilCoversWholeCycles) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_until(sim::micros(1500));  // 1.5 cycles -> runs cycles 0 and 1
+  EXPECT_EQ(cluster.cycles_run(), 2);
+}
+
+TEST(ClusterTest, ElapsedCapacityCounters) {
+  sim::Engine engine;
+  ScriptedPolicy policy;
+  Cluster cluster(engine, small_config(), policy, nullptr);
+  cluster.run_cycles(3);
+  EXPECT_EQ(cluster.static_slots_elapsed(), 3 * 4 * 2);
+  EXPECT_EQ(cluster.dynamic_minislots_elapsed(), 3 * 20 * 2);
+}
+
+}  // namespace
+}  // namespace coeff::flexray

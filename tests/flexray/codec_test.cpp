@@ -1,0 +1,121 @@
+#include "flexray/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::flexray {
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(0xA5u ^ (i * 31));
+  }
+  return p;
+}
+
+TEST(CodecTest, RoundTripDataFrame) {
+  const Frame original = Frame::make(ChannelId::kA, 42, 7, payload(16), true);
+  const auto wire = encode_frame(original);
+  const auto decoded = decode_frame(ChannelId::kA, wire);
+  ASSERT_TRUE(decoded.ok()) << to_string(*decoded.error);
+  EXPECT_EQ(decoded.frame->header().id, 42);
+  EXPECT_EQ(decoded.frame->header().cycle_count, 7);
+  EXPECT_TRUE(decoded.frame->header().sync);
+  EXPECT_EQ(decoded.frame->payload(), original.payload());
+  EXPECT_EQ(decoded.frame->trailer_crc(), original.trailer_crc());
+  EXPECT_TRUE(decoded.frame->verify());
+}
+
+TEST(CodecTest, RoundTripNullFrame) {
+  const Frame original = Frame::make_null(ChannelId::kB, 9, 3);
+  const auto decoded = decode_frame(ChannelId::kB, encode_frame(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.frame->header().null_frame);
+  EXPECT_EQ(decoded.frame->payload().size(), 0u);
+}
+
+TEST(CodecTest, RoundTripAllPayloadSizes) {
+  for (std::size_t n : {0u, 2u, 64u, 128u, 254u}) {
+    const Frame f = Frame::make(ChannelId::kA, 100, 0, payload(n));
+    const auto decoded = decode_frame(ChannelId::kA, encode_frame(f));
+    ASSERT_TRUE(decoded.ok()) << "payload " << n;
+    EXPECT_EQ(decoded.frame->payload().size(), f.payload().size());
+  }
+}
+
+TEST(CodecTest, WireSizeMatchesFrameSize) {
+  const Frame f = Frame::make(ChannelId::kA, 5, 0, payload(20));
+  EXPECT_EQ(static_cast<std::int64_t>(encode_frame(f).size()) * 8,
+            f.size_bits());
+}
+
+TEST(CodecTest, TruncatedBufferRejected) {
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, 5, 0, payload(4)));
+  for (std::size_t cut : {0u, 4u, 7u}) {
+    std::vector<std::uint8_t> shorter(wire.begin(),
+                                      wire.begin() +
+                                          static_cast<std::ptrdiff_t>(cut));
+    const auto decoded = decode_frame(ChannelId::kA, shorter);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_EQ(*decoded.error, DecodeError::kTruncated);
+  }
+}
+
+TEST(CodecTest, LengthMismatchRejected) {
+  auto wire = encode_frame(Frame::make(ChannelId::kA, 5, 0, payload(4)));
+  wire.push_back(0x00);  // extra byte: header length no longer matches
+  const auto decoded = decode_frame(ChannelId::kA, wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(*decoded.error, DecodeError::kLengthMismatch);
+}
+
+TEST(CodecTest, EveryPayloadBitFlipCaught) {
+  const Frame f = Frame::make(ChannelId::kA, 77, 1, payload(8));
+  const auto wire = encode_frame(f);
+  for (std::size_t bit = 5 * 8; bit < (wire.size() - 3) * 8; ++bit) {
+    auto damaged = wire;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    const auto decoded = decode_frame(ChannelId::kA, damaged);
+    EXPECT_FALSE(decoded.ok()) << "bit " << bit;
+    EXPECT_EQ(*decoded.error, DecodeError::kFrameCrc) << "bit " << bit;
+  }
+}
+
+TEST(CodecTest, HeaderCorruptionCaught) {
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, 77, 1, payload(8)));
+  // Flip a frame-id bit (bits 5..15): header CRC must catch it.
+  auto damaged = wire;
+  damaged[1] ^= 0x10;  // inside the frame id field
+  const auto decoded = decode_frame(ChannelId::kA, damaged);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(*decoded.error == DecodeError::kHeaderCrc ||
+              *decoded.error == DecodeError::kBadFrameId);
+}
+
+TEST(CodecTest, TrailerCorruptionCaught) {
+  auto wire = encode_frame(Frame::make(ChannelId::kB, 12, 0, payload(8)));
+  wire.back() ^= 0x01;
+  const auto decoded = decode_frame(ChannelId::kB, wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(*decoded.error, DecodeError::kFrameCrc);
+}
+
+TEST(CodecTest, CrossChannelMisroutingDetected) {
+  // A frame encoded for channel A must not decode on channel B: the
+  // per-channel frame-CRC init values differ by design.
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, 12, 0, payload(8)));
+  const auto decoded = decode_frame(ChannelId::kB, wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(*decoded.error, DecodeError::kFrameCrc);
+}
+
+TEST(CodecTest, ErrorNames) {
+  EXPECT_STREQ(to_string(DecodeError::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(DecodeError::kFrameCrc), "frame_crc");
+  EXPECT_STREQ(to_string(DecodeError::kHeaderCrc), "header_crc");
+  EXPECT_STREQ(to_string(DecodeError::kLengthMismatch), "length_mismatch");
+  EXPECT_STREQ(to_string(DecodeError::kBadFrameId), "bad_frame_id");
+}
+
+}  // namespace
+}  // namespace coeff::flexray

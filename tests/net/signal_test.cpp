@@ -1,0 +1,114 @@
+#include "net/signal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::net {
+namespace {
+
+Signal sig(int id, int node, int period_ms, int bits,
+           int deadline_ms = 0, int offset_us = 0) {
+  Signal s;
+  s.id = id;
+  s.node = node;
+  s.period = sim::millis(period_ms);
+  s.deadline = deadline_ms > 0 ? sim::millis(deadline_ms)
+                               : sim::millis(period_ms);
+  s.offset = sim::micros(offset_us);
+  s.bits = bits;
+  return s;
+}
+
+TEST(PackingTest, SameNodeAndPeriodShareAFrame) {
+  const auto set = pack_signals({sig(1, 0, 10, 100), sig(2, 0, 10, 100)});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].size_bits, 200);
+  EXPECT_EQ(set[0].period, sim::millis(10));
+  EXPECT_EQ(set[0].node, 0);
+}
+
+TEST(PackingTest, DifferentNodesNeverShare) {
+  const auto set = pack_signals({sig(1, 0, 10, 100), sig(2, 1, 10, 100)});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PackingTest, DifferentPeriodsNeverShare) {
+  const auto set = pack_signals({sig(1, 0, 10, 100), sig(2, 0, 20, 100)});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PackingTest, RespectsFrameCapacity) {
+  PackingOptions opt;
+  opt.max_frame_bits = 250;
+  const auto set = pack_signals(
+      {sig(1, 0, 10, 100), sig(2, 0, 10, 100), sig(3, 0, 10, 100)}, opt);
+  // 3 x 100 bits with a 250-bit frame: two frames (200 + 100).
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].size_bits + set[1].size_bits, 300);
+  for (const auto& m : set.messages()) {
+    EXPECT_LE(m.size_bits, opt.max_frame_bits);
+  }
+}
+
+TEST(PackingTest, FirstFitDecreasingPacksTightly) {
+  PackingOptions opt;
+  opt.max_frame_bits = 100;
+  // Sizes 60, 60, 40, 40 -> FFD packs (60+40) x 2 = 2 frames.
+  const auto set = pack_signals({sig(1, 0, 10, 60), sig(2, 0, 10, 40),
+                                 sig(3, 0, 10, 60), sig(4, 0, 10, 40)},
+                                opt);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PackingTest, PackedFrameInheritsTightestDeadlineAndEarliestOffset) {
+  const auto set = pack_signals(
+      {sig(1, 0, 10, 100, 8, 500), sig(2, 0, 10, 100, 4, 200)});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].deadline, sim::millis(4));
+  EXPECT_EQ(set[0].offset, sim::micros(200));
+}
+
+TEST(PackingTest, OversizedSignalThrows) {
+  PackingOptions opt;
+  opt.max_frame_bits = 50;
+  EXPECT_THROW((void)pack_signals({sig(1, 0, 10, 51)}, opt),
+               std::invalid_argument);
+}
+
+TEST(PackingTest, NonPositiveSignalThrows) {
+  EXPECT_THROW((void)pack_signals({sig(1, 0, 10, 0)}), std::invalid_argument);
+}
+
+TEST(PackingTest, MessageIdsStartAtConfiguredBase) {
+  PackingOptions opt;
+  opt.first_message_id = 500;
+  const auto set = pack_signals({sig(1, 0, 10, 10), sig(2, 1, 10, 10)}, opt);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].id, 500);
+  EXPECT_EQ(set[1].id, 501);
+  EXPECT_NO_THROW(set.validate());
+}
+
+TEST(PackingTest, KindPropagates) {
+  PackingOptions opt;
+  opt.kind = MessageKind::kDynamic;
+  const auto set = pack_signals({sig(1, 0, 10, 10)}, opt);
+  EXPECT_EQ(set[0].kind, MessageKind::kDynamic);
+}
+
+TEST(PackingTest, EmptyInputGivesEmptySet) {
+  EXPECT_TRUE(pack_signals({}).empty());
+}
+
+TEST(PackingTest, BeatsUnpackedFrameCount) {
+  // 2500-signal style scenario in miniature: many small same-rate
+  // signals pack into far fewer frames than one-per-signal.
+  std::vector<Signal> signals;
+  for (int i = 0; i < 100; ++i) {
+    signals.push_back(sig(i, i % 5, 10, 64));
+  }
+  const auto set = pack_signals(signals);
+  EXPECT_LT(set.size(), unpacked_frame_count(signals) / 4);
+}
+
+}  // namespace
+}  // namespace coeff::net

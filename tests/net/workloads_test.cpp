@@ -1,0 +1,190 @@
+#include "net/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coeff::net {
+namespace {
+
+TEST(WorkloadsTest, BbwMatchesTableII) {
+  const auto set = brake_by_wire();
+  ASSERT_EQ(set.size(), 20u);
+  // Spot-check rows 1, 3 and 17 of Table II.
+  EXPECT_EQ(set[0].offset, sim::micros(280));
+  EXPECT_EQ(set[0].period, sim::millis(8));
+  EXPECT_EQ(set[0].deadline, sim::millis(8));
+  EXPECT_EQ(set[0].size_bits, 1292);
+  EXPECT_EQ(set[2].period, sim::millis(1));
+  EXPECT_EQ(set[2].size_bits, 1574);
+  EXPECT_EQ(set[16].size_bits, 1742);  // the largest BBW message
+  EXPECT_NO_THROW(set.validate());
+}
+
+TEST(WorkloadsTest, BbwPeriodHistogram) {
+  const auto set = brake_by_wire();
+  int ones = 0, eights = 0;
+  for (const auto& m : set.messages()) {
+    if (m.period == sim::millis(1)) ++ones;
+    if (m.period == sim::millis(8)) ++eights;
+  }
+  EXPECT_EQ(ones, 9);
+  EXPECT_EQ(eights, 11);
+}
+
+TEST(WorkloadsTest, AccMatchesTableIII) {
+  const auto set = adaptive_cruise();
+  ASSERT_EQ(set.size(), 20u);
+  EXPECT_EQ(set[0].offset, sim::micros(420));
+  EXPECT_EQ(set[0].period, sim::millis(16));
+  EXPECT_EQ(set[0].size_bits, 1024);
+  EXPECT_EQ(set[12].period, sim::millis(32));
+  EXPECT_EQ(set[12].size_bits, 1280);
+  EXPECT_EQ(set[15].size_bits, 256);
+  EXPECT_NO_THROW(set.validate());
+}
+
+TEST(WorkloadsTest, AccPeriodsAreSixteenTwentyFourThirtyTwo) {
+  const auto set = adaptive_cruise();
+  for (const auto& m : set.messages()) {
+    EXPECT_TRUE(m.period == sim::millis(16) || m.period == sim::millis(24) ||
+                m.period == sim::millis(32));
+    EXPECT_EQ(m.deadline, m.period);
+  }
+}
+
+TEST(WorkloadsTest, BbwAndAccIdsDisjoint) {
+  const auto merged = brake_by_wire().merged_with(adaptive_cruise());
+  EXPECT_NO_THROW(merged.validate());
+  EXPECT_EQ(merged.size(), 40u);
+}
+
+TEST(WorkloadsTest, MessagesSpreadOverTenNodes) {
+  const auto set = brake_by_wire();
+  std::set<int> nodes;
+  for (const auto& m : set.messages()) nodes.insert(m.node);
+  EXPECT_EQ(nodes.size(), 10u);
+}
+
+TEST(WorkloadsTest, SyntheticRespectsRanges) {
+  sim::Rng rng(1);
+  SyntheticStaticOptions opt;
+  opt.count = 200;
+  const auto set = synthetic_static(opt, rng);
+  ASSERT_EQ(set.size(), 200u);
+  for (const auto& m : set.messages()) {
+    EXPECT_GE(m.period, opt.min_period);
+    EXPECT_LE(m.period, opt.max_period);
+    EXPECT_GE(m.deadline, sim::Time::zero());
+    EXPECT_LE(m.deadline, std::min(opt.max_deadline, m.period));
+    EXPECT_GE(m.size_bits, opt.min_bits);
+    EXPECT_LE(m.size_bits, opt.max_bits);
+    // Periods are whole communication cycles so the hyperperiod stays
+    // bounded.
+    EXPECT_EQ(m.period % sim::millis(5), sim::Time::zero());
+  }
+  EXPECT_NO_THROW(set.validate());
+}
+
+TEST(WorkloadsTest, SyntheticIsDeterministicPerSeed) {
+  sim::Rng a(9), b(9), c(10);
+  SyntheticStaticOptions opt;
+  opt.count = 50;
+  const auto sa = synthetic_static(opt, a);
+  const auto sb = synthetic_static(opt, b);
+  const auto sc = synthetic_static(opt, c);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sa[i].period, sb[i].period);
+    EXPECT_EQ(sa[i].size_bits, sb[i].size_bits);
+    if (sa[i].period != sc[i].period || sa[i].size_bits != sc[i].size_bits) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadsTest, SyntheticEmptyAndInvalid) {
+  sim::Rng rng(1);
+  SyntheticStaticOptions opt;
+  opt.count = 0;
+  EXPECT_TRUE(synthetic_static(opt, rng).empty());
+  opt.count = 1;
+  opt.min_bits = 100;
+  opt.max_bits = 10;
+  EXPECT_THROW((void)synthetic_static(opt, rng), std::invalid_argument);
+}
+
+TEST(WorkloadsTest, SaeAperiodicMatchesPaperIds) {
+  sim::Rng rng(2);
+  SaeAperiodicOptions opt;
+  opt.static_slots = 80;
+  auto set = sae_aperiodic(opt, rng);
+  ASSERT_EQ(set.size(), 30u);
+  EXPECT_EQ(set[0].frame_id, 81);
+  EXPECT_EQ(set[29].frame_id, 110);
+  for (const auto& m : set.messages()) {
+    EXPECT_EQ(m.kind, MessageKind::kDynamic);
+    EXPECT_EQ(m.period, sim::millis(50));
+    EXPECT_EQ(m.deadline, sim::millis(50));
+  }
+  opt.static_slots = 120;
+  sim::Rng rng2(2);
+  set = sae_aperiodic(opt, rng2);
+  EXPECT_EQ(set[0].frame_id, 121);
+  EXPECT_EQ(set[29].frame_id, 150);
+}
+
+TEST(ArrivalsTest, PeriodicArrivals) {
+  Message m;
+  m.period = sim::millis(10);
+  m.offset = sim::millis(3);
+  sim::Rng rng(1);
+  const auto times = arrivals(m, sim::millis(40), {}, rng);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], sim::millis(3));
+  EXPECT_EQ(times[3], sim::millis(33));
+}
+
+TEST(ArrivalsTest, PeriodicRespectsHorizon) {
+  Message m;
+  m.period = sim::millis(10);
+  m.offset = sim::Time::zero();
+  sim::Rng rng(1);
+  const auto times = arrivals(m, sim::millis(10), {}, rng);
+  EXPECT_EQ(times.size(), 1u);  // only t=0; t=10 is outside [0, 10)
+}
+
+TEST(ArrivalsTest, PoissonMeanRateMatchesPeriod) {
+  Message m;
+  m.period = sim::millis(10);
+  m.offset = sim::Time::zero();
+  sim::Rng rng(5);
+  ArrivalOptions opt;
+  opt.process = ArrivalProcess::kPoisson;
+  const auto times = arrivals(m, sim::seconds(100), opt, rng);
+  // Expect ~10000 arrivals over 100 s at one per 10 ms.
+  EXPECT_NEAR(static_cast<double>(times.size()), 10'000.0, 300.0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+}
+
+TEST(ArrivalsTest, BurstyProducesBurstSizedGroups) {
+  Message m;
+  m.period = sim::millis(10);
+  m.offset = sim::Time::zero();
+  sim::Rng rng(5);
+  ArrivalOptions opt;
+  opt.process = ArrivalProcess::kBursty;
+  opt.burst = 3;
+  const auto times = arrivals(m, sim::millis(20), opt, rng);
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_EQ(times[0], sim::Time::zero());
+  EXPECT_EQ(times[1], sim::micros(100));
+  EXPECT_EQ(times[2], sim::micros(200));
+  EXPECT_EQ(times[3], sim::millis(10));
+}
+
+}  // namespace
+}  // namespace coeff::net

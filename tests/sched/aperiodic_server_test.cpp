@@ -1,0 +1,164 @@
+#include "sched/aperiodic_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::sched {
+namespace {
+
+PeriodicTask task(int id, int wcet_ms, int period_ms) {
+  PeriodicTask t;
+  t.id = id;
+  t.wcet = sim::millis(wcet_ms);
+  t.period = sim::millis(period_ms);
+  t.deadline = t.period;
+  return t;
+}
+
+AperiodicJob job(std::uint64_t id, int arrival_ms, int work_ms) {
+  AperiodicJob j;
+  j.id = id;
+  j.arrival = sim::millis(arrival_ms);
+  j.work = sim::millis(work_ms);
+  return j;
+}
+
+ServerConfig config(ServerPolicy policy) {
+  ServerConfig c;
+  c.policy = policy;
+  c.budget = sim::millis(2);
+  c.period = sim::millis(10);
+  c.quantum = sim::micros(100);
+  return c;
+}
+
+TEST(AperiodicServerTest, BackgroundWaitsForIdle) {
+  // Task busy [0,4); background job arriving at 0 with 1 ms work
+  // completes at 5 ms.
+  TaskSet set({task(1, 4, 10)});
+  const auto r = serve_aperiodics(set, {job(1, 0, 1)},
+                                  config(ServerPolicy::kBackground),
+                                  sim::millis(20));
+  ASSERT_EQ(r.finished, 1u);
+  EXPECT_EQ(r.outcomes[0].completion, sim::millis(5));
+  EXPECT_FALSE(r.periodic_deadline_missed);
+}
+
+TEST(AperiodicServerTest, SlackStealingPreemptsWhenSafe) {
+  // Same scenario: slack at t=0 is 6 ms, so the job runs immediately.
+  TaskSet set({task(1, 4, 10)});
+  const auto r = serve_aperiodics(set, {job(1, 0, 1)},
+                                  config(ServerPolicy::kSlackStealing),
+                                  sim::millis(20));
+  ASSERT_EQ(r.finished, 1u);
+  EXPECT_EQ(r.outcomes[0].completion, sim::millis(1));
+  EXPECT_FALSE(r.periodic_deadline_missed);
+}
+
+TEST(AperiodicServerTest, DeferrableRetainsBudgetAcrossIdle) {
+  // Job arrives at 5 ms (server replenished at 0 with nothing to do).
+  // Deferrable keeps the budget and serves immediately; polling lost it
+  // and must wait for the next replenishment at 10 ms.
+  TaskSet set({task(1, 1, 100)});
+  const auto deferrable = serve_aperiodics(
+      set, {job(1, 5, 1)}, config(ServerPolicy::kDeferrable), sim::millis(30));
+  const auto polling = serve_aperiodics(
+      set, {job(1, 5, 1)}, config(ServerPolicy::kPolling), sim::millis(30));
+  ASSERT_EQ(deferrable.finished, 1u);
+  ASSERT_EQ(polling.finished, 1u);
+  EXPECT_EQ(deferrable.outcomes[0].completion, sim::millis(6));
+  EXPECT_EQ(polling.outcomes[0].completion, sim::millis(11));
+}
+
+TEST(AperiodicServerTest, BudgetExhaustionDefersService) {
+  // 5 ms of aperiodic work through a 2 ms/10 ms deferrable server takes
+  // three replenishment periods.
+  TaskSet set({task(1, 1, 100)});
+  const auto r = serve_aperiodics(set, {job(1, 0, 5)},
+                                  config(ServerPolicy::kDeferrable),
+                                  sim::millis(50));
+  ASSERT_EQ(r.finished, 1u);
+  // 2 ms in [0,2), 2 ms in [10,12), 1 ms in [20,21).
+  EXPECT_EQ(r.outcomes[0].completion, sim::millis(21));
+}
+
+TEST(AperiodicServerTest, ResponseTimeOrderingAcrossPolicies) {
+  // With a loaded periodic set and a stream of jobs, mean response times
+  // must order: slack stealing <= deferrable <= polling <= background.
+  TaskSet set({task(1, 2, 8), task(2, 3, 16)});
+  std::vector<AperiodicJob> jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(job(static_cast<std::uint64_t>(i), 3 + i * 11, 1));
+  }
+  const auto horizon = sim::millis(400);
+  const auto slack = serve_aperiodics(
+      set, jobs, config(ServerPolicy::kSlackStealing), horizon);
+  const auto deferrable =
+      serve_aperiodics(set, jobs, config(ServerPolicy::kDeferrable), horizon);
+  const auto polling =
+      serve_aperiodics(set, jobs, config(ServerPolicy::kPolling), horizon);
+  const auto background =
+      serve_aperiodics(set, jobs, config(ServerPolicy::kBackground), horizon);
+  ASSERT_EQ(slack.finished, jobs.size());
+  ASSERT_EQ(background.finished, jobs.size());
+  const double m_slack = slack.response_stats_ms().mean();
+  const double m_def = deferrable.response_stats_ms().mean();
+  const double m_poll = polling.response_stats_ms().mean();
+  const double m_bg = background.response_stats_ms().mean();
+  // Universally valid orderings: slack stealing dominates everything
+  // (it serves whenever service is safe), and a deferrable server
+  // dominates a polling server with the same (budget, period). Polling
+  // vs background depends on load, so no assertion there.
+  EXPECT_LE(m_slack, m_def + 1e-9);
+  EXPECT_LE(m_slack, m_bg + 1e-9);
+  EXPECT_LE(m_def, m_poll + 1e-9);
+}
+
+TEST(AperiodicServerTest, PeriodicDeadlinesSafeUnderSlackStealing) {
+  // Saturate the server with continuous aperiodic work: slack stealing
+  // must never break a periodic deadline.
+  TaskSet set({task(1, 2, 5), task(2, 4, 20)});
+  std::vector<AperiodicJob> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(job(static_cast<std::uint64_t>(i), i * 4, 3));
+  }
+  const auto r = serve_aperiodics(set, jobs,
+                                  config(ServerPolicy::kSlackStealing),
+                                  sim::millis(400));
+  EXPECT_FALSE(r.periodic_deadline_missed);
+}
+
+TEST(AperiodicServerTest, UnfinishedJobsReportedAsSuch) {
+  TaskSet set({task(1, 1, 100)});
+  const auto r = serve_aperiodics(set, {job(1, 0, 1000)},
+                                  config(ServerPolicy::kBackground),
+                                  sim::millis(10));
+  EXPECT_EQ(r.finished, 0u);
+  EXPECT_FALSE(r.outcomes[0].finished());
+}
+
+TEST(AperiodicServerTest, FifoWithinTheServer) {
+  TaskSet set({task(1, 1, 100)});
+  const auto r = serve_aperiodics(
+      set, {job(1, 0, 3), job(2, 1, 1)},
+      config(ServerPolicy::kSlackStealing), sim::millis(50));
+  ASSERT_EQ(r.finished, 2u);
+  EXPECT_LT(r.outcomes[0].completion, r.outcomes[1].completion);
+}
+
+TEST(AperiodicServerTest, UnsortedJobsRejected) {
+  TaskSet set({task(1, 1, 100)});
+  EXPECT_THROW((void)serve_aperiodics(set, {job(1, 5, 1), job(2, 1, 1)},
+                                      config(ServerPolicy::kBackground),
+                                      sim::millis(10)),
+               std::invalid_argument);
+}
+
+TEST(AperiodicServerTest, PolicyNames) {
+  EXPECT_STREQ(to_string(ServerPolicy::kBackground), "background");
+  EXPECT_STREQ(to_string(ServerPolicy::kPolling), "polling");
+  EXPECT_STREQ(to_string(ServerPolicy::kDeferrable), "deferrable");
+  EXPECT_STREQ(to_string(ServerPolicy::kSlackStealing), "slack_stealing");
+}
+
+}  // namespace
+}  // namespace coeff::sched

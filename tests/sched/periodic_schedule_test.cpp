@@ -1,0 +1,149 @@
+#include "sched/periodic_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::sched {
+namespace {
+
+PeriodicTask task(int id, int wcet_ms, int period_ms, int deadline_ms = 0,
+                  int offset_ms = 0) {
+  PeriodicTask t;
+  t.id = id;
+  t.wcet = sim::millis(wcet_ms);
+  t.period = sim::millis(period_ms);
+  t.deadline = deadline_ms > 0 ? sim::millis(deadline_ms)
+                               : sim::millis(period_ms);
+  t.offset = sim::millis(offset_ms);
+  return t;
+}
+
+TEST(PeriodicScheduleTest, SingleTaskRunsImmediately) {
+  TaskSet set({task(1, 2, 10)});
+  const auto result = simulate_periodic(set, sim::millis(20));
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].release, sim::Time::zero());
+  EXPECT_EQ(result.jobs[0].finish, sim::millis(2));
+  EXPECT_EQ(result.jobs[1].release, sim::millis(10));
+  EXPECT_EQ(result.jobs[1].finish, sim::millis(12));
+  EXPECT_FALSE(result.any_deadline_missed);
+}
+
+TEST(PeriodicScheduleTest, TimelineCoversHorizonContiguously) {
+  TaskSet set({task(1, 2, 10), task(2, 3, 20)});
+  const auto result = simulate_periodic(set, sim::millis(40));
+  ASSERT_FALSE(result.timeline.empty());
+  EXPECT_EQ(result.timeline.front().start, sim::Time::zero());
+  EXPECT_EQ(result.timeline.back().end, sim::millis(40));
+  for (std::size_t i = 1; i < result.timeline.size(); ++i) {
+    EXPECT_EQ(result.timeline[i].start, result.timeline[i - 1].end);
+  }
+}
+
+TEST(PeriodicScheduleTest, PreemptionByHigherPriority) {
+  // Low-priority (period 20) starts at 0; high-priority releases at 1
+  // and preempts.
+  TaskSet set({task(1, 2, 5, 5, 1), task(2, 4, 20)});
+  const auto result = simulate_periodic(set, sim::millis(10));
+  // Task 2 (level 1) runs [0,1), preempted [1,3), resumes [3,6).
+  EXPECT_EQ(result.finish_of(1, 0), sim::millis(6));
+  // Task 1 job 0 runs [1,3).
+  EXPECT_EQ(result.finish_of(0, 0), sim::millis(3));
+}
+
+TEST(PeriodicScheduleTest, ExecutionConservation) {
+  // Total busy time per level equals jobs finished x wcet.
+  TaskSet set({task(1, 1, 4), task(2, 2, 8), task(3, 3, 16)});
+  const auto result = simulate_periodic(set, sim::millis(32));
+  std::vector<sim::Time> busy(3, sim::Time::zero());
+  for (const auto& seg : result.timeline) {
+    if (seg.level >= 0 && seg.level < 3) {
+      busy[static_cast<std::size_t>(seg.level)] += seg.end - seg.start;
+    }
+  }
+  EXPECT_EQ(busy[0], sim::millis(8 * 1));   // 8 jobs of 1 ms
+  EXPECT_EQ(busy[1], sim::millis(4 * 2));   // 4 jobs of 2 ms
+  EXPECT_EQ(busy[2], sim::millis(2 * 3));   // 2 jobs of 3 ms
+}
+
+TEST(PeriodicScheduleTest, DeadlineMissDetected) {
+  TaskSet set({task(1, 3, 4), task(2, 3, 8, 8)});
+  const auto result = simulate_periodic(set, sim::millis(16));
+  EXPECT_TRUE(result.any_deadline_missed);
+}
+
+TEST(PeriodicScheduleTest, OffsetsDelayFirstRelease) {
+  TaskSet set({task(1, 1, 10, 10, 4)});
+  const auto result = simulate_periodic(set, sim::millis(20));
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].release, sim::millis(4));
+  EXPECT_EQ(result.jobs[0].finish, sim::millis(5));
+  EXPECT_EQ(result.jobs[1].release, sim::millis(14));
+}
+
+TEST(PeriodicScheduleTest, LevelIdleAccounting) {
+  TaskSet set({task(1, 2, 10)});
+  const auto result = simulate_periodic(set, sim::millis(10));
+  // Level 0 idle = 8 ms of the 10 ms horizon.
+  EXPECT_EQ(result.level_idle(0, sim::Time::zero(), sim::millis(10)),
+            sim::millis(8));
+  // Restricted window.
+  EXPECT_EQ(result.level_idle(0, sim::millis(1), sim::millis(3)),
+            sim::millis(1));
+}
+
+TEST(PeriodicScheduleTest, InsertedBlockRunsAboveEverything) {
+  TaskSet set({task(1, 2, 10)});
+  const std::vector<InsertedBlock> blocks{{sim::Time::zero(), sim::millis(1)}};
+  const auto result = simulate_periodic(set, sim::millis(10), blocks);
+  // The periodic job is displaced by 1 ms.
+  EXPECT_EQ(result.finish_of(0, 0), sim::millis(3));
+  ASSERT_FALSE(result.timeline.empty());
+  EXPECT_EQ(result.timeline.front().level, kInsertedLevel);
+}
+
+TEST(PeriodicScheduleTest, InsertedBlockInIdleTimeHarmless) {
+  TaskSet set({task(1, 2, 10)});
+  const std::vector<InsertedBlock> blocks{{sim::millis(5), sim::millis(2)}};
+  const auto result = simulate_periodic(set, sim::millis(20), blocks);
+  EXPECT_EQ(result.finish_of(0, 0), sim::millis(2));   // untouched
+  EXPECT_EQ(result.finish_of(0, 1), sim::millis(12));  // untouched
+  EXPECT_FALSE(result.any_deadline_missed);
+}
+
+TEST(PeriodicScheduleTest, UnsortedInsertedBlocksRejected) {
+  TaskSet set({task(1, 2, 10)});
+  const std::vector<InsertedBlock> blocks{{sim::millis(5), sim::millis(1)},
+                                          {sim::millis(2), sim::millis(1)}};
+  EXPECT_THROW((void)simulate_periodic(set, sim::millis(10), blocks),
+               std::invalid_argument);
+}
+
+TEST(PeriodicScheduleTest, EqualPriorityIsFifoWithinLevel) {
+  // Same deadline -> one level each, ordered by id; but FIFO applies to
+  // jobs of the same task across releases.
+  TaskSet set({task(1, 6, 10, 10)});
+  const auto result = simulate_periodic(set, sim::millis(30));
+  EXPECT_EQ(result.finish_of(0, 0), sim::millis(6));
+  EXPECT_EQ(result.finish_of(0, 1), sim::millis(16));
+  EXPECT_EQ(result.finish_of(0, 2), sim::millis(26));
+}
+
+TEST(PeriodicScheduleTest, UnfinishedJobsReportMax) {
+  TaskSet set({task(1, 5, 10)});
+  const auto result = simulate_periodic(set, sim::millis(12));
+  // Second job released at 10 ms cannot finish by 12 ms.
+  EXPECT_EQ(result.finish_of(0, 1), sim::Time::max());
+}
+
+TEST(PeriodicScheduleTest, BusyHorizonFullyPacked) {
+  // Utilization exactly 1 with harmonic periods: no idle at the lowest
+  // level.
+  TaskSet set({task(1, 1, 2), task(2, 2, 4)});
+  const auto result = simulate_periodic(set, sim::millis(40));
+  EXPECT_EQ(result.level_idle(1, sim::Time::zero(), sim::millis(40)),
+            sim::Time::zero());
+  EXPECT_FALSE(result.any_deadline_missed);
+}
+
+}  // namespace
+}  // namespace coeff::sched

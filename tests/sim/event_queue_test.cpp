@@ -1,0 +1,108 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coeff::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(micros(30), [&] { order.push_back(3); });
+  q.push(micros(10), [&] { order.push_back(1); });
+  q.push(micros(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(micros(50), [] {});
+  q.push(micros(20), [] {});
+  EXPECT_EQ(q.next_time(), micros(20));
+}
+
+TEST(EventQueueTest, CancelRemovesPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto token = q.push(micros(10), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(token));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownTokenIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const auto token = q.push(micros(10), [] {});
+  EXPECT_TRUE(q.cancel(token));
+  EXPECT_FALSE(q.cancel(token));
+}
+
+TEST(EventQueueTest, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(micros(10), [&] { order.push_back(1); });
+  const auto token = q.push(micros(20), [&] { order.push_back(2); });
+  q.push(micros(30), [&] { order.push_back(3); });
+  q.cancel(token);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(micros(42), [] {});
+  auto [at, fn] = q.pop();
+  EXPECT_EQ(at, micros(42));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const auto a = q.push(micros(1), [] {});
+  q.push(micros(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i) {
+    q.push(micros(i), [] {});
+  }
+  Time last = Time::zero();
+  while (!q.empty()) {
+    auto [at, fn] = q.pop();
+    EXPECT_GE(at, last);
+    last = at;
+  }
+}
+
+}  // namespace
+}  // namespace coeff::sim

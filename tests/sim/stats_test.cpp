@@ -1,0 +1,151 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coeff::sim {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleSample) {
+  StreamingStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats c = a;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), 2u);
+  StreamingStats d = empty;
+  d.merge(a);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(PercentileTrackerTest, NearestRankSemantics) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.add(i);
+  EXPECT_DOUBLE_EQ(t.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(t.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(t.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(t.percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0), 1.0);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.percentile(50), 0.0);
+}
+
+TEST(PercentileTrackerTest, OutOfRangeThrows) {
+  PercentileTracker t;
+  t.add(1.0);
+  EXPECT_THROW((void)t.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)t.percentile(101), std::invalid_argument);
+}
+
+TEST(PercentileTrackerTest, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.add(5.0);
+  EXPECT_DOUBLE_EQ(t.median(), 5.0);
+  t.add(1.0);
+  t.add(9.0);
+  EXPECT_DOUBLE_EQ(t.median(), 5.0);
+  t.add(10.0);
+  t.add(11.0);
+  EXPECT_DOUBLE_EQ(t.median(), 9.0);
+}
+
+TEST(HistogramTest, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, UnderAndOverflowBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(HistogramTest, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string out = h.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(LatencyStatsTest, AccumulatesMilliseconds) {
+  LatencyStats s;
+  s.add(millis(2));
+  s.add(millis(4));
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max_ms(), 4.0);
+}
+
+}  // namespace
+}  // namespace coeff::sim

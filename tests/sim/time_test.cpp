@@ -1,0 +1,79 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::sim {
+namespace {
+
+TEST(TimeTest, FactoriesScaleToNanoseconds) {
+  EXPECT_EQ(nanos(5).ns(), 5);
+  EXPECT_EQ(micros(5).ns(), 5'000);
+  EXPECT_EQ(millis(5).ns(), 5'000'000);
+  EXPECT_EQ(seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(TimeTest, DefaultIsZero) {
+  EXPECT_EQ(Time{}.ns(), 0);
+  EXPECT_EQ(Time::zero().ns(), 0);
+}
+
+TEST(TimeTest, ArithmeticIsClosed) {
+  EXPECT_EQ((millis(3) + micros(500)).ns(), 3'500'000);
+  EXPECT_EQ((millis(3) - micros(500)).ns(), 2'500'000);
+  EXPECT_EQ((micros(7) * 3).ns(), 21'000);
+  EXPECT_EQ((3 * micros(7)).ns(), 21'000);
+}
+
+TEST(TimeTest, DivisionCountsWholeSpans) {
+  EXPECT_EQ(millis(10) / millis(3), 3);
+  EXPECT_EQ(millis(9) / millis(3), 3);
+  EXPECT_EQ(millis(2) / millis(3), 0);
+}
+
+TEST(TimeTest, ModuloGivesRemainder) {
+  EXPECT_EQ(millis(10) % millis(3), millis(1));
+  EXPECT_EQ(millis(9) % millis(3), Time::zero());
+}
+
+TEST(TimeTest, ComparisonsAreTotal) {
+  EXPECT_LT(micros(1), micros(2));
+  EXPECT_LE(micros(2), micros(2));
+  EXPECT_GT(millis(1), micros(999));
+  EXPECT_EQ(millis(1), micros(1000));
+  EXPECT_NE(millis(1), micros(1001));
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = millis(1);
+  t += micros(500);
+  EXPECT_EQ(t, micros(1500));
+  t -= micros(1500);
+  EXPECT_EQ(t, Time::zero());
+}
+
+TEST(TimeTest, ConversionsToFloatingUnits) {
+  EXPECT_DOUBLE_EQ(micros(1500).as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(micros(1500).as_us(), 1500.0);
+  EXPECT_DOUBLE_EQ(millis(2500).as_seconds(), 2.5);
+}
+
+TEST(TimeTest, MaxActsAsInfinity) {
+  EXPECT_GT(Time::max(), seconds(1'000'000));
+}
+
+TEST(TimeTest, ToStringPicksAdaptiveUnit) {
+  EXPECT_EQ(to_string(nanos(17)), "17ns");
+  EXPECT_EQ(to_string(micros(4)), "4.000us");
+  EXPECT_EQ(to_string(millis(4)), "4.000ms");
+  EXPECT_EQ(to_string(seconds(4)), "4.000s");
+  EXPECT_EQ(to_string(micros(4700)), "4.700ms");
+}
+
+TEST(TimeTest, NegativeSpansBehave) {
+  const Time t = micros(1) - micros(3);
+  EXPECT_LT(t, Time::zero());
+  EXPECT_EQ(t.ns(), -2'000);
+}
+
+}  // namespace
+}  // namespace coeff::sim

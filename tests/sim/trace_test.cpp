@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coeff::sim {
+namespace {
+
+TEST(TraceTest, RecordsEvents) {
+  Trace t;
+  t.emit(micros(1), TraceKind::kTxStart, 1, 2, 3, "hello");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].at, micros(1));
+  EXPECT_EQ(t.records()[0].kind, TraceKind::kTxStart);
+  EXPECT_EQ(t.records()[0].a, 1);
+  EXPECT_EQ(t.records()[0].b, 2);
+  EXPECT_EQ(t.records()[0].c, 3);
+  EXPECT_EQ(t.records()[0].note, "hello");
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  Trace t;
+  t.set_enabled(false);
+  t.emit(micros(1), TraceKind::kTxStart);
+  EXPECT_TRUE(t.records().empty());
+  t.set_enabled(true);
+  t.emit(micros(2), TraceKind::kTxSuccess);
+  EXPECT_EQ(t.records().size(), 1u);
+}
+
+TEST(TraceTest, CountFiltersByKind) {
+  Trace t;
+  t.emit(micros(1), TraceKind::kTxSuccess);
+  t.emit(micros(2), TraceKind::kTxCorrupted);
+  t.emit(micros(3), TraceKind::kTxSuccess);
+  EXPECT_EQ(t.count(TraceKind::kTxSuccess), 2u);
+  EXPECT_EQ(t.count(TraceKind::kTxCorrupted), 1u);
+  EXPECT_EQ(t.count(TraceKind::kDeadlineMiss), 0u);
+}
+
+TEST(TraceTest, ClearEmptiesTheLog) {
+  Trace t;
+  t.emit(micros(1), TraceKind::kInfo);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(TraceTest, DumpContainsKindNames) {
+  Trace t;
+  t.emit(micros(1), TraceKind::kSlackStolen, 4, 5);
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("slack_stolen"), std::string::npos);
+  EXPECT_NE(dump.find("a=4"), std::string::npos);
+}
+
+TEST(TraceTest, AllKindsHaveNames) {
+  for (auto kind :
+       {TraceKind::kCycleStart, TraceKind::kSlotStart, TraceKind::kTxStart,
+        TraceKind::kTxSuccess, TraceKind::kTxCorrupted,
+        TraceKind::kRetransmissionScheduled, TraceKind::kSlackStolen,
+        TraceKind::kDeadlineMiss, TraceKind::kDeadlineMet,
+        TraceKind::kQueueDrop, TraceKind::kInfo}) {
+    EXPECT_STRNE(to_string(kind), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace coeff::sim
