@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_2_running_time.cpp" "bench/CMakeFiles/fig1_2_running_time.dir/fig1_2_running_time.cpp.o" "gcc" "bench/CMakeFiles/fig1_2_running_time.dir/fig1_2_running_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/coeff_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cruise.dir/adaptive_cruise.cpp.o"
+  "CMakeFiles/adaptive_cruise.dir/adaptive_cruise.cpp.o.d"
+  "adaptive_cruise"
+  "adaptive_cruise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cruise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

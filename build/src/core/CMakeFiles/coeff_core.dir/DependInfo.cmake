@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coefficient.cpp" "src/core/CMakeFiles/coeff_core.dir/coefficient.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/coefficient.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/coeff_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fspec.cpp" "src/core/CMakeFiles/coeff_core.dir/fspec.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/fspec.cpp.o.d"
+  "/root/repo/src/core/hosa.cpp" "src/core/CMakeFiles/coeff_core.dir/hosa.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/hosa.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/coeff_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/scheduler_base.cpp" "src/core/CMakeFiles/coeff_core.dir/scheduler_base.cpp.o" "gcc" "src/core/CMakeFiles/coeff_core.dir/scheduler_base.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/coeff_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coeff_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_core.dir/coefficient.cpp.o"
+  "CMakeFiles/coeff_core.dir/coefficient.cpp.o.d"
+  "CMakeFiles/coeff_core.dir/experiment.cpp.o"
+  "CMakeFiles/coeff_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/coeff_core.dir/fspec.cpp.o"
+  "CMakeFiles/coeff_core.dir/fspec.cpp.o.d"
+  "CMakeFiles/coeff_core.dir/hosa.cpp.o"
+  "CMakeFiles/coeff_core.dir/hosa.cpp.o.d"
+  "CMakeFiles/coeff_core.dir/metrics.cpp.o"
+  "CMakeFiles/coeff_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/coeff_core.dir/scheduler_base.cpp.o"
+  "CMakeFiles/coeff_core.dir/scheduler_base.cpp.o.d"
+  "libcoeff_core.a"
+  "libcoeff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

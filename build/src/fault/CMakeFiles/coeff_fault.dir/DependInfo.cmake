@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/ber.cpp" "src/fault/CMakeFiles/coeff_fault.dir/ber.cpp.o" "gcc" "src/fault/CMakeFiles/coeff_fault.dir/ber.cpp.o.d"
+  "/root/repo/src/fault/iec61508.cpp" "src/fault/CMakeFiles/coeff_fault.dir/iec61508.cpp.o" "gcc" "src/fault/CMakeFiles/coeff_fault.dir/iec61508.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/coeff_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/coeff_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/reliability.cpp" "src/fault/CMakeFiles/coeff_fault.dir/reliability.cpp.o" "gcc" "src/fault/CMakeFiles/coeff_fault.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

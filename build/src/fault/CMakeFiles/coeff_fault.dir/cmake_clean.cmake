@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_fault.dir/ber.cpp.o"
+  "CMakeFiles/coeff_fault.dir/ber.cpp.o.d"
+  "CMakeFiles/coeff_fault.dir/iec61508.cpp.o"
+  "CMakeFiles/coeff_fault.dir/iec61508.cpp.o.d"
+  "CMakeFiles/coeff_fault.dir/injector.cpp.o"
+  "CMakeFiles/coeff_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/coeff_fault.dir/reliability.cpp.o"
+  "CMakeFiles/coeff_fault.dir/reliability.cpp.o.d"
+  "libcoeff_fault.a"
+  "libcoeff_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

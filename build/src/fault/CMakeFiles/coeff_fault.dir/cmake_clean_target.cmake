@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoeff_fault.a"
+)

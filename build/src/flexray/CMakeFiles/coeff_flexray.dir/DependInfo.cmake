@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flexray/bus.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/bus.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/bus.cpp.o.d"
+  "/root/repo/src/flexray/chi.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/chi.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/chi.cpp.o.d"
+  "/root/repo/src/flexray/clock_sync.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/clock_sync.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/clock_sync.cpp.o.d"
+  "/root/repo/src/flexray/cluster.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/cluster.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/cluster.cpp.o.d"
+  "/root/repo/src/flexray/codec.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/codec.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/codec.cpp.o.d"
+  "/root/repo/src/flexray/config.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/config.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/config.cpp.o.d"
+  "/root/repo/src/flexray/frame.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/frame.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/frame.cpp.o.d"
+  "/root/repo/src/flexray/timing.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/timing.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/timing.cpp.o.d"
+  "/root/repo/src/flexray/topology.cpp" "src/flexray/CMakeFiles/coeff_flexray.dir/topology.cpp.o" "gcc" "src/flexray/CMakeFiles/coeff_flexray.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_flexray.dir/bus.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/bus.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/chi.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/chi.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/clock_sync.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/cluster.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/cluster.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/codec.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/codec.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/config.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/config.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/frame.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/frame.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/timing.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/timing.cpp.o.d"
+  "CMakeFiles/coeff_flexray.dir/topology.cpp.o"
+  "CMakeFiles/coeff_flexray.dir/topology.cpp.o.d"
+  "libcoeff_flexray.a"
+  "libcoeff_flexray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_flexray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_net.dir/csv.cpp.o"
+  "CMakeFiles/coeff_net.dir/csv.cpp.o.d"
+  "CMakeFiles/coeff_net.dir/message.cpp.o"
+  "CMakeFiles/coeff_net.dir/message.cpp.o.d"
+  "CMakeFiles/coeff_net.dir/signal.cpp.o"
+  "CMakeFiles/coeff_net.dir/signal.cpp.o.d"
+  "CMakeFiles/coeff_net.dir/workloads.cpp.o"
+  "CMakeFiles/coeff_net.dir/workloads.cpp.o.d"
+  "libcoeff_net.a"
+  "libcoeff_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/aperiodic_server.cpp" "src/sched/CMakeFiles/coeff_sched.dir/aperiodic_server.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/aperiodic_server.cpp.o.d"
+  "/root/repo/src/sched/periodic_schedule.cpp" "src/sched/CMakeFiles/coeff_sched.dir/periodic_schedule.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/periodic_schedule.cpp.o.d"
+  "/root/repo/src/sched/rta.cpp" "src/sched/CMakeFiles/coeff_sched.dir/rta.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/rta.cpp.o.d"
+  "/root/repo/src/sched/schedule_table.cpp" "src/sched/CMakeFiles/coeff_sched.dir/schedule_table.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/schedule_table.cpp.o.d"
+  "/root/repo/src/sched/slack_stealer.cpp" "src/sched/CMakeFiles/coeff_sched.dir/slack_stealer.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/slack_stealer.cpp.o.d"
+  "/root/repo/src/sched/slack_table.cpp" "src/sched/CMakeFiles/coeff_sched.dir/slack_table.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/slack_table.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/sched/CMakeFiles/coeff_sched.dir/task.cpp.o" "gcc" "src/sched/CMakeFiles/coeff_sched.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_sched.dir/aperiodic_server.cpp.o"
+  "CMakeFiles/coeff_sched.dir/aperiodic_server.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/periodic_schedule.cpp.o"
+  "CMakeFiles/coeff_sched.dir/periodic_schedule.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/rta.cpp.o"
+  "CMakeFiles/coeff_sched.dir/rta.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/schedule_table.cpp.o"
+  "CMakeFiles/coeff_sched.dir/schedule_table.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/slack_stealer.cpp.o"
+  "CMakeFiles/coeff_sched.dir/slack_stealer.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/slack_table.cpp.o"
+  "CMakeFiles/coeff_sched.dir/slack_table.cpp.o.d"
+  "CMakeFiles/coeff_sched.dir/task.cpp.o"
+  "CMakeFiles/coeff_sched.dir/task.cpp.o.d"
+  "libcoeff_sched.a"
+  "libcoeff_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

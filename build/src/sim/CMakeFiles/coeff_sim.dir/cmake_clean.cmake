@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeff_sim.dir/engine.cpp.o"
+  "CMakeFiles/coeff_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/coeff_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/coeff_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/coeff_sim.dir/random.cpp.o"
+  "CMakeFiles/coeff_sim.dir/random.cpp.o.d"
+  "CMakeFiles/coeff_sim.dir/stats.cpp.o"
+  "CMakeFiles/coeff_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/coeff_sim.dir/time.cpp.o"
+  "CMakeFiles/coeff_sim.dir/time.cpp.o.d"
+  "CMakeFiles/coeff_sim.dir/trace.cpp.o"
+  "CMakeFiles/coeff_sim.dir/trace.cpp.o.d"
+  "libcoeff_sim.a"
+  "libcoeff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coefficient_test.cpp" "tests/CMakeFiles/core_tests.dir/core/coefficient_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/coefficient_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/fspec_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fspec_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fspec_test.cpp.o.d"
+  "/root/repo/tests/core/hosa_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hosa_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hosa_test.cpp.o.d"
+  "/root/repo/tests/core/instance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/instance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/instance_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/coeff_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

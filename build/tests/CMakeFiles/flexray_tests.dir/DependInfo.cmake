@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flexray/bus_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/bus_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/bus_test.cpp.o.d"
+  "/root/repo/tests/flexray/chi_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/chi_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/chi_test.cpp.o.d"
+  "/root/repo/tests/flexray/clock_sync_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/clock_sync_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/clock_sync_test.cpp.o.d"
+  "/root/repo/tests/flexray/cluster_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/cluster_test.cpp.o.d"
+  "/root/repo/tests/flexray/codec_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/codec_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/codec_test.cpp.o.d"
+  "/root/repo/tests/flexray/config_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/config_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/config_test.cpp.o.d"
+  "/root/repo/tests/flexray/frame_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/frame_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/frame_test.cpp.o.d"
+  "/root/repo/tests/flexray/timing_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/timing_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/timing_test.cpp.o.d"
+  "/root/repo/tests/flexray/topology_test.cpp" "tests/CMakeFiles/flexray_tests.dir/flexray/topology_test.cpp.o" "gcc" "tests/CMakeFiles/flexray_tests.dir/flexray/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/coeff_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

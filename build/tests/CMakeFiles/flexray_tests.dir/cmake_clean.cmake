@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexray_tests.dir/flexray/bus_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/bus_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/chi_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/chi_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/clock_sync_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/clock_sync_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/cluster_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/cluster_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/codec_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/codec_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/config_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/config_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/frame_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/frame_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/timing_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/timing_test.cpp.o.d"
+  "CMakeFiles/flexray_tests.dir/flexray/topology_test.cpp.o"
+  "CMakeFiles/flexray_tests.dir/flexray/topology_test.cpp.o.d"
+  "flexray_tests"
+  "flexray_tests.pdb"
+  "flexray_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexray_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/aperiodic_server_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/aperiodic_server_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/aperiodic_server_test.cpp.o.d"
+  "/root/repo/tests/sched/periodic_schedule_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/periodic_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/periodic_schedule_test.cpp.o.d"
+  "/root/repo/tests/sched/rta_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/rta_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/rta_test.cpp.o.d"
+  "/root/repo/tests/sched/schedule_table_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/schedule_table_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/schedule_table_test.cpp.o.d"
+  "/root/repo/tests/sched/slack_stealer_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/slack_stealer_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/slack_stealer_test.cpp.o.d"
+  "/root/repo/tests/sched/slack_table_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/slack_table_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/slack_table_test.cpp.o.d"
+  "/root/repo/tests/sched/task_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/task_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/task_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/coeff_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coeff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexray/CMakeFiles/coeff_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coeff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

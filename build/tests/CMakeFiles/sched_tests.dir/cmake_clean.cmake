@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/aperiodic_server_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/aperiodic_server_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/periodic_schedule_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/periodic_schedule_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/rta_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/rta_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/schedule_table_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/schedule_table_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/slack_stealer_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/slack_stealer_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/slack_table_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/slack_table_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/task_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/task_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

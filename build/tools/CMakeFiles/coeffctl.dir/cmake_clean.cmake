@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coeffctl.dir/coeffctl.cpp.o"
+  "CMakeFiles/coeffctl.dir/coeffctl.cpp.o.d"
+  "coeffctl"
+  "coeffctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coeffctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

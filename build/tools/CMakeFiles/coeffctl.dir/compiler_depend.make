@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coeffctl.
+# This may be replaced when dependencies are built.
