@@ -19,8 +19,7 @@ core::ExperimentConfig base_config() {
   return config;
 }
 
-void report(const char* name, const core::ExperimentConfig& config) {
-  const auto r = core::run_experiment(config, core::SchemeKind::kCoEfficient);
+void report(const char* name, const core::ExperimentResult& r) {
   std::printf(
       "%-22s | miss=%6.2f%% dyn_miss=%6.2f%% dyn_lat=%7.3fms "
       "retx(sent/dropped)=%lld/%lld added_load=%.0f b/s rel=%.9f\n",
@@ -35,23 +34,29 @@ void report(const char* name, const core::ExperimentConfig& config) {
 }  // namespace
 }  // namespace coeff::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
-  std::printf("Ablations — what each CoEfficient mechanism contributes\n\n");
-
-  report("full CoEfficient", base_config());
+  const BenchOptions opt = parse_bench_args(argc, argv);
 
   auto uniform = base_config();
   uniform.ablation_uniform_plan = true;
-  report("uniform retx plan", uniform);
-
   auto no_slack = base_config();
   no_slack.ablation_no_slack = true;
-  report("no slack stealing", no_slack);
-
   auto single = base_config();
   single.ablation_single_channel = true;
-  report("single-channel dynamics", single);
 
+  const std::vector<coeff::core::SweepCell> cells = {
+      {base_config(), coeff::core::SchemeKind::kCoEfficient, "full"},
+      {uniform, coeff::core::SchemeKind::kCoEfficient, "uniform_plan"},
+      {no_slack, coeff::core::SchemeKind::kCoEfficient, "no_slack"},
+      {single, coeff::core::SchemeKind::kCoEfficient, "single_channel"},
+  };
+  const auto report_cells = run_sweep("ablation_design", cells, opt);
+
+  std::printf("Ablations — what each CoEfficient mechanism contributes\n\n");
+  report("full CoEfficient", report_cells.cells[0].result);
+  report("uniform retx plan", report_cells.cells[1].result);
+  report("no slack stealing", report_cells.cells[2].result);
+  report("single-channel dynamics", report_cells.cells[3].result);
   return 0;
 }

@@ -5,23 +5,32 @@
 // retransmission (which only CoEfficient has).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
-  std::printf("Baseline comparison — CoEfficient vs HOSA vs FSPEC\n");
-  print_header("loaded synthetic + SAE aperiodics, 50 minislots, BER=1e-7");
-  std::printf("%-12s | %9s %12s %13s | %11s %13s | %10s\n", "scheme",
-              "miss[%]", "stat miss[%]", "dyn miss[%]", "dyn lat[ms]",
-              "dyn util[%]", "rel sched");
+  const BenchOptions opt = parse_bench_args(argc, argv);
 
   coeff::core::ExperimentConfig config;
   config.cluster = coeff::core::paper_cluster_dynamic_suite(50);
   apply_loaded_defaults(config);
   config.ber = 1e-7;
 
+  std::vector<coeff::core::SweepCell> cells;
   for (auto scheme :
        {coeff::core::SchemeKind::kCoEfficient, coeff::core::SchemeKind::kHosa,
         coeff::core::SchemeKind::kFspec}) {
-    const auto r = coeff::core::run_experiment(config, scheme);
+    cells.push_back({config, scheme, coeff::core::to_string(scheme)});
+  }
+  const auto report = run_sweep("baseline_comparison", cells, opt);
+
+  std::printf("Baseline comparison — CoEfficient vs HOSA vs FSPEC\n");
+  print_header("loaded synthetic + SAE aperiodics, 50 minislots, BER=1e-7");
+  std::printf("%-12s | %9s %12s %13s | %11s %13s | %10s\n", "scheme",
+              "miss[%]", "stat miss[%]", "dyn miss[%]", "dyn lat[ms]",
+              "dyn util[%]", "rel sched");
+
+  for (const auto& cell : report.cells) {
+    const auto& r = cell.result;
+    const auto scheme = r.scheme;
     std::printf("%-12s | %9.2f %12.2f %13.2f | %11.3f %13.1f | %10.6f\n",
                 coeff::core::to_string(scheme),
                 r.run.overall_miss_ratio() * 100.0,

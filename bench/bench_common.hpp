@@ -6,9 +6,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "net/workloads.hpp"
 
 namespace coeff::bench {
@@ -68,17 +72,95 @@ inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
-/// Run one config under both schemes.
-struct Pair {
-  core::ExperimentResult coeff;
-  core::ExperimentResult fspec;
+/// Command-line options shared by every figure binary. Figure rows on
+/// stdout are byte-identical for any `--jobs` value; timing lives on
+/// stderr and in the JSON report.
+struct BenchOptions {
+  int jobs = 0;  // 0 = COEFF_JOBS env var, else hardware concurrency
+  std::string sweep_json = "BENCH_sweep.json";
 };
 
-inline Pair run_both(const core::ExperimentConfig& config) {
-  return Pair{
-      core::run_experiment(config, core::SchemeKind::kCoEfficient),
-      core::run_experiment(config, core::SchemeKind::kFspec),
-  };
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      opt.jobs = std::atoi(next("--jobs"));
+    } else if (arg == "--sweep-json") {
+      opt.sweep_json = next("--sweep-json");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--jobs N] [--sweep-json PATH]\n"
+          "  --jobs N          parallel sweep workers (default: COEFF_JOBS\n"
+          "                    env var, else hardware concurrency)\n"
+          "  --sweep-json PATH per-cell wall-time report; empty string\n"
+          "                    disables it (default: BENCH_sweep.json)\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Run the cell grid through SweepRunner, emit the timing JSON, and
+/// print a one-line summary to stderr.
+inline core::SweepReport run_sweep(const std::string& suite,
+                                   const std::vector<core::SweepCell>& cells,
+                                   const BenchOptions& opt) {
+  const core::SweepRunner runner(opt.jobs);
+  core::SweepReport report = runner.run(cells);
+  if (!opt.sweep_json.empty()) {
+    // A bad report path must not discard a finished sweep: warn and
+    // still print the figure.
+    try {
+      core::write_sweep_json(report, suite, opt.sweep_json);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[sweep] warning: %s\n", e.what());
+    }
+  }
+  const std::string sink =
+      opt.sweep_json.empty() ? std::string() : " -> " + opt.sweep_json;
+  std::fprintf(stderr,
+               "[sweep] %s: %zu cells, jobs=%d, wall=%.3fs, serial=%.3fs "
+               "(%.2fx)%s\n",
+               suite.c_str(), report.cells.size(), report.jobs,
+               report.total_wall_seconds, report.serial_estimate_seconds,
+               report.speedup_estimate(), sink.c_str());
+  return report;
+}
+
+/// The Fig.5 grid — minislots × BER × scheme, in print order. Shared
+/// with the sweep determinism test, which replays the full grid under
+/// different job counts and requires identical results.
+inline std::vector<core::SweepCell> fig5_cells() {
+  std::vector<core::SweepCell> cells;
+  for (std::int64_t minislots : {25, 50, 75, 100}) {
+    for (double ber : {1e-7, 1e-9}) {
+      core::ExperimentConfig config;
+      config.cluster = core::paper_cluster_dynamic_suite(minislots);
+      apply_loaded_defaults(config);
+      config.ber = ber;
+      config.sil = sil_for_ber(ber);
+      for (const auto scheme :
+           {core::SchemeKind::kCoEfficient, core::SchemeKind::kFspec}) {
+        cells.push_back({config, scheme,
+                         "minislots=" + std::to_string(minislots) +
+                             "/ber=" + (ber < 1e-8 ? "1e-9" : "1e-7") + "/" +
+                             core::to_string(scheme)});
+      }
+    }
+  }
+  return cells;
 }
 
 }  // namespace coeff::bench

@@ -17,46 +17,89 @@
 namespace coeff::bench {
 namespace {
 
-void run_suite(const char* name, double ber, bool synthetic) {
-  print_header(std::string(name) + " (BER=" + (ber < 1e-8 ? "1e-9" : "1e-7") +
-               ")");
+struct Suite {
+  const char* name;
+  double ber;
+  bool synthetic;
+};
+
+constexpr Suite kSuites[] = {
+    {"apps", 1e-7, false},      // Fig 1(a)
+    {"synthetic", 1e-7, true},  // Fig 1(b)
+    {"apps", 1e-9, false},      // Fig 2(a)
+    {"synthetic", 1e-9, true},  // Fig 2(b)
+};
+
+std::vector<std::size_t> message_sweep(const Suite& suite) {
+  return suite.synthetic ? std::vector<std::size_t>{40, 80, 120, 160, 200}
+                         : std::vector<std::size_t>{10, 20, 30, 40};
+}
+
+core::ExperimentConfig row_config(const Suite& suite, std::int64_t slots,
+                                  std::size_t n) {
+  core::ExperimentConfig config;
+  if (suite.synthetic) {
+    config.cluster = core::paper_cluster_static_suite(slots);
+    config.statics = synthetic_statics(n, 42);
+  } else {
+    // BBW/ACC need the 1 ms application cycle; the 80/120-slot knob
+    // maps to its dynamic-segment share (see EXPERIMENTS.md).
+    config.cluster = core::paper_cluster_apps(slots == 80 ? 25 : 10);
+    config.statics = app_statics().prefix(n);
+  }
+  config.dynamics = sae_dynamics(
+      static_cast<int>(config.cluster.g_number_of_static_slots), 7,
+      /*heavy=*/true);
+  // Bursty aperiodic traffic loads the dynamic segment; the batch
+  // makespan is dominated by how fast each scheme can drain it.
+  config.arrivals.process = net::ArrivalProcess::kBursty;
+  config.arrivals.burst = 20;
+  config.ber = suite.ber;
+  config.sil = sil_for_ber(suite.ber);
+  config.batch_window = sim::millis(500);
+  config.drain_batch = true;
+  config.seed = 42;
+  return config;
+}
+
+std::vector<core::SweepCell> build_cells() {
+  std::vector<core::SweepCell> cells;
+  for (const Suite& suite : kSuites) {
+    for (std::int64_t slots : {80, 120}) {
+      for (std::size_t n : message_sweep(suite)) {
+        const auto config = row_config(suite, slots, n);
+        for (const auto scheme :
+             {core::SchemeKind::kCoEfficient, core::SchemeKind::kFspec}) {
+          cells.push_back({config, scheme,
+                           std::string(suite.name) +
+                               "/ber=" + (suite.ber < 1e-8 ? "1e-9" : "1e-7") +
+                               "/slots=" + std::to_string(slots) +
+                               "/n=" + std::to_string(n) + "/" +
+                               core::to_string(scheme)});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void print_suite(const Suite& suite, const core::SweepReport& report,
+                 std::size_t& cell) {
+  print_header(std::string(suite.name) +
+               " (BER=" + (suite.ber < 1e-8 ? "1e-9" : "1e-7") + ")");
   std::printf("%-10s %6s %9s | %14s %14s %7s\n", "suite", "slots", "messages",
               "CoEfficient[s]", "FSPEC[s]", "ratio");
   for (std::int64_t slots : {80, 120}) {
-    const std::vector<std::size_t> sweep =
-        synthetic ? std::vector<std::size_t>{40, 80, 120, 160, 200}
-                  : std::vector<std::size_t>{10, 20, 30, 40};
-    for (std::size_t n : sweep) {
-      core::ExperimentConfig config;
-      if (synthetic) {
-        config.cluster = core::paper_cluster_static_suite(slots);
-        config.statics = synthetic_statics(n, 42);
-      } else {
-        // BBW/ACC need the 1 ms application cycle; the 80/120-slot knob
-        // maps to its dynamic-segment share (see EXPERIMENTS.md).
-        config.cluster = core::paper_cluster_apps(slots == 80 ? 25 : 10);
-        config.statics = app_statics().prefix(n);
-      }
-      config.dynamics = sae_dynamics(
-          static_cast<int>(config.cluster.g_number_of_static_slots), 7,
-          /*heavy=*/true);
-      // Bursty aperiodic traffic loads the dynamic segment; the batch
-      // makespan is dominated by how fast each scheme can drain it.
-      config.arrivals.process = net::ArrivalProcess::kBursty;
-      config.arrivals.burst = 20;
-      config.ber = ber;
-      config.sil = sil_for_ber(ber);
-      config.batch_window = sim::millis(500);
-      config.drain_batch = true;
-      config.seed = 42;
-      const auto pair = run_both(config);
-      std::printf("%-10s %6lld %9zu | %14.3f %14.3f %6.2fx%s\n", name,
+    for (std::size_t n : message_sweep(suite)) {
+      const auto& coeff = report.cells[cell++].result;
+      const auto& fspec = report.cells[cell++].result;
+      std::printf("%-10s %6lld %9zu | %14.3f %14.3f %6.2fx%s\n", suite.name,
                   static_cast<long long>(slots), n,
-                  pair.coeff.run.running_time.as_seconds(),
-                  pair.fspec.run.running_time.as_seconds(),
-                  pair.fspec.run.running_time.as_seconds() /
-                      pair.coeff.run.running_time.as_seconds(),
-                  pair.fspec.drained ? "" : " (FSPEC drain capped)");
+                  coeff.run.running_time.as_seconds(),
+                  fspec.run.running_time.as_seconds(),
+                  fspec.run.running_time.as_seconds() /
+                      coeff.run.running_time.as_seconds(),
+                  fspec.drained ? "" : " (FSPEC drain capped)");
     }
   }
 }
@@ -64,12 +107,13 @@ void run_suite(const char* name, double ber, bool synthetic) {
 }  // namespace
 }  // namespace coeff::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const auto report = run_sweep("fig1_2_running_time", build_cells(), opt);
+
   std::printf("Fig.1/2 — running time (batch makespan)\n");
-  run_suite("apps", 1e-7, false);      // Fig 1(a)
-  run_suite("synthetic", 1e-7, true);  // Fig 1(b)
-  run_suite("apps", 1e-9, false);      // Fig 2(a)
-  run_suite("synthetic", 1e-9, true);  // Fig 2(b)
+  std::size_t cell = 0;
+  for (const Suite& suite : kSuites) print_suite(suite, report, cell);
   return 0;
 }

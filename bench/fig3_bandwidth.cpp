@@ -11,12 +11,11 @@
 // the paper).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
-  std::printf("Fig.3 — dynamic-segment bandwidth utilization\n");
-  print_header("synthetic statics + saturating SAE aperiodics, BER=1e-7");
-  std::printf("%9s | %10s %10s %10s | %12s %12s\n", "minislots", "CoEff[%]",
-              "FSPEC[%]", "gain[pts]", "CoEff Mb/s", "FSPEC Mb/s");
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  std::vector<coeff::core::SweepCell> cells;
   for (std::int64_t minislots : {25, 50, 75, 100}) {
     coeff::core::ExperimentConfig config;
     config.cluster = coeff::core::paper_cluster_dynamic_suite(minislots);
@@ -25,7 +24,23 @@ int main() {
     // segment that stays loaded across the whole 25..100 minislot sweep.
     config.arrivals.burst = 20;
     config.ber = 1e-7;
-    const auto pair = run_both(config);
+    for (const auto scheme : {coeff::core::SchemeKind::kCoEfficient,
+                              coeff::core::SchemeKind::kFspec}) {
+      cells.push_back({config, scheme,
+                       "minislots=" + std::to_string(minislots) + "/" +
+                           coeff::core::to_string(scheme)});
+    }
+  }
+  const auto report = run_sweep("fig3_bandwidth", cells, opt);
+
+  std::printf("Fig.3 — dynamic-segment bandwidth utilization\n");
+  print_header("synthetic statics + saturating SAE aperiodics, BER=1e-7");
+  std::printf("%9s | %10s %10s %10s | %12s %12s\n", "minislots", "CoEff[%]",
+              "FSPEC[%]", "gain[pts]", "CoEff Mb/s", "FSPEC Mb/s");
+  std::size_t cell = 0;
+  for (std::int64_t minislots : {25, 50, 75, 100}) {
+    const auto& coeff = report.cells[cell++].result;
+    const auto& fspec = report.cells[cell++].result;
 
     auto dyn_util = [](const coeff::core::ExperimentResult& r) {
       const double capacity_bits =
@@ -42,11 +57,11 @@ int main() {
                                r.run.dynamics.useful_payload_bits) /
                                secs / 1e6;
     };
-    const double c = dyn_util(pair.coeff) * 100.0;
-    const double f = dyn_util(pair.fspec) * 100.0;
+    const double c = dyn_util(coeff) * 100.0;
+    const double f = dyn_util(fspec) * 100.0;
     std::printf("%9lld | %10.1f %10.1f %10.1f | %12.2f %12.2f\n",
                 static_cast<long long>(minislots), c, f, c - f,
-                throughput(pair.coeff), throughput(pair.fspec));
+                throughput(coeff), throughput(fspec));
   }
   std::printf(
       "\nCoEff values above 100%% = dynamic traffic carried through stolen\n"

@@ -13,45 +13,83 @@
 namespace coeff::bench {
 namespace {
 
-void run_panel(const char* panel, const char* suite, bool synthetic) {
-  print_header(std::string("Fig.4(") + panel + ") " + suite);
+struct Panel {
+  const char* panel;
+  const char* suite;
+  bool synthetic;
+};
+
+constexpr Panel kPanels[] = {
+    {"a,c", "synthetic", true},
+    {"b,d", "BBW+ACC", false},
+};
+
+core::ExperimentConfig panel_config(const Panel& panel, std::int64_t minislots,
+                                    double ber) {
+  core::ExperimentConfig config;
+  if (panel.synthetic) {
+    config.cluster = core::paper_cluster_dynamic_suite(minislots);
+    apply_loaded_defaults(config);
+  } else {
+    config.cluster =
+        core::paper_cluster_apps(std::min<std::int64_t>(minislots / 2, 31));
+    apply_loaded_defaults(config);
+    config.statics = app_statics();
+    config.dynamics = sae_dynamics(
+        static_cast<int>(config.cluster.g_number_of_static_slots), 7,
+        /*heavy=*/true);
+  }
+  config.ber = ber;
+  config.sil = sil_for_ber(ber);
+  return config;
+}
+
+std::vector<core::SweepCell> build_cells() {
+  std::vector<core::SweepCell> cells;
+  for (const Panel& panel : kPanels) {
+    for (std::int64_t minislots : {50, 100}) {
+      for (double ber : {1e-7, 1e-9}) {
+        const auto config = panel_config(panel, minislots, ber);
+        for (const auto scheme :
+             {core::SchemeKind::kCoEfficient, core::SchemeKind::kFspec}) {
+          cells.push_back({config, scheme,
+                           std::string(panel.suite) +
+                               "/minislots=" + std::to_string(minislots) +
+                               "/ber=" + (ber < 1e-8 ? "1e-9" : "1e-7") + "/" +
+                               core::to_string(scheme)});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void print_panel(const Panel& panel, const core::SweepReport& report,
+                 std::size_t& cell) {
+  print_header(std::string("Fig.4(") + panel.panel + ") " + panel.suite);
   std::printf(
       "%9s %7s | %-15s | %13s %13s | %13s %13s\n", "minislots", "BER",
       "metric", "CoEff stat[ms]", "FSPEC stat[ms]", "CoEff dyn[ms]",
       "FSPEC dyn[ms]");
   for (std::int64_t minislots : {50, 100}) {
     for (double ber : {1e-7, 1e-9}) {
-      core::ExperimentConfig config;
-      if (synthetic) {
-        config.cluster = core::paper_cluster_dynamic_suite(minislots);
-        apply_loaded_defaults(config);
-      } else {
-        config.cluster =
-            core::paper_cluster_apps(std::min<std::int64_t>(minislots / 2, 31));
-        apply_loaded_defaults(config);
-        config.statics = app_statics();
-        config.dynamics = sae_dynamics(
-            static_cast<int>(config.cluster.g_number_of_static_slots), 7,
-            /*heavy=*/true);
-      }
-      config.ber = ber;
-      config.sil = sil_for_ber(ber);
-      const auto pair = run_both(config);
+      const auto& coeff = report.cells[cell++].result;
+      const auto& fspec = report.cells[cell++].result;
       const char* ber_name = ber < 1e-8 ? "1e-9" : "1e-7";
       // Completion latency is the paper's metric ("from the generation
       // time to the ending time" of the whole transmission).
       std::printf("%9lld %7s | %-15s | %13.3f %13.3f | %13.3f %13.3f\n",
                   static_cast<long long>(minislots), ber_name, "completion",
-                  pair.coeff.run.statics.completion.mean_ms(),
-                  pair.fspec.run.statics.completion.mean_ms(),
-                  pair.coeff.run.dynamics.completion.mean_ms(),
-                  pair.fspec.run.dynamics.completion.mean_ms());
+                  coeff.run.statics.completion.mean_ms(),
+                  fspec.run.statics.completion.mean_ms(),
+                  coeff.run.dynamics.completion.mean_ms(),
+                  fspec.run.dynamics.completion.mean_ms());
       std::printf("%9lld %7s | %-15s | %13.3f %13.3f | %13.3f %13.3f\n",
                   static_cast<long long>(minislots), ber_name, "first-success",
-                  pair.coeff.run.statics.latency.mean_ms(),
-                  pair.fspec.run.statics.latency.mean_ms(),
-                  pair.coeff.run.dynamics.latency.mean_ms(),
-                  pair.fspec.run.dynamics.latency.mean_ms());
+                  coeff.run.statics.latency.mean_ms(),
+                  fspec.run.statics.latency.mean_ms(),
+                  coeff.run.dynamics.latency.mean_ms(),
+                  fspec.run.dynamics.latency.mean_ms());
     }
   }
 }
@@ -59,10 +97,13 @@ void run_panel(const char* panel, const char* suite, bool synthetic) {
 }  // namespace
 }  // namespace coeff::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const auto report = run_sweep("fig4_latency", build_cells(), opt);
+
   std::printf("Fig.4 — average transmission latency\n");
-  run_panel("a,c", "synthetic", true);
-  run_panel("b,d", "BBW+ACC", false);
+  std::size_t cell = 0;
+  for (const Panel& panel : kPanels) print_panel(panel, report, cell);
   return 0;
 }

@@ -7,31 +7,31 @@
 // BER=1e-7 and 3.2% vs 19.5% at 1e-9.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coeff::bench;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const auto report = run_sweep("fig5_miss_ratio", fig5_cells(), opt);
+
   std::printf("Fig.5 — deadline miss ratio\n");
   print_header("synthetic statics + SAE aperiodics");
   std::printf("%9s %7s | %10s %10s | %12s %12s\n", "minislots", "BER",
               "CoEff[%]", "FSPEC[%]", "CoEff dyn[%]", "FSPEC dyn[%]");
   double coeff_sum[2] = {0, 0}, fspec_sum[2] = {0, 0};
+  std::size_t cell = 0;
   for (std::int64_t minislots : {25, 50, 75, 100}) {
     int ber_index = 0;
     for (double ber : {1e-7, 1e-9}) {
-      coeff::core::ExperimentConfig config;
-      config.cluster = coeff::core::paper_cluster_dynamic_suite(minislots);
-      apply_loaded_defaults(config);
-      config.ber = ber;
-      config.sil = sil_for_ber(ber);
-      const auto pair = run_both(config);
-      const double c = pair.coeff.run.overall_miss_ratio() * 100.0;
-      const double f = pair.fspec.run.overall_miss_ratio() * 100.0;
+      const auto& coeff = report.cells[cell++].result;
+      const auto& fspec = report.cells[cell++].result;
+      const double c = coeff.run.overall_miss_ratio() * 100.0;
+      const double f = fspec.run.overall_miss_ratio() * 100.0;
       coeff_sum[ber_index] += c;
       fspec_sum[ber_index] += f;
       std::printf("%9lld %7s | %10.2f %10.2f | %12.2f %12.2f\n",
                   static_cast<long long>(minislots),
                   ber < 1e-8 ? "1e-9" : "1e-7", c, f,
-                  pair.coeff.run.dynamics.miss_ratio() * 100.0,
-                  pair.fspec.run.dynamics.miss_ratio() * 100.0);
+                  coeff.run.dynamics.miss_ratio() * 100.0,
+                  fspec.run.dynamics.miss_ratio() * 100.0);
       ++ber_index;
     }
   }

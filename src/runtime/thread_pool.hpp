@@ -1,0 +1,55 @@
+// A minimal fixed-size worker pool for share-nothing job batches.
+//
+// Deliberately small: jobs are opaque closures, scheduling is FIFO, and
+// the only synchronization points are submit() and wait_idle(). Callers
+// that need deterministic output must make jobs write to disjoint,
+// pre-allocated slots (see core::SweepRunner) — the pool itself makes no
+// ordering promise beyond "every submitted job runs exactly once".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coeff::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Safe from any thread, including pool workers.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle. Jobs
+  /// submitted while waiting extend the wait.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// The pool size the host reports, never less than 1.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: job or stop
+  std::condition_variable idle_cv_;  // signals wait_idle: progress made
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace coeff::runtime

@@ -6,8 +6,8 @@
 namespace coeff::sched {
 
 SlackStealer::SlackStealer(const TaskSet& set)
-    : table_(set), debt_(set.size(), sim::Time::zero()) {
-  if (!table_.schedulable()) {
+    : table_(SlackTable::shared(set)), debt_(set.size(), sim::Time::zero()) {
+  if (!table_->schedulable()) {
     throw std::invalid_argument(
         "SlackStealer: the periodic set alone misses deadlines; there is no "
         "slack to steal");
@@ -18,20 +18,29 @@ void SlackStealer::advance_to(sim::Time t) {
   if (t < now_) {
     throw std::invalid_argument("SlackStealer: time moved backwards");
   }
-  if (t == now_) return;
+  if (t == now_ || levels_in_debt_ == 0) {
+    now_ = t;
+    return;
+  }
   for (std::size_t level = 0; level < debt_.size(); ++level) {
     if (debt_[level] == sim::Time::zero()) continue;
-    const sim::Time absorbed = table_.idle_between(level, now_, t);
+    const sim::Time absorbed = table_->idle_between(level, now_, t);
     debt_[level] = std::max(debt_[level] - absorbed, sim::Time::zero());
+    if (debt_[level] == sim::Time::zero()) --levels_in_debt_;
   }
   now_ = t;
 }
 
 sim::Time SlackStealer::available(sim::Time t, std::size_t level) {
   advance_to(t);
+  if (levels_in_debt_ == 0) {
+    // No outstanding displaced work: the answer is the static table's
+    // min-folded suffix query (O(log) when level == 0).
+    return table_->slack_at(t, level);
+  }
   sim::Time avail = sim::Time::max();
   for (std::size_t i = level; i < debt_.size(); ++i) {
-    const sim::Time s = table_.level_slack(i, t);
+    const sim::Time s = table_->level_slack(i, t);
     if (s == sim::Time::max()) continue;
     avail = std::min(avail, std::max(s - debt_[i], sim::Time::zero()));
   }
@@ -43,7 +52,9 @@ bool SlackStealer::try_steal(sim::Time t, sim::Time x, std::size_t level) {
     throw std::invalid_argument("SlackStealer: negative steal");
   }
   if (available(t, level) < x) return false;
+  if (x == sim::Time::zero()) return true;
   for (std::size_t i = level; i < debt_.size(); ++i) {
+    if (debt_[i] == sim::Time::zero()) ++levels_in_debt_;
     debt_[i] += x;
   }
   return true;

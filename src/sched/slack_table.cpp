@@ -1,6 +1,9 @@
 #include "sched/slack_table.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace coeff::sched {
@@ -56,6 +59,63 @@ SlackTable::SlackTable(const TaskSet& set) {
       running_min = std::min(running_min, v);
       curve.suffix_min_idle_at_deadline[k] = running_min;
     }
+  }
+
+  build_merged_curve();
+}
+
+void SlackTable::build_merged_curve() {
+  if (idle_curves_.empty()) return;
+  const LevelCurve& ref = idle_curves_.front();
+  if (ref.seg_start.empty()) return;
+
+  // Runtime queries fold into [0, 2H), so the grid only needs the
+  // breakpoints there: every timeline segment boundary (shared by all
+  // levels — the curves come from one schedule) plus every deadline.
+  const sim::Time limit = hyperperiod_ * 2;
+  std::vector<sim::Time> grid;
+  grid.push_back(sim::Time::zero());
+  for (const sim::Time s : ref.seg_start) {
+    if (s > sim::Time::zero() && s < limit) grid.push_back(s);
+  }
+  for (const LevelCurve& curve : idle_curves_) {
+    for (const sim::Time d : curve.deadlines) {
+      if (d > sim::Time::zero() && d < limit) grid.push_back(d);
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  const std::size_t n = idle_curves_.size();
+  std::vector<std::size_t> next_deadline(n, 0);
+  std::size_t seg = 0;
+  merged_times_.reserve(grid.size());
+  merged_c0_.reserve(grid.size());
+  merged_c1_.reserve(grid.size());
+  for (const sim::Time t0 : grid) {
+    while (seg + 1 < ref.seg_start.size() && ref.seg_start[seg + 1] <= t0) {
+      ++seg;
+    }
+    sim::Time c0 = sim::Time::max();
+    sim::Time c1 = sim::Time::max();
+    for (std::size_t level = 0; level < n; ++level) {
+      const LevelCurve& curve = idle_curves_[level];
+      std::size_t& k = next_deadline[level];
+      while (k < curve.deadlines.size() && curve.deadlines[k] <= t0) ++k;
+      if (k == curve.deadlines.size()) continue;  // level unconstrained
+      sim::Time cum = curve.cum_at_start[seg];
+      const bool idle = curve.is_idle[seg];
+      if (idle) cum += t0 - curve.seg_start[seg];
+      const sim::Time s = curve.suffix_min_idle_at_deadline[k] - cum;
+      if (idle) {
+        c1 = std::min(c1, s);
+      } else {
+        c0 = std::min(c0, s);
+      }
+    }
+    merged_times_.push_back(t0);
+    merged_c0_.push_back(c0);
+    merged_c1_.push_back(c1);
   }
 }
 
@@ -124,11 +184,52 @@ sim::Time SlackTable::level_slack(std::size_t level, sim::Time t) const {
 }
 
 sim::Time SlackTable::slack_at(sim::Time t, std::size_t from_level) const {
+  if (from_level == 0 && !merged_times_.empty()) {
+    // Per-level clamping commutes with the min (min_i max(s_i, 0) ==
+    // max(min_i s_i, 0)), so the merged curve can clamp once at the end.
+    const sim::Time tf = fold(t);
+    const auto it = std::upper_bound(merged_times_.begin(),
+                                     merged_times_.end(), tf);
+    const std::size_t j = static_cast<std::size_t>(
+        std::distance(merged_times_.begin(), it)) - 1;
+    sim::Time s = merged_c0_[j];
+    if (merged_c1_[j] != sim::Time::max()) {
+      s = std::min(s, merged_c1_[j] - (tf - merged_times_[j]));
+    }
+    if (s == sim::Time::max()) return s;
+    return std::max(s, sim::Time::zero());
+  }
   sim::Time s = sim::Time::max();
   for (std::size_t level = from_level; level < idle_curves_.size(); ++level) {
     s = std::min(s, level_slack(level, t));
   }
   return s;
+}
+
+std::shared_ptr<const SlackTable> SlackTable::shared(const TaskSet& set) {
+  // Exact-parameter key (no hashing, so no collision risk): one packed
+  // row per task in priority order.
+  using Fingerprint = std::vector<std::array<std::int64_t, 5>>;
+  static std::mutex mutex;
+  static std::map<Fingerprint, std::shared_ptr<const SlackTable>> cache;
+
+  Fingerprint fp;
+  fp.reserve(set.size());
+  for (const PeriodicTask& t : set.tasks()) {
+    fp.push_back({t.id, t.wcet.ns(), t.period.ns(), t.offset.ns(),
+                  t.deadline.ns()});
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(fp);
+    if (it != cache.end()) return it->second;
+  }
+  // Build outside the lock so concurrent sweep workers constructing
+  // different suites don't serialize; a duplicate concurrent build of
+  // the same suite is benign (the first insert wins).
+  auto table = std::make_shared<const SlackTable>(set);
+  const std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(std::move(fp), std::move(table)).first->second;
 }
 
 }  // namespace coeff::sched

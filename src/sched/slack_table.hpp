@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sched/periodic_schedule.hpp"
@@ -31,6 +32,14 @@ class SlackTable {
   /// itself met every deadline (slack queries are meaningless if not).
   explicit SlackTable(const TaskSet& set);
 
+  /// Memoized construction: task sets with identical parameters share
+  /// one immutable table, so sweep cells that reuse a static suite
+  /// (every BER point of a figure) pay the 3x-hyperperiod schedule
+  /// simulation once per process. Thread-safe; the returned table is
+  /// immutable and safe to share across sweep workers.
+  [[nodiscard]] static std::shared_ptr<const SlackTable> shared(
+      const TaskSet& set);
+
   [[nodiscard]] bool schedulable() const { return schedulable_; }
   [[nodiscard]] sim::Time hyperperiod() const { return hyperperiod_; }
   [[nodiscard]] std::size_t levels() const { return idle_curves_.size(); }
@@ -42,6 +51,8 @@ class SlackTable {
 
   /// min_{i >= from_level} S_i(t): stealable processing at priority
   /// `from_level` (0 = above everything, the slot-stealer's setting).
+  /// The from_level == 0 query is served from a precomputed min-folded
+  /// curve in O(log breakpoints); other levels scan the suffix.
   [[nodiscard]] sim::Time slack_at(sim::Time t,
                                    std::size_t from_level = 0) const;
 
@@ -74,8 +85,21 @@ class SlackTable {
   /// Cumulative idle at a folded instant (t in [0, 3H)).
   [[nodiscard]] sim::Time cum_idle_folded(std::size_t level,
                                           sim::Time t) const;
+  /// Precompute the min over all levels of S_i(t) as a piecewise-linear
+  /// curve over [0, 2H) so the common from_level == 0 query needs one
+  /// binary search instead of a scan of every level.
+  void build_merged_curve();
 
   std::vector<LevelCurve> idle_curves_;
+  // Merged curve: between merged_times_[j] and merged_times_[j+1] every
+  // level's S_i(t) is linear with slope 0 or -1 (no deadline passes, no
+  // segment boundary crosses), so min_i S_i(t) is
+  //   min(merged_c0_[j], merged_c1_[j] - (t - merged_times_[j]))
+  // where c0 folds the constant levels and c1 the decreasing ones
+  // (Time::max() when a class is empty).
+  std::vector<sim::Time> merged_times_;
+  std::vector<sim::Time> merged_c0_;
+  std::vector<sim::Time> merged_c1_;
   std::vector<sim::Time> idle_per_hyperperiod_;
   sim::Time hyperperiod_;
   sim::Time window_;  ///< 3H

@@ -3,13 +3,15 @@
 // Events that share a timestamp are delivered in insertion order (FIFO
 // tie-break via a monotonically increasing sequence number), which makes
 // whole-simulation runs reproducible bit-for-bit under a fixed seed.
+//
+// The heap stores callbacks by value (no per-event heap allocation
+// beyond what the std::function itself may need), and cancellation is
+// lazy: a one-bit-per-token liveness map marks cancelled entries, which
+// are discarded when they surface at the heap head.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -26,8 +28,8 @@ class EventQueue {
   /// be used to cancel the event before it fires.
   std::uint64_t push(Time at, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown token
-  /// is a no-op and returns false.
+  /// Cancel a pending event. Cancelling an already-fired, already-
+  /// cancelled, or unknown token is a no-op and returns false.
   bool cancel(std::uint64_t token);
 
   [[nodiscard]] bool empty() const;
@@ -43,9 +45,7 @@ class EventQueue {
   struct Entry {
     Time at;
     std::uint64_t seq;
-    // Shared (not unique) only so Entry stays copyable for the heap; each
-    // callback has exactly one live owner at a time.
-    std::shared_ptr<EventFn> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -54,12 +54,14 @@ class EventQueue {
     }
   };
 
-  // Cancellation is lazy: the token is recorded and the entry discarded
-  // when it surfaces at the heap head.
+  // Discard cancelled entries that have surfaced at the heap head.
   void drop_cancelled_head() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
+  // Tokens are issued sequentially, so liveness is a bit per token ever
+  // pushed: true while the entry is pending, false once fired or
+  // cancelled. An in-heap entry whose bit is clear was cancelled.
+  mutable std::vector<Entry> heap_;
+  std::vector<bool> alive_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

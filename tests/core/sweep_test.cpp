@@ -1,0 +1,86 @@
+// SweepRunner: the parallel grid must be indistinguishable from the
+// serial one — same cell order, bit-identical metrics — and the JSON
+// report must carry per-cell and total wall clock.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace coeff::core {
+namespace {
+
+// The full Fig.5 grid (16 cells: 4 minislot sizes x 2 BERs x 2
+// schemes) replayed serially and with 4 workers. This is the
+// acceptance check for the whole subsystem: every headline metric a
+// figure binary prints must match bit-for-bit.
+TEST(SweepRunnerTest, ParallelMatchesSerialOnFullFig5Grid) {
+  const auto cells = bench::fig5_cells();
+  ASSERT_EQ(cells.size(), 16u);
+
+  const SweepReport serial = SweepRunner(1).run(cells);
+  const SweepReport parallel = SweepRunner(4).run(cells);
+  ASSERT_EQ(serial.cells.size(), cells.size());
+  ASSERT_EQ(parallel.cells.size(), cells.size());
+  EXPECT_EQ(serial.jobs, 1);
+  EXPECT_EQ(parallel.jobs, 4);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(cells[i].label);
+    EXPECT_EQ(serial.cells[i].label, cells[i].label);
+    EXPECT_EQ(parallel.cells[i].label, cells[i].label);
+    const ExperimentResult& a = serial.cells[i].result;
+    const ExperimentResult& b = parallel.cells[i].result;
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.run.summary(), b.run.summary());
+    EXPECT_EQ(a.run.overall_miss_ratio(), b.run.overall_miss_ratio());
+    EXPECT_EQ(a.run.running_time.as_seconds(), b.run.running_time.as_seconds());
+    EXPECT_EQ(a.cycles_run, b.cycles_run);
+    EXPECT_EQ(a.reliability_scheduled, b.reliability_scheduled);
+    EXPECT_EQ(a.drained, b.drained);
+  }
+}
+
+TEST(SweepRunnerTest, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  ASSERT_EQ(setenv("COEFF_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(SweepRunner::resolve_jobs(5), 5);  // explicit wins
+  EXPECT_EQ(SweepRunner::resolve_jobs(0), 3);  // env fallback
+  ASSERT_EQ(unsetenv("COEFF_JOBS"), 0);
+  EXPECT_GE(SweepRunner::resolve_jobs(0), 1);  // hardware fallback
+}
+
+TEST(SweepRunnerTest, EmptyGridYieldsEmptyReport) {
+  const SweepReport report = SweepRunner(4).run({});
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_EQ(report.serial_estimate_seconds, 0.0);
+}
+
+TEST(SweepReportJsonTest, CarriesPerCellAndTotalWallClock) {
+  auto cells = bench::fig5_cells();
+  cells.resize(2);
+  const SweepReport report = SweepRunner(1).run(cells);
+  const std::string json = sweep_report_json(report, "unit \"suite\"");
+
+  EXPECT_NE(json.find("\"suite\": \"unit \\\"suite\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_wall_s\": "), std::string::npos);
+  EXPECT_NE(json.find("\"serial_estimate_s\": "), std::string::npos);
+  EXPECT_NE(json.find("\"speedup_vs_serial_estimate\": "), std::string::npos);
+  std::size_t labels = 0;
+  for (std::size_t pos = json.find("\"label\": "); pos != std::string::npos;
+       pos = json.find("\"label\": ", pos + 1)) {
+    ++labels;
+  }
+  EXPECT_EQ(labels, 2u);
+  for (const SweepCellResult& cell : report.cells) {
+    EXPECT_GE(cell.wall_seconds, 0.0);
+    EXPECT_NE(json.find("\"wall_s\": "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace coeff::core

@@ -177,6 +177,66 @@ TEST(SlackStealerTest, NonPositiveHardWorkThrows) {
                std::invalid_argument);
 }
 
+TEST(SlackStealerTest, DebtAbsorptionAcrossHyperperiodWraps) {
+  // Steal the full slack many hyperperiods into steady state, then let
+  // wall-clock cross hyperperiod boundaries: the debt must be absorbed
+  // by the folded idle curve exactly as it is inside the table window.
+  TaskSet set({task(1, 2, 10)});
+  SlackStealer stealer(set);
+  const sim::Time h = stealer.table().hyperperiod();
+  const sim::Time t0 = h * 1'000'000;  // far beyond the 3H table
+  EXPECT_EQ(stealer.available(t0), sim::millis(8));
+  ASSERT_TRUE(stealer.try_steal(t0, sim::millis(8)));
+  EXPECT_EQ(stealer.available(t0), sim::Time::zero());
+  // Crossing into the next hyperperiod: by t0 + 12ms the schedule has
+  // idled 8 ms (job runs in [10, 12) of each period), absorbing the
+  // debt; the next deadline then re-opens the full 8 ms.
+  EXPECT_EQ(stealer.available(t0 + sim::millis(12)), sim::millis(8));
+  // And the cycle repeats wrap after wrap.
+  ASSERT_TRUE(stealer.try_steal(t0 + h * 3, sim::millis(8)));
+  EXPECT_EQ(stealer.available(t0 + h * 3), sim::Time::zero());
+  EXPECT_EQ(stealer.available(t0 + h * 5), sim::millis(8));
+}
+
+TEST(SlackStealerTest, SteadyStateAvailabilityMatchesEarlyWindow) {
+  // A stealer driven k hyperperiods late must see the same availability
+  // sequence as one driven inside the table window.
+  TaskSet set({task(1, 1, 5), task(2, 2, 10, 10, 2)});
+  SlackStealer early(set);
+  SlackStealer late(set);
+  const sim::Time h = early.table().hyperperiod();
+  const sim::Time shift = h * 987'654;
+  for (int step = 0; step < 40; ++step) {
+    const sim::Time t = h + sim::micros(step * 400);
+    EXPECT_EQ(early.available(t), late.available(t + shift))
+        << "step " << step;
+    if (step % 7 == 3) {
+      const sim::Time x = sim::micros(200);
+      EXPECT_EQ(early.try_steal(t, x), late.try_steal(t + shift, x));
+    }
+  }
+}
+
+TEST(SlackStealerTest, HardAdmissionAcrossWrapBoundary) {
+  // Admission charged right before a hyperperiod boundary is honored on
+  // the other side: the debt survives the fold and keeps later
+  // admissions honest.
+  TaskSet set({task(1, 2, 10)});
+  SlackStealer stealer(set);
+  const sim::Time h = stealer.table().hyperperiod();
+  const sim::Time t = h * 424'242 - sim::millis(1);  // 1 ms before a wrap
+  // Only the 1 ms of idle left before the imminent deadline is
+  // admissible, exactly as inside the table window.
+  EXPECT_EQ(stealer.available(t), sim::millis(1));
+  EXPECT_FALSE(stealer.admit_hard(t, sim::millis(2), t + sim::millis(30)));
+  ASSERT_TRUE(stealer.admit_hard(t, sim::millis(1), t + sim::millis(30)));
+  EXPECT_EQ(stealer.available(t), sim::Time::zero());
+  stealer.on_hard_executed(sim::millis(1));
+  // The idle minute right before the boundary absorbs the debt; on the
+  // far side of the wrap the full per-period slack is open again.
+  EXPECT_EQ(stealer.available(t + sim::millis(1)), sim::millis(8));
+}
+
 TEST(SlackStealerTest, LevelRestrictedStealIgnoresHigherLevels) {
   // Stealing at level 1 may not be limited by level 0's deadlines.
   TaskSet set({task(1, 1, 5), task(2, 2, 20)});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/random.hpp"
 
 namespace coeff::sched {
@@ -123,6 +125,91 @@ TEST(SlackTableTest, SlackNeverNegative) {
       EXPECT_GE(table.slack_at(t), sim::Time::zero());
     }
   }
+}
+
+TEST(SlackTableTest, MergedFastPathMatchesPerLevelMin) {
+  // slack_at(t, 0) is served from the precomputed merged curve; it must
+  // agree exactly with the definition min_i level_slack(i, t) at
+  // arbitrary instants, including far beyond the table window.
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<PeriodicTask> tasks;
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < n; ++i) {
+      const int period = static_cast<int>(rng.uniform_int(1, 5)) * 10;
+      tasks.push_back(task(i, static_cast<int>(rng.uniform_int(1, 3)),
+                           period, 0,
+                           static_cast<int>(rng.uniform_int(0, 7))));
+    }
+    SlackTable table{TaskSet(tasks)};
+    if (!table.schedulable()) continue;
+    for (int q = 0; q < 200; ++q) {
+      // Mix fine-grained early times with instants many hyperperiods out.
+      const sim::Time t =
+          q % 3 == 0 ? table.hyperperiod() * rng.uniform_int(2, 1000) +
+                           sim::micros(rng.uniform_int(0, 100'000))
+                     : sim::micros(rng.uniform_int(0, 300'000));
+      sim::Time expected = sim::Time::max();
+      for (std::size_t level = 0; level < table.levels(); ++level) {
+        expected = std::min(expected, table.level_slack(level, t));
+      }
+      EXPECT_EQ(table.slack_at(t, 0), expected) << "t=" << t.ns() << "ns";
+    }
+  }
+}
+
+TEST(SlackTableTest, CumulativeIdleSteadyStateFarBeyondTable) {
+  // At t = kH + eps for large k, cumulative idle must equal the folded
+  // value plus whole-hyperperiod increments — no drift, no overflow of
+  // the fold for k in the millions.
+  SlackTable table(TaskSet({task(1, 2, 10), task(2, 3, 20, 20, 3)}));
+  ASSERT_TRUE(table.schedulable());
+  const sim::Time h = table.hyperperiod();
+  for (std::size_t level = 0; level < table.levels(); ++level) {
+    const sim::Time per_h =
+        table.cumulative_idle(level, h * 2) - table.cumulative_idle(level, h);
+    for (const std::int64_t k : {3LL, 7LL, 1000LL, 1'000'000LL}) {
+      for (const sim::Time eps : {sim::Time::zero(), sim::micros(1),
+                                  sim::millis(4), h - sim::micros(1)}) {
+        EXPECT_EQ(table.cumulative_idle(level, h * k + eps),
+                  table.cumulative_idle(level, h + eps) + per_h * (k - 1))
+            << "level=" << level << " k=" << k << " eps=" << eps.ns();
+      }
+    }
+  }
+}
+
+TEST(SlackTableTest, LevelSlackPeriodicInSteadyState) {
+  // level_slack and slack_at fold queries at t and t + kH (t >= H) to
+  // the same instant, for arbitrarily large k.
+  SlackTable table(TaskSet({task(1, 1, 5), task(2, 2, 10, 10, 2)}));
+  ASSERT_TRUE(table.schedulable());
+  const sim::Time h = table.hyperperiod();
+  for (const std::int64_t k : {1LL, 5LL, 12'345LL, 10'000'000LL}) {
+    for (const sim::Time eps :
+         {sim::Time::zero(), sim::micros(250), sim::millis(3),
+          sim::millis(7) + sim::micros(999)}) {
+      const sim::Time t = h + eps;
+      for (std::size_t level = 0; level < table.levels(); ++level) {
+        EXPECT_EQ(table.level_slack(level, t + h * k),
+                  table.level_slack(level, t))
+            << "level=" << level << " k=" << k << " eps=" << eps.ns();
+      }
+      EXPECT_EQ(table.slack_at(t + h * k), table.slack_at(t));
+    }
+  }
+}
+
+TEST(SlackTableTest, SharedCacheReturnsSameTableForIdenticalSets) {
+  const TaskSet a({task(1, 2, 10), task(2, 3, 20)});
+  const TaskSet b({task(2, 3, 20), task(1, 2, 10)});  // same set, any order
+  const TaskSet c({task(1, 2, 10), task(2, 4, 20)});  // different wcet
+  const auto ta = SlackTable::shared(a);
+  const auto tb = SlackTable::shared(b);
+  const auto tc = SlackTable::shared(c);
+  EXPECT_EQ(ta.get(), tb.get());
+  EXPECT_NE(ta.get(), tc.get());
+  EXPECT_EQ(ta->hyperperiod(), sim::millis(20));
 }
 
 TEST(SlackTableTest, NegativeTimeThrows) {

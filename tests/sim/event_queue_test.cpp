@@ -91,6 +91,60 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueueTest, CancelAfterPopIsNoop) {
+  // Regression: cancelling a token whose event already fired used to
+  // insert a permanent tombstone and corrupt the live count.
+  EventQueue q;
+  const auto fired = q.push(micros(10), [] {});
+  q.push(micros(20), [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(fired));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelAfterPopDoesNotSwallowReusedHeapSlot) {
+  EventQueue q;
+  const auto a = q.push(micros(10), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(a));
+  // A later event must still be delivered even after the bogus cancel.
+  bool fired = false;
+  q.push(micros(20), [&] { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, InterleavedCancelPopKeepsCountConsistent) {
+  EventQueue q;
+  std::vector<std::uint64_t> tokens;
+  for (int i = 0; i < 100; ++i) tokens.push_back(q.push(micros(i), [] {}));
+  std::size_t expect = 100;
+  for (int i = 0; i < 30; ++i) {  // pop 30
+    q.pop();
+    --expect;
+    EXPECT_EQ(q.size(), expect);
+  }
+  for (int i = 0; i < 30; ++i) {  // cancelling the popped 30 is a no-op
+    EXPECT_FALSE(q.cancel(tokens[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(q.size(), expect);
+  }
+  for (int i = 30; i < 60; ++i) {  // cancel 30 pending
+    EXPECT_TRUE(q.cancel(tokens[static_cast<std::size_t>(i)]));
+    --expect;
+    EXPECT_EQ(q.size(), expect);
+  }
+  while (!q.empty()) {
+    q.pop();
+    --expect;
+  }
+  EXPECT_EQ(expect, 0u);
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
   EventQueue q;
   for (int i = 999; i >= 0; --i) {

@@ -6,14 +6,16 @@
 //
 //   coeffctl --scheme coefficient --workload bbw --ber 1e-7
 //   coeffctl --scheme fspec --statics my_matrix.csv --minislots 25
-//   coeffctl --scheme hosa --workload synthetic --messages 100 \
+//   coeffctl --scheme hosa --workload synthetic --messages 100
 //            --window-ms 1000 --seed 7
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "net/csv.hpp"
 #include "net/workloads.hpp"
 
@@ -35,6 +37,8 @@ struct CliOptions {
   int burst = 1;
   bool drain = false;
   bool no_dynamics = false;
+  int jobs = 1;                // sweep workers (single cell → serial anyway)
+  std::string sweep_json;      // empty = no timing report
 };
 
 void usage() {
@@ -54,6 +58,9 @@ void usage() {
       "  --burst N                         aperiodic burst size; 1 = periodic (default)\n"
       "  --drain                           running-time mode (drain the whole batch)\n"
       "  --no-dynamics                     statics only\n"
+      "  --jobs N                          sweep workers (default: 1; 0 = COEFF_JOBS\n"
+      "                                    env var, else hardware concurrency)\n"
+      "  --sweep-json PATH                 write per-cell wall-time report\n"
       "  --help                            this text");
 }
 
@@ -96,6 +103,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.drain = true;
     } else if (arg == "--no-dynamics") {
       opt.no_dynamics = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next("--jobs"));
+    } else if (arg == "--sweep-json") {
+      opt.sweep_json = next("--sweep-json");
     } else {
       std::fprintf(stderr, "coeffctl: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -194,7 +205,12 @@ int main(int argc, char** argv) {
                 core::to_string(scheme),
                 flexray::describe(config.cluster).c_str(),
                 config.statics.size(), config.dynamics.size());
-    const auto result = core::run_experiment(config, scheme);
+    bench::BenchOptions sweep_opt;
+    sweep_opt.jobs = opt.jobs;
+    sweep_opt.sweep_json = opt.sweep_json;
+    const auto report = bench::run_sweep(
+        "coeffctl", {{config, scheme, core::to_string(scheme)}}, sweep_opt);
+    const auto& result = report.cells.front().result;
     std::printf("%s", result.run.summary().c_str());
     std::printf("reliability: target=%.10f scheduled=%.10f\n",
                 result.rho_target, result.reliability_scheduled);
