@@ -1,6 +1,7 @@
 #include "core/coefficient.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "sched/task.hpp"
 
@@ -15,17 +16,10 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
                     batch_window),
       options_(options) {
   if (options_.rho > 0.0) {
-    fault::SolverOptions solver;
-    solver.ber = options_.ber;
-    solver.rho = options_.rho;
-    solver.u = options_.u;
-    solver.max_copies_per_message = options_.max_copies_per_message;
-    plan_ = options_.use_uniform_plan ? fault::solve_uniform(statics_, solver)
-                                      : fault::solve_differentiated(statics_,
-                                                                    solver);
-    const auto& msgs = statics_.messages();
-    for (std::size_t z = 0; z < msgs.size(); ++z) {
-      copies_by_message_[msgs[z].id] = plan_.copies[z];
+    rebuild_plan(options_.ber, options_.throw_on_infeasible);
+    if (options_.enable_monitor) {
+      monitor_ = std::make_unique<fault::ReliabilityMonitor>(
+          options_.ber, options_.monitor);
     }
   }
   if (options_.use_fp_admission) {
@@ -46,6 +40,27 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
       stealer_ = std::make_unique<sched::SlackStealer>(set);
     }
   }
+}
+
+void CoEfficientScheduler::rebuild_plan(double ber, bool throw_on_infeasible) {
+  fault::SolverOptions solver;
+  solver.ber = ber;
+  solver.rho = options_.rho;
+  solver.u = options_.u;
+  solver.max_copies_per_message = options_.max_copies_per_message;
+  solver.throw_on_infeasible = throw_on_infeasible;
+  plan_ = options_.use_uniform_plan
+              ? fault::solve_uniform(statics_, solver)
+              : fault::solve_differentiated(statics_, solver);
+  copies_by_message_.clear();
+  const auto& msgs = statics_.messages();
+  for (std::size_t z = 0; z < msgs.size(); ++z) {
+    copies_by_message_[msgs[z].id] = plan_.copies[z];
+  }
+  degraded_mode_ = plan_.degraded;
+  stats_.plan_degraded = plan_.degraded;
+  stats_.plan_target_log_r = plan_.target_log_reliability;
+  stats_.plan_achieved_log_r = plan_.log_reliability;
 }
 
 void CoEfficientScheduler::on_static_release(Instance& inst,
@@ -118,12 +133,42 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
 void CoEfficientScheduler::on_dynamic_release(
     Instance& inst, const net::Message& m,
     const flexray::PendingMessage& pending) {
+  if (degraded_mode_) {
+    // Graceful degradation: soft load is shed at release so every idle
+    // slot (and the kSoftShare reservation) stays available to hard
+    // retransmission copies. The instance settles as a miss.
+    ++stats_.dynamic_frames_shed;
+    if (trace_ != nullptr) {
+      trace_->emit(inst.release, sim::TraceKind::kLoadShed, m.id, m.node);
+    }
+    return;
+  }
   add_copies(inst, 1);
   nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
 }
 
-void CoEfficientScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+void CoEfficientScheduler::on_cycle_start_hook(std::int64_t cycle,
                                                sim::Time at) {
+  // Runtime reliability loop: roll the monitor window at the cycle
+  // boundary; on drift, re-solve against the worst-channel estimate and
+  // swap the plan (future releases pick up the new k_z).
+  if (monitor_ != nullptr && monitor_->on_cycle_end()) {
+    const double estimated = monitor_->worst_channel_estimate();
+    if (trace_ != nullptr) {
+      char note[64];
+      std::snprintf(note, sizeof note, "ber_est=%g planned=%g", estimated,
+                    monitor_->planned_ber());
+      trace_->emit(at, sim::TraceKind::kBerDrift, cycle, -1, -1, note);
+    }
+    rebuild_plan(estimated, /*throw_on_infeasible=*/false);
+    monitor_->note_replanned(estimated);
+    ++stats_.plan_swaps;
+    if (trace_ != nullptr) {
+      trace_->emit(at, sim::TraceKind::kPlanSwap, cycle, plan_.total_copies(),
+                   plan_.degraded ? 1 : 0);
+    }
+  }
+
   // Copies whose deadline passed with no fitting slack are abandoned.
   for (auto it = retx_jobs_.begin(); it != retx_jobs_.end();) {
     if (it->deadline < at) {
@@ -215,7 +260,9 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
   // copy wins a tie.
   const std::int64_t capacity = cfg_.static_slot_capacity_bits();
   const auto retx_it = find_retx(capacity, slot_start, slot_end, slot, channel);
-  const auto dyn = options_.disable_slack_stealing
+  // Degraded mode sheds soft traffic from the static segment entirely:
+  // stolen slack is reserved for hard retransmission copies.
+  const auto dyn = options_.disable_slack_stealing || degraded_mode_
                        ? std::optional<flexray::PendingMessage>{}
                        : peek_dynamic_for_slack(capacity, slot_start);
   ++idle_slot_counter_;
@@ -304,6 +351,10 @@ void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   account_outcome(outcome);
   if (outcome.request.retransmission) {
     ++stats_.retransmission_copies_sent;
+  }
+  if (monitor_ != nullptr) {
+    monitor_->record_tx(outcome.channel, outcome.request.payload_bits,
+                        outcome.corrupted);
   }
 }
 

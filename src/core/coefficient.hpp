@@ -25,6 +25,7 @@
 #include <optional>
 
 #include "core/scheduler_base.hpp"
+#include "fault/monitor.hpp"
 #include "fault/reliability.hpp"
 #include "sched/slack_stealer.hpp"
 
@@ -40,6 +41,15 @@ struct CoEfficientOptions {
   /// Run the fixed-priority slack acceptance test (SlackStealer) on
   /// every retransmission copy in addition to slot-level placement.
   bool use_fp_admission = false;
+  /// Throw instead of degrading when rho is unreachable at
+  /// max_copies_per_message (forwarded to the solver).
+  bool throw_on_infeasible = false;
+
+  // --- Runtime reliability monitoring ----------------------------------
+  /// Track the observed corruption rate and re-plan online when it
+  /// drifts beyond the planned BER (requires rho > 0).
+  bool enable_monitor = false;
+  fault::ReliabilityMonitorOptions monitor;
 
   // --- Ablation switches (DESIGN.md §6) --------------------------------
   /// Replace the differentiated plan with the uniform one (same k for
@@ -62,6 +72,13 @@ class CoEfficientScheduler : public SchedulerBase {
                        const CoEfficientOptions& options);
 
   [[nodiscard]] const fault::RetransmissionPlan& plan() const { return plan_; }
+  /// Nullptr unless enable_monitor (and rho > 0).
+  [[nodiscard]] const fault::ReliabilityMonitor* monitor() const {
+    return monitor_.get();
+  }
+  /// True while the active plan cannot meet rho at its solve-time BER;
+  /// dynamic-segment load is shed to keep slack free for hard copies.
+  [[nodiscard]] bool degraded_mode() const { return degraded_mode_; }
 
   // --- TransmissionPolicy ----------------------------------------------
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
@@ -109,12 +126,20 @@ class CoEfficientScheduler : public SchedulerBase {
   /// both hard copies and soft messages are waiting.
   static constexpr std::int64_t kSoftShare = 4;
 
+  /// (Re)solve the retransmission plan at `ber` and install it: future
+  /// static releases use the new k_z (in-flight copies are untouched,
+  /// so a swap takes effect at the calling cycle boundary). Updates the
+  /// degraded flag and the resilience metrics.
+  void rebuild_plan(double ber, bool throw_on_infeasible);
+
   CoEfficientOptions options_;
   fault::RetransmissionPlan plan_;
   std::int64_t idle_slot_counter_ = 0;
   std::unordered_map<int, int> copies_by_message_;  ///< k_z by message id
   std::deque<RetxJob> retx_jobs_;                   ///< EDF-ordered
   std::unique_ptr<sched::SlackStealer> stealer_;    ///< when use_fp_admission
+  std::unique_ptr<fault::ReliabilityMonitor> monitor_;
+  bool degraded_mode_ = false;
 };
 
 }  // namespace coeff::core

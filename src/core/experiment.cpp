@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "core/hosa.hpp"
-#include "fault/injector.hpp"
+#include "fault/fault_model.hpp"
 #include "fault/reliability.hpp"
 #include "flexray/cluster.hpp"
 #include "sim/engine.hpp"
@@ -50,6 +50,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.rho_target = rho;
 
   std::unique_ptr<SchedulerBase> sched;
+  CoEfficientScheduler* coeff_ptr = nullptr;
   if (scheme == SchemeKind::kCoEfficient) {
     CoEfficientOptions opt;
     opt.ber = config.ber;
@@ -57,6 +58,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     opt.u = config.u;
     opt.max_copies_per_message = config.max_copies;
     opt.use_fp_admission = config.use_fp_admission;
+    opt.throw_on_infeasible = config.throw_on_infeasible;
+    opt.enable_monitor = config.enable_monitor;
+    opt.monitor = config.monitor;
     opt.use_uniform_plan = config.ablation_uniform_plan;
     opt.disable_slack_stealing = config.ablation_no_slack;
     opt.single_channel_dynamics = config.ablation_single_channel;
@@ -66,6 +70,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.reliability_scheduled = rho > 0.0 ? coeff->plan().reliability() : 1.0;
     result.plan_added_load_bits_per_second =
         coeff->plan().added_load_bits_per_second;
+    coeff_ptr = coeff.get();
     sched = std::move(coeff);
   } else if (scheme == SchemeKind::kHosa) {
     // HOSA's mirrored pair gives (1 - p^2)^{u/T} per message by design;
@@ -95,11 +100,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   if (config.drain_batch) sched->set_drop_expired_dynamics(false);
+  sched->set_trace(config.trace);
 
   sim::Engine engine;
-  fault::FaultInjector injector(config.ber, config.seed);
+  fault::FaultModelConfig fm = config.fault_model;
+  fm.ber = config.ber;  // one knob for the planner and the iid/common wire
+  const auto fault_model = fault::make_fault_model(fm, config.seed);
+  if (config.ber_step >= 0.0 && config.ber_step_at > sim::Time::zero()) {
+    fault_model->schedule_ber_step(config.ber_step_at, config.ber_step);
+  }
   flexray::Cluster cluster(engine, config.cluster, *sched,
-                           injector.as_corruption_fn());
+                           fault_model->as_corruption_fn(), config.trace);
 
   // Pre-compute dynamic arrivals over the batch window and inject them
   // as engine events so they surface mid-cycle like real interrupts.
@@ -140,6 +151,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     stats.dynamic_wire_busy += ch.busy_dynamic;
   }
   result.cycles_run = cycles;
+  if (coeff_ptr != nullptr) result.final_plan = coeff_ptr->plan();
   result.run = stats;
   return result;
 }

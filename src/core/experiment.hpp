@@ -9,9 +9,11 @@
 #include "core/coefficient.hpp"
 #include "core/fspec.hpp"
 #include "core/metrics.hpp"
+#include "fault/fault_model.hpp"
 #include "fault/iec61508.hpp"
 #include "flexray/config.hpp"
 #include "net/workloads.hpp"
+#include "sim/trace.hpp"
 
 namespace coeff::core {
 
@@ -58,6 +60,24 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   /// Safety cap on post-window drain, in multiples of the window.
   int max_drain_factor = 64;
+
+  // --- Fault-resilience layer ------------------------------------------
+  /// Channel physics. `fault_model.ber` is overwritten with `ber` above
+  /// (the planner and the i.i.d./common-mode wire share one knob); the
+  /// Gilbert–Elliott model keeps its own per-state BERs.
+  fault::FaultModelConfig fault_model;
+  /// Environment drift: step the model to `ber_step` at `ber_step_at`
+  /// (disabled while ber_step < 0 or ber_step_at <= 0).
+  sim::Time ber_step_at;
+  double ber_step = -1.0;
+  /// Runtime reliability monitoring + online re-planning (CoEfficient).
+  bool enable_monitor = false;
+  fault::ReliabilityMonitorOptions monitor;
+  /// Throw instead of degrading when rho is unreachable.
+  bool throw_on_infeasible = false;
+  /// Optional structured-trace sink (single runs only: sweep cells
+  /// sharing one Trace would interleave nondeterministically).
+  sim::Trace* trace = nullptr;
 };
 
 struct ExperimentResult {
@@ -71,6 +91,9 @@ struct ExperimentResult {
   int fspec_rounds = 0;          ///< FSPEC only
   /// Bandwidth the retransmission plan adds (CoEfficient only).
   double plan_added_load_bits_per_second = 0.0;
+  /// The plan active when the run ended (CoEfficient only) — differs
+  /// from the initial plan when the monitor re-planned online.
+  fault::RetransmissionPlan final_plan;
   std::int64_t cycles_run = 0;
   bool drained = true;           ///< false if the drain cap was hit
 };

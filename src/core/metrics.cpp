@@ -41,7 +41,7 @@ double RunStats::overall_miss_ratio() const {
 }
 
 std::string RunStats::summary() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof buf,
       "running_time=%s\n"
@@ -51,7 +51,9 @@ std::string RunStats::summary() const {
       "avg_latency=%.3fms copies=%lld\n"
       "bw_util: static=%.1f%% dynamic=%.1f%% overall=%.1f%%\n"
       "retx   : planned=%lld sent=%lld dropped=%lld | slack_slots=%lld "
-      "dyn_in_static=%lld\n",
+      "dyn_in_static=%lld\n"
+      "resil  : plan_swaps=%lld shed=%lld degraded=%d "
+      "logR=%.6g target=%.6g\n",
       sim::to_string(running_time).c_str(),
       static_cast<long long>(statics.released),
       static_cast<long long>(statics.delivered),
@@ -70,7 +72,10 @@ std::string RunStats::summary() const {
       static_cast<long long>(retransmission_copies_sent),
       static_cast<long long>(retransmission_copies_dropped),
       static_cast<long long>(slack_slots_stolen),
-      static_cast<long long>(dynamic_in_static_slots));
+      static_cast<long long>(dynamic_in_static_slots),
+      static_cast<long long>(plan_swaps),
+      static_cast<long long>(dynamic_frames_shed), plan_degraded ? 1 : 0,
+      plan_achieved_log_r, plan_target_log_r);
   return buf;
 }
 

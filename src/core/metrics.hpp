@@ -75,6 +75,13 @@ struct RunStats {
   std::int64_t dynamic_in_static_slots = 0;  ///< dynamic frames via stolen slots
   std::int64_t admission_rejections = 0;     ///< FP acceptance-test rejections
 
+  /// Resilience counters (monitor / degraded-mode layer).
+  std::int64_t plan_swaps = 0;          ///< online re-plans after BER drift
+  std::int64_t dynamic_frames_shed = 0; ///< soft arrivals shed in degraded mode
+  bool plan_degraded = false;           ///< current plan misses rho at its BER
+  double plan_target_log_r = 0.0;       ///< log rho the current plan aimed at
+  double plan_achieved_log_r = 0.0;     ///< log R the current plan achieves
+
   /// Useful-bits utilization per segment (see header comment).
   [[nodiscard]] double static_bandwidth_utilization() const;
   [[nodiscard]] double dynamic_bandwidth_utilization() const;

@@ -15,6 +15,7 @@
 #include "flexray/policy.hpp"
 #include "net/message.hpp"
 #include "sched/schedule_table.hpp"
+#include "sim/trace.hpp"
 
 namespace coeff::core {
 
@@ -53,6 +54,11 @@ class SchedulerBase : public flexray::TransmissionPolicy {
 
   [[nodiscard]] const RunStats& stats() const { return stats_; }
   [[nodiscard]] RunStats& stats() { return stats_; }
+
+  /// Optional structured-trace sink for scheduler-level events (plan
+  /// swaps, load shedding). May be nullptr; the trace must outlive the
+  /// scheduler. Typically the same Trace the Cluster records into.
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
   [[nodiscard]] const sched::StaticScheduleTable& table() const {
     return table_;
   }
@@ -119,6 +125,7 @@ class SchedulerBase : public flexray::TransmissionPolicy {
   sim::Time last_activity_;
   bool drop_expired_dynamics_ = true;
   RunStats stats_;
+  sim::Trace* trace_ = nullptr;
 
  private:
   void release_statics_until(sim::Time until);

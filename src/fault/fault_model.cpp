@@ -1,0 +1,187 @@
+#include "fault/fault_model.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "fault/ber.hpp"
+#include "fault/injector.hpp"
+
+namespace coeff::fault {
+
+namespace {
+
+/// Map a 64-bit draw to [0, 1) with 53 bits of entropy (same convention
+/// as sim::Rng::uniform01, but usable on stateless SplitMix64 output).
+double to_unit01(std::uint64_t x) { return (x >> 11) * 0x1.0p-53; }
+
+void check_probability(const char* option, double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {  // negated: also rejects NaN
+    char msg[128];
+    std::snprintf(msg, sizeof msg, "fault model: %s = %g out of [0, 1]",
+                  option, value);
+    throw std::invalid_argument(msg);
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultModelKind k) {
+  switch (k) {
+    case FaultModelKind::kIid:
+      return "iid";
+    case FaultModelKind::kGilbertElliott:
+      return "gilbert-elliott";
+    case FaultModelKind::kCommonMode:
+      return "common-mode";
+  }
+  return "?";
+}
+
+std::optional<FaultModelKind> parse_fault_model_kind(std::string_view name) {
+  if (name == "iid") return FaultModelKind::kIid;
+  if (name == "gilbert-elliott" || name == "ge") {
+    return FaultModelKind::kGilbertElliott;
+  }
+  if (name == "common-mode") return FaultModelKind::kCommonMode;
+  return std::nullopt;
+}
+
+bool FaultModel::corrupted(const flexray::TxRequest& req,
+                           flexray::ChannelId channel, sim::Time start) {
+  if (pending_step_.has_value() && start >= pending_step_->at) {
+    apply_ber_step(pending_step_->ber);
+    pending_step_.reset();
+  }
+  const bool fault = draw_verdict(req, channel, start);
+  ++verdicts_;
+  ++ch_verdicts_[static_cast<std::size_t>(channel)];
+  if (fault) {
+    ++faults_;
+    ++ch_faults_[static_cast<std::size_t>(channel)];
+  }
+  return fault;
+}
+
+flexray::CorruptionFn FaultModel::as_corruption_fn() {
+  return [this](const flexray::TxRequest& req, flexray::ChannelId channel,
+                sim::Time start) { return corrupted(req, channel, start); };
+}
+
+void FaultModel::schedule_ber_step(sim::Time at, double ber) {
+  check_probability("ber_step", ber);
+  pending_step_ = BerStep{at, ber};
+}
+
+// --- Gilbert–Elliott ----------------------------------------------------
+
+GilbertElliottModel::GilbertElliottModel(const GilbertElliottParams& params,
+                                         std::uint64_t seed)
+    : params_(params),
+      chains_{Chain{sim::Rng{seed ^ 0x414141ULL}},
+              Chain{sim::Rng{seed ^ 0x424242ULL}}} {
+  check_probability("gilbert_elliott.p_good_to_bad", params.p_good_to_bad);
+  check_probability("gilbert_elliott.p_bad_to_good", params.p_bad_to_good);
+  check_probability("gilbert_elliott.ber_good", params.ber_good);
+  check_probability("gilbert_elliott.ber_bad", params.ber_bad);
+}
+
+bool GilbertElliottModel::draw_verdict(const flexray::TxRequest& req,
+                                       flexray::ChannelId channel,
+                                       sim::Time /*start*/) {
+  Chain& chain = chains_[static_cast<std::size_t>(channel)];
+  // One Markov transition per verdict, then the fault draw at the
+  // resulting state's BER. Each verdict costs exactly two draws, so the
+  // per-channel stream stays aligned whatever path the chain takes.
+  const double p_move =
+      chain.bad ? params_.p_bad_to_good : params_.p_good_to_bad;
+  if (chain.rng.bernoulli(p_move)) chain.bad = !chain.bad;
+  const double ber = chain.bad ? params_.ber_bad : params_.ber_good;
+  return chain.rng.bernoulli(frame_failure_probability(req.payload_bits, ber));
+}
+
+void GilbertElliottModel::apply_ber_step(double ber) {
+  params_.ber_good = ber;
+  if (params_.ber_bad < ber) params_.ber_bad = ber;
+}
+
+std::string GilbertElliottModel::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "gilbert-elliott(p_gb=%g, p_bg=%g, ber_good=%g, ber_bad=%g)",
+                params_.p_good_to_bad, params_.p_bad_to_good, params_.ber_good,
+                params_.ber_bad);
+  return buf;
+}
+
+// --- Common mode --------------------------------------------------------
+
+CommonModeModel::CommonModeModel(double ber, double common_fraction,
+                                 std::uint64_t seed)
+    : ber_(ber),
+      common_fraction_(common_fraction),
+      seed_(seed),
+      rngs_{sim::Rng{seed ^ 0x434343ULL}, sim::Rng{seed ^ 0x444444ULL}} {
+  check_probability("ber", ber);
+  check_probability("common_fraction", common_fraction);
+}
+
+bool CommonModeModel::draw_verdict(const flexray::TxRequest& req,
+                                   flexray::ChannelId channel,
+                                   sim::Time start) {
+  const double p = frame_failure_probability(req.payload_bits, ber_);
+  // Slot-keyed stateless stream: both channels of the same slot (same
+  // start time and frame id) derive identical draws, so a common-mode
+  // event corrupts both copies together; the independent branch falls
+  // back to the per-channel streams.
+  sim::SplitMix64 mix(seed_ ^
+                      static_cast<std::uint64_t>(start.ns()) *
+                          0x9E3779B97F4A7C15ULL ^
+                      (static_cast<std::uint64_t>(req.frame_id) << 17));
+  const bool common_event = to_unit01(mix.next()) < common_fraction_;
+  const double common_draw = to_unit01(mix.next());
+  if (common_event) return common_draw < p;
+  return rngs_[static_cast<std::size_t>(channel)].bernoulli(p);
+}
+
+void CommonModeModel::apply_ber_step(double ber) { ber_ = ber; }
+
+std::string CommonModeModel::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "common-mode(ber=%g, common_fraction=%g)",
+                ber_, common_fraction_);
+  return buf;
+}
+
+// --- Factory ------------------------------------------------------------
+
+std::string describe(const FaultModelConfig& config) {
+  switch (config.kind) {
+    case FaultModelKind::kIid: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "iid(ber=%g)", config.ber);
+      return buf;
+    }
+    case FaultModelKind::kGilbertElliott:
+      return GilbertElliottModel(config.gilbert_elliott, 0).describe();
+    case FaultModelKind::kCommonMode:
+      return CommonModeModel(config.ber, config.common_fraction, 0).describe();
+  }
+  return "?";
+}
+
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelConfig& config,
+                                             std::uint64_t seed) {
+  switch (config.kind) {
+    case FaultModelKind::kIid:
+      return std::make_unique<FaultInjector>(config.ber, seed);
+    case FaultModelKind::kGilbertElliott:
+      return std::make_unique<GilbertElliottModel>(config.gilbert_elliott,
+                                                   seed);
+    case FaultModelKind::kCommonMode:
+      return std::make_unique<CommonModeModel>(config.ber,
+                                               config.common_fraction, seed);
+  }
+  throw std::invalid_argument("make_fault_model: unknown kind");
+}
+
+}  // namespace coeff::fault

@@ -1,29 +1,33 @@
 #include "fault/injector.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace coeff::fault {
 
 FaultInjector::FaultInjector(double ber, std::uint64_t seed)
     : ber_(ber), rngs_{sim::Rng{seed ^ 0x414141ULL}, sim::Rng{seed ^ 0x424242ULL}} {
-  if (ber < 0.0 || ber > 1.0) {
-    throw std::invalid_argument("FaultInjector: ber out of [0,1]");
+  if (!(ber >= 0.0 && ber <= 1.0)) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "FaultInjector: ber = %g out of [0, 1]",
+                  ber);
+    throw std::invalid_argument(msg);
   }
 }
 
-bool FaultInjector::corrupted(const flexray::TxRequest& req,
-                              flexray::ChannelId channel, sim::Time /*start*/) {
+bool FaultInjector::draw_verdict(const flexray::TxRequest& req,
+                                 flexray::ChannelId channel,
+                                 sim::Time /*start*/) {
   const double p = frame_failure_probability(req.payload_bits, ber_);
-  auto& rng = rngs_[static_cast<std::size_t>(channel)];
-  const bool fault = rng.bernoulli(p);
-  ++verdicts_;
-  if (fault) ++faults_;
-  return fault;
+  return rngs_[static_cast<std::size_t>(channel)].bernoulli(p);
 }
 
-flexray::CorruptionFn FaultInjector::as_corruption_fn() {
-  return [this](const flexray::TxRequest& req, flexray::ChannelId channel,
-                sim::Time start) { return corrupted(req, channel, start); };
+void FaultInjector::apply_ber_step(double ber) { ber_ = ber; }
+
+std::string FaultInjector::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "iid(ber=%g)", ber_);
+  return buf;
 }
 
 }  // namespace coeff::fault

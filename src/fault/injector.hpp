@@ -1,4 +1,5 @@
-// Per-transmission transient-fault injector.
+// Per-transmission transient-fault injector: the i.i.d. reference
+// implementation of the FaultModel hierarchy (fault_model.hpp).
 //
 // Plays the role of the Vector/Elektrobit fault-injection tooling in the
 // paper's testbed: every transmission is independently corrupted with
@@ -9,34 +10,30 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "fault/ber.hpp"
+#include "fault/fault_model.hpp"
 #include "flexray/bus.hpp"
 #include "sim/random.hpp"
 
 namespace coeff::fault {
 
-class FaultInjector {
+class FaultInjector : public FaultModel {
  public:
   FaultInjector(double ber, std::uint64_t seed);
 
-  /// Verdict for one transmission (the flexray::CorruptionFn contract).
-  bool corrupted(const flexray::TxRequest& req, flexray::ChannelId channel,
-                 sim::Time start);
-
-  /// Adapter usable directly as a Cluster corruption hook. The injector
-  /// must outlive the returned callable.
-  [[nodiscard]] flexray::CorruptionFn as_corruption_fn();
-
+  [[nodiscard]] std::string describe() const override;
   [[nodiscard]] double ber() const { return ber_; }
-  [[nodiscard]] std::int64_t verdicts() const { return verdicts_; }
-  [[nodiscard]] std::int64_t faults() const { return faults_; }
+
+ protected:
+  bool draw_verdict(const flexray::TxRequest& req, flexray::ChannelId channel,
+                    sim::Time start) override;
+  void apply_ber_step(double ber) override;
 
  private:
   double ber_;
   std::array<sim::Rng, flexray::kNumChannels> rngs_;
-  std::int64_t verdicts_ = 0;
-  std::int64_t faults_ = 0;
 };
 
 }  // namespace coeff::fault

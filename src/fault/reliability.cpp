@@ -1,6 +1,7 @@
 #include "fault/reliability.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -46,15 +47,29 @@ double set_reliability(const net::MessageSet& set,
 
 namespace {
 
+[[noreturn]] void bad_option(const char* option, double value,
+                             const char* constraint) {
+  char msg[160];
+  std::snprintf(msg, sizeof msg, "solver: SolverOptions.%s = %g %s", option,
+                value, constraint);
+  throw std::invalid_argument(msg);
+}
+
 void check_options(const SolverOptions& opt) {
-  if (opt.rho < 0.0 || opt.rho >= 1.0) {
-    throw std::invalid_argument("solver: rho must be in [0, 1)");
+  // Negated comparisons so NaN is rejected too; each message names the
+  // offending option and echoes its value.
+  if (!(opt.ber >= 0.0 && opt.ber <= 1.0)) {
+    bad_option("ber", opt.ber, "must be in [0, 1]");
+  }
+  if (!(opt.rho >= 0.0 && opt.rho < 1.0)) {
+    bad_option("rho", opt.rho, "must be in [0, 1)");
   }
   if (opt.u <= sim::Time::zero()) {
-    throw std::invalid_argument("solver: non-positive time unit");
+    bad_option("u", opt.u.as_seconds(), "seconds: must be positive");
   }
   if (opt.max_copies_per_message < 0) {
-    throw std::invalid_argument("solver: negative copy bound");
+    bad_option("max_copies_per_message", opt.max_copies_per_message,
+               "must be >= 0");
   }
 }
 
@@ -79,6 +94,7 @@ RetransmissionPlan solve_differentiated(const net::MessageSet& set,
   RetransmissionPlan plan;
   plan.copies.assign(n, 0);
   const double target = opt.rho > 0.0 ? std::log(opt.rho) : -1e300;
+  plan.target_log_reliability = opt.rho > 0.0 ? target : 0.0;
 
   std::vector<double> term(n);  // current log term per message
   double log_r = 0.0;
@@ -107,9 +123,15 @@ RetransmissionPlan solve_differentiated(const net::MessageSet& set,
       }
     }
     if (best == n) {
-      throw std::runtime_error(
-          "solve_differentiated: reliability goal unreachable within the "
-          "per-message copy bound");
+      if (opt.throw_on_infeasible) {
+        throw std::runtime_error(
+            "solve_differentiated: reliability goal unreachable within the "
+            "per-message copy bound");
+      }
+      // Graceful degradation: every message is at its bound (or gains
+      // nothing); hand back the best achievable plan, flagged.
+      plan.degraded = true;
+      break;
     }
     log_r += best_new_term - term[best];
     term[best] = best_new_term;
@@ -129,10 +151,13 @@ RetransmissionPlan solve_uniform(const net::MessageSet& set,
   for (int k = 0; k <= opt.max_copies_per_message; ++k) {
     std::vector<int> copies(n, k);
     const double log_r = log_set_reliability(set, copies, opt.ber, opt.u);
-    if (log_r >= target) {
+    const bool last = k == opt.max_copies_per_message;
+    if (log_r >= target || (last && !opt.throw_on_infeasible)) {
       RetransmissionPlan plan;
       plan.copies = std::move(copies);
       plan.log_reliability = log_r;
+      plan.target_log_reliability = opt.rho > 0.0 ? target : 0.0;
+      plan.degraded = log_r < target;
       for (const auto& m : set.messages()) {
         plan.added_load_bits_per_second +=
             k * static_cast<double>(m.size_bits) / m.period.as_seconds();
@@ -151,6 +176,7 @@ int solve_uniform_rounds(const net::MessageSet& set, const SolverOptions& opt,
     throw std::invalid_argument("solve_uniform_rounds: need >= 1 copy/round");
   }
   const double target = opt.rho > 0.0 ? std::log(opt.rho) : -1e300;
+  int last_rounds = 1;
   for (int rounds = 1;
        (rounds - 1) * copies_per_round <= opt.max_copies_per_message;
        ++rounds) {
@@ -159,7 +185,9 @@ int solve_uniform_rounds(const net::MessageSet& set, const SolverOptions& opt,
     if (log_set_reliability(set, copies, opt.ber, opt.u) >= target) {
       return rounds;
     }
+    last_rounds = rounds;
   }
+  if (!opt.throw_on_infeasible) return last_rounds;  // best within the bound
   throw std::runtime_error(
       "solve_uniform_rounds: reliability goal unreachable within the copy "
       "bound");

@@ -22,6 +22,11 @@ struct RetransmissionPlan {
   std::vector<int> copies;  ///< k_z (extra copies beyond the first TX)
   double log_reliability = 0.0;  ///< achieved log R
   double added_load_bits_per_second = 0.0;  ///< sum k_z * W_z / T_z
+  /// log of the rho the solver aimed at (0 when rho was disabled).
+  double target_log_reliability = 0.0;
+  /// True when rho was unreachable within max_copies_per_message and
+  /// this is the best achievable plan instead (graceful degradation).
+  bool degraded = false;
 
   [[nodiscard]] double reliability() const;
   [[nodiscard]] int total_copies() const;
@@ -43,18 +48,27 @@ struct SolverOptions {
   double ber = 1e-7;
   double rho = 0.0;          ///< target reliability over `u`
   sim::Time u = sim::seconds(3600);
-  int max_copies_per_message = 8;  ///< sanity bound; throws if exceeded
+  int max_copies_per_message = 8;  ///< per-message copy bound
+  /// When true, an unreachable rho throws std::runtime_error (the
+  /// pre-degradation behaviour); by default the solvers return the best
+  /// achievable plan flagged `degraded` instead.
+  bool throw_on_infeasible = false;
 };
 
 /// Differentiated solver: greedy marginal-gain-per-added-load ascent.
 /// Starts at k = 0 and, while log R < log rho, increments the k_z with
-/// the best (delta log R) / (added load) ratio. Throws std::runtime_error
-/// if the goal is unreachable within max_copies_per_message.
+/// the best (delta log R) / (added load) ratio. If the goal is
+/// unreachable within max_copies_per_message, returns the best
+/// achievable plan flagged `degraded` (or throws std::runtime_error
+/// under throw_on_infeasible). Invalid options (ber outside [0,1],
+/// rho >= 1, non-positive u, negative copy bound) always throw
+/// std::invalid_argument naming the offending option and value.
 [[nodiscard]] RetransmissionPlan solve_differentiated(
     const net::MessageSet& set, const SolverOptions& opt);
 
 /// Uniform baseline (ablation): the smallest single k applied to every
-/// message that achieves rho.
+/// message that achieves rho; degrades to k = max_copies_per_message
+/// when rho is unreachable (same throw_on_infeasible contract).
 [[nodiscard]] RetransmissionPlan solve_uniform(const net::MessageSet& set,
                                                const SolverOptions& opt);
 
@@ -62,7 +76,8 @@ struct SolverOptions {
 /// `copies_per_round` simultaneous copies (e.g. FSPEC's dual-channel
 /// mirror: 2 copies per round): smallest R >= 1 such that
 ///   prod_z (1 - p_z^{R * copies_per_round})^{u/T_z} >= rho.
-/// Throws std::runtime_error if unreachable within the copy bound.
+/// Degrades to the largest round count within the copy bound when rho
+/// is unreachable (same throw_on_infeasible contract).
 [[nodiscard]] int solve_uniform_rounds(const net::MessageSet& set,
                                        const SolverOptions& opt,
                                        int copies_per_round);

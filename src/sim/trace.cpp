@@ -26,6 +26,12 @@ const char* to_string(TraceKind k) {
       return "deadline_met";
     case TraceKind::kQueueDrop:
       return "queue_drop";
+    case TraceKind::kBerDrift:
+      return "ber_drift";
+    case TraceKind::kPlanSwap:
+      return "plan_swap";
+    case TraceKind::kLoadShed:
+      return "load_shed";
     case TraceKind::kInfo:
       return "info";
   }

@@ -26,6 +26,9 @@ enum class TraceKind : std::uint8_t {
   kDeadlineMiss,
   kDeadlineMet,
   kQueueDrop,
+  kBerDrift,   ///< monitor detected BER drift; a=cycle, note carries estimate
+  kPlanSwap,   ///< online re-plan swapped in; a=cycle, b=total copies, c=degraded
+  kLoadShed,   ///< degraded mode shed a dynamic frame; a=message id, b=node
   kInfo,
 };
 

@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/fault_model.hpp"
+#include "net/workloads.hpp"
 
 namespace coeff::core {
 namespace {
@@ -42,6 +45,54 @@ TEST(SweepRunnerTest, ParallelMatchesSerialOnFullFig5Grid) {
     EXPECT_EQ(a.cycles_run, b.cycles_run);
     EXPECT_EQ(a.reliability_scheduled, b.reliability_scheduled);
     EXPECT_EQ(a.drained, b.drained);
+  }
+}
+
+// The fault-resilience layer must compose with the parallel runner:
+// correlated fault models, a mid-run BER step and the online re-planning
+// monitor in every cell, jobs=1 vs jobs=4 bit-identical (acceptance
+// criterion for the resilience PR).
+TEST(SweepRunnerTest, FaultModelAndMonitorCellsAreDeterministicAcrossJobs) {
+  std::vector<SweepCell> cells;
+  for (const auto kind :
+       {fault::FaultModelKind::kIid, fault::FaultModelKind::kGilbertElliott,
+        fault::FaultModelKind::kCommonMode}) {
+    for (const std::uint64_t seed : {42ULL, 7ULL}) {
+      SweepCell cell;
+      cell.config.cluster = paper_cluster_apps();
+      cell.config.statics = net::brake_by_wire();
+      cell.config.ber = 1e-7;
+      cell.config.seed = seed;
+      cell.config.batch_window = sim::millis(400);
+      cell.config.fault_model.kind = kind;
+      cell.config.fault_model.common_fraction = 0.5;
+      cell.config.fault_model.gilbert_elliott.p_good_to_bad = 0.01;
+      cell.config.ber_step_at = sim::millis(150);
+      cell.config.ber_step = 1e-5;
+      cell.config.enable_monitor = true;
+      cell.config.monitor.window_cycles = 50;
+      cell.config.monitor.min_window_frames = 200;
+      cell.config.monitor.cooldown_cycles = 50;
+      cell.label = std::string("resil/") + fault::to_string(kind) +
+                   "/seed=" + std::to_string(seed);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const SweepReport serial = SweepRunner(1).run(cells);
+  const SweepReport parallel = SweepRunner(4).run(cells);
+  ASSERT_EQ(serial.cells.size(), cells.size());
+  ASSERT_EQ(parallel.cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(cells[i].label);
+    const ExperimentResult& a = serial.cells[i].result;
+    const ExperimentResult& b = parallel.cells[i].result;
+    EXPECT_EQ(a.run.summary(), b.run.summary());
+    EXPECT_EQ(a.run.plan_swaps, b.run.plan_swaps);
+    EXPECT_EQ(a.run.dynamic_frames_shed, b.run.dynamic_frames_shed);
+    EXPECT_EQ(a.final_plan.copies, b.final_plan.copies);
+    EXPECT_EQ(a.run.statics.copies_corrupted, b.run.statics.copies_corrupted);
+    EXPECT_EQ(a.cycles_run, b.cycles_run);
   }
 }
 

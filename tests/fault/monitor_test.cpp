@@ -1,0 +1,137 @@
+#include "fault/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coeff::fault {
+namespace {
+
+using flexray::ChannelId;
+
+ReliabilityMonitorOptions small_window() {
+  ReliabilityMonitorOptions opt;
+  opt.window_cycles = 4;
+  opt.trigger_factor = 5.0;
+  opt.min_window_frames = 8;
+  opt.cooldown_cycles = 2;
+  return opt;
+}
+
+/// One cycle of traffic: `frames` per channel, `bad` of them corrupted.
+void feed_cycle(ReliabilityMonitor& mon, int frames, int bad,
+                std::int64_t bits = 1000) {
+  for (const auto ch : {ChannelId::kA, ChannelId::kB}) {
+    for (int i = 0; i < frames; ++i) mon.record_tx(ch, bits, i < bad);
+  }
+}
+
+TEST(MonitorTest, EstimateInvertsFrameErrorLaw) {
+  // 1 corrupted frame in 100 at 1000 bits: rate 0.01, so
+  // ber = 1 - (1 - 0.01)^(1/1000) ~ 1.005e-5.
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 50, 1);  // 100 frames pooled, 2 corrupted -> rate 0.02
+  EXPECT_DOUBLE_EQ(mon.observed_frame_error_rate(), 0.02);
+  const double expected = -std::expm1(std::log1p(-0.02) / 1000.0);
+  EXPECT_NEAR(mon.estimated_ber(), expected, 1e-12);
+  EXPECT_EQ(mon.window_frames(), 100);
+}
+
+TEST(MonitorTest, WorstChannelEstimateIgnoresHealthyChannel) {
+  // A burst confined to channel A must not be halved by pooling with a
+  // clean channel B.
+  ReliabilityMonitor mon(1e-7, small_window());
+  for (int i = 0; i < 100; ++i) mon.record_tx(ChannelId::kA, 1000, i < 10);
+  for (int i = 0; i < 100; ++i) mon.record_tx(ChannelId::kB, 1000, false);
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kB), 0.0);
+  EXPECT_GT(mon.estimated_ber(ChannelId::kA), 0.0);
+  EXPECT_DOUBLE_EQ(mon.worst_channel_estimate(),
+                   mon.estimated_ber(ChannelId::kA));
+  EXPECT_LT(mon.estimated_ber(), mon.worst_channel_estimate());
+}
+
+TEST(MonitorTest, DetectsDriftAboveTriggerFactor) {
+  // Planned 1e-7, trigger at 5e-7; a 2% frame error rate at 1000 bits
+  // estimates ~2e-5 — far past the threshold.
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 50, 1);
+  EXPECT_TRUE(mon.on_cycle_end());
+  EXPECT_EQ(mon.drift_detections(), 1);
+}
+
+TEST(MonitorTest, CleanTrafficNeverTriggers) {
+  ReliabilityMonitor mon(1e-7, small_window());
+  for (int c = 0; c < 20; ++c) {
+    feed_cycle(mon, 50, 0);
+    EXPECT_FALSE(mon.on_cycle_end()) << "cycle " << c;
+  }
+  EXPECT_EQ(mon.drift_detections(), 0);
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(), 0.0);
+}
+
+TEST(MonitorTest, MinWindowFramesGatesDetection) {
+  // Corruption rate is huge but only 4 frames (< min 8) are in the
+  // window: the estimate is not trusted yet.
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 2, 2);
+  EXPECT_FALSE(mon.on_cycle_end());
+  // Another cycle reaches 8 frames; now it fires.
+  feed_cycle(mon, 2, 2);
+  EXPECT_TRUE(mon.on_cycle_end());
+}
+
+TEST(MonitorTest, CooldownSuppressesRedetection) {
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 50, 1);
+  ASSERT_TRUE(mon.on_cycle_end());
+  mon.note_replanned(2e-5);
+  // Same corruption level keeps flowing; the first cooldown_cycles=2
+  // boundaries must stay quiet even though the estimate is unchanged.
+  feed_cycle(mon, 50, 1);
+  EXPECT_FALSE(mon.on_cycle_end());
+  feed_cycle(mon, 50, 1);
+  EXPECT_FALSE(mon.on_cycle_end());
+  // After the cooldown the baseline is the re-planned 2e-5, and the
+  // observed ~2e-5 is below 5 * 2e-5: still quiet, by threshold now.
+  feed_cycle(mon, 50, 1);
+  EXPECT_FALSE(mon.on_cycle_end());
+  EXPECT_EQ(mon.drift_detections(), 1);
+  EXPECT_DOUBLE_EQ(mon.planned_ber(), 2e-5);
+}
+
+TEST(MonitorTest, WindowEvictsOldCycles) {
+  // A corrupted burst ages out after window_cycles clean cycles.
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 10, 10);  // fully corrupted cycle
+  (void)mon.on_cycle_end();
+  for (int c = 0; c < 4; ++c) {
+    feed_cycle(mon, 10, 0);
+    (void)mon.on_cycle_end();
+  }
+  // Window holds the last 4 cycles, all clean.
+  EXPECT_EQ(mon.window_frames(), 80);
+  EXPECT_DOUBLE_EQ(mon.observed_frame_error_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(), 0.0);
+}
+
+TEST(MonitorTest, InvalidOptionsThrow) {
+  ReliabilityMonitorOptions opt;
+  EXPECT_THROW(ReliabilityMonitor(1.5, opt), std::invalid_argument);
+  opt.window_cycles = 0;
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.trigger_factor = 1.0;  // must exceed 1
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.min_window_frames = 0;
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.cooldown_cycles = -1;
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  ReliabilityMonitor ok(1e-7, ReliabilityMonitorOptions{});
+  EXPECT_THROW(ok.note_replanned(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coeff::fault

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "fault/ber.hpp"
 
@@ -106,15 +108,47 @@ TEST(SolverTest, ZeroGoalNeedsNoCopies) {
   EXPECT_EQ(plan.total_copies(), 0);
 }
 
-TEST(SolverTest, UnreachableGoalThrows) {
+TEST(SolverTest, UnreachableGoalThrowsWhenOptedIn) {
   const auto set = two_messages();
   SolverOptions opt;
   opt.ber = 0.01;  // huge BER: 1500-bit frames nearly always fail
   opt.rho = 1.0 - 1e-9;
   opt.u = sim::seconds(3600);
   opt.max_copies_per_message = 2;
+  opt.throw_on_infeasible = true;
   EXPECT_THROW((void)solve_differentiated(set, opt), std::runtime_error);
   EXPECT_THROW((void)solve_uniform(set, opt), std::runtime_error);
+}
+
+TEST(SolverTest, UnreachableGoalDegradesByDefault) {
+  const auto set = two_messages();
+  SolverOptions opt;
+  opt.ber = 0.01;
+  opt.rho = 1.0 - 1e-9;
+  opt.u = sim::seconds(3600);
+  opt.max_copies_per_message = 2;
+  const auto diff = solve_differentiated(set, opt);
+  EXPECT_TRUE(diff.degraded);
+  EXPECT_LT(diff.log_reliability, diff.target_log_reliability);
+  // The degraded plan is still the best available: every message sits at
+  // the copy cap (nothing left to add).
+  for (const int k : diff.copies) EXPECT_EQ(k, opt.max_copies_per_message);
+  const auto uni = solve_uniform(set, opt);
+  EXPECT_TRUE(uni.degraded);
+  EXPECT_LT(uni.log_reliability, uni.target_log_reliability);
+  for (const int k : uni.copies) EXPECT_EQ(k, opt.max_copies_per_message);
+}
+
+TEST(SolverTest, FeasiblePlanIsNotDegraded) {
+  const auto set = two_messages();
+  SolverOptions opt;
+  opt.ber = 1e-7;
+  opt.rho = 1.0 - 1e-7;
+  opt.u = sim::seconds(3600);
+  const auto plan = solve_differentiated(set, opt);
+  EXPECT_FALSE(plan.degraded);
+  EXPECT_NEAR(plan.target_log_reliability, std::log(opt.rho), 1e-15);
+  EXPECT_GE(plan.log_reliability, plan.target_log_reliability);
 }
 
 TEST(SolverTest, InvalidOptionsThrow) {
@@ -125,6 +159,41 @@ TEST(SolverTest, InvalidOptionsThrow) {
   opt.rho = 0.5;
   opt.u = sim::Time::zero();
   EXPECT_THROW((void)solve_differentiated(set, opt), std::invalid_argument);
+  opt.u = sim::seconds(1);
+  opt.ber = 1.5;  // probability, must live in [0, 1]
+  EXPECT_THROW((void)solve_differentiated(set, opt), std::invalid_argument);
+}
+
+TEST(SolverTest, InvalidOptionsNameTheOffender) {
+  // The error message must say which option is bad, not just "invalid".
+  const auto set = two_messages();
+  SolverOptions opt;
+  opt.rho = 0.5;
+  opt.ber = -0.25;
+  try {
+    (void)solve_differentiated(set, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ber"), std::string::npos)
+        << e.what();
+  }
+  opt.ber = 1e-7;
+  opt.rho = 1.25;
+  try {
+    (void)solve_differentiated(set, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rho"), std::string::npos)
+        << e.what();
+  }
+  opt.rho = 0.5;
+  opt.u = sim::Time::zero();
+  try {
+    (void)solve_differentiated(set, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("u"), std::string::npos) << e.what();
+  }
 }
 
 TEST(SolverTest, UniformMeetsGoalWithEqualCopies) {

@@ -39,6 +39,11 @@ struct CliOptions {
   bool no_dynamics = false;
   int jobs = 1;                // sweep workers (single cell → serial anyway)
   std::string sweep_json;      // empty = no timing report
+  fault::FaultModelConfig fault_model;
+  std::int64_t ber_step_ms = 0;  // 0 = no step
+  double ber_step = -1.0;
+  bool monitor = false;
+  fault::ReliabilityMonitorOptions monitor_opt;
 };
 
 void usage() {
@@ -58,6 +63,16 @@ void usage() {
       "  --burst N                         aperiodic burst size; 1 = periodic (default)\n"
       "  --drain                           running-time mode (drain the whole batch)\n"
       "  --no-dynamics                     statics only\n"
+      "  --fault-model iid|gilbert-elliott|common-mode\n"
+      "                                    channel fault physics (default: iid at --ber)\n"
+      "  --ge-p-gb X / --ge-p-bg X         Gilbert-Elliott burst entry/exit probability\n"
+      "  --ge-ber-good X / --ge-ber-bad X  Gilbert-Elliott per-state BERs\n"
+      "  --common-fraction X               common-mode share of fault events [0,1]\n"
+      "  --ber-step-ms N --ber-step X      step the wire BER to X at N ms (drift)\n"
+      "  --monitor                         runtime reliability monitor + online re-plan\n"
+      "  --monitor-window N                monitor window in cycles (default: 200)\n"
+      "  --monitor-factor X                drift trigger factor (default: 5)\n"
+      "  --monitor-cooldown N              re-plan cooldown in cycles (default: 100)\n"
       "  --jobs N                          sweep workers (default: 1; 0 = COEFF_JOBS\n"
       "                                    env var, else hardware concurrency)\n"
       "  --sweep-json PATH                 write per-cell wall-time report\n"
@@ -107,6 +122,36 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.jobs = std::atoi(next("--jobs"));
     } else if (arg == "--sweep-json") {
       opt.sweep_json = next("--sweep-json");
+    } else if (arg == "--fault-model") {
+      const char* name = next("--fault-model");
+      const auto kind = fault::parse_fault_model_kind(name);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "coeffctl: unknown fault model '%s'\n", name);
+        std::exit(2);
+      }
+      opt.fault_model.kind = *kind;
+    } else if (arg == "--ge-p-gb") {
+      opt.fault_model.gilbert_elliott.p_good_to_bad = std::atof(next(arg.c_str()));
+    } else if (arg == "--ge-p-bg") {
+      opt.fault_model.gilbert_elliott.p_bad_to_good = std::atof(next(arg.c_str()));
+    } else if (arg == "--ge-ber-good") {
+      opt.fault_model.gilbert_elliott.ber_good = std::atof(next(arg.c_str()));
+    } else if (arg == "--ge-ber-bad") {
+      opt.fault_model.gilbert_elliott.ber_bad = std::atof(next(arg.c_str()));
+    } else if (arg == "--common-fraction") {
+      opt.fault_model.common_fraction = std::atof(next(arg.c_str()));
+    } else if (arg == "--ber-step-ms") {
+      opt.ber_step_ms = std::atoll(next(arg.c_str()));
+    } else if (arg == "--ber-step") {
+      opt.ber_step = std::atof(next(arg.c_str()));
+    } else if (arg == "--monitor") {
+      opt.monitor = true;
+    } else if (arg == "--monitor-window") {
+      opt.monitor_opt.window_cycles = std::atoi(next(arg.c_str()));
+    } else if (arg == "--monitor-factor") {
+      opt.monitor_opt.trigger_factor = std::atof(next(arg.c_str()));
+    } else if (arg == "--monitor-cooldown") {
+      opt.monitor_opt.cooldown_cycles = std::atoi(next(arg.c_str()));
     } else {
       std::fprintf(stderr, "coeffctl: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -186,6 +231,13 @@ int main(int argc, char** argv) {
     config.batch_window = sim::millis(opt.window_ms);
     config.seed = opt.seed;
     config.drain_batch = opt.drain;
+    config.fault_model = opt.fault_model;
+    if (opt.ber_step_ms > 0 && opt.ber_step >= 0.0) {
+      config.ber_step_at = sim::millis(opt.ber_step_ms);
+      config.ber_step = opt.ber_step;
+    }
+    config.enable_monitor = opt.monitor;
+    config.monitor = opt.monitor_opt;
 
     core::SchemeKind scheme;
     if (opt.scheme == "coefficient") {
@@ -200,11 +252,21 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    fault::FaultModelConfig header_fm = config.fault_model;
+    header_fm.ber = config.ber;  // mirror run_experiment's single-knob rule
     std::printf("scheme   : %s\ncluster  : %s\nworkload : %zu static + %zu "
-                "dynamic messages\n\n",
+                "dynamic messages\nfault    : %s seed=%llu%s\n",
                 core::to_string(scheme),
                 flexray::describe(config.cluster).c_str(),
-                config.statics.size(), config.dynamics.size());
+                config.statics.size(), config.dynamics.size(),
+                fault::describe(header_fm).c_str(),
+                static_cast<unsigned long long>(config.seed),
+                config.enable_monitor ? " monitor=on" : "");
+    if (config.ber_step >= 0.0 && config.ber_step_at > sim::Time::zero()) {
+      std::printf("drift    : ber -> %g at %s\n", config.ber_step,
+                  sim::to_string(config.ber_step_at).c_str());
+    }
+    std::printf("\n");
     bench::BenchOptions sweep_opt;
     sweep_opt.jobs = opt.jobs;
     sweep_opt.sweep_json = opt.sweep_json;
