@@ -8,9 +8,9 @@
 // assumption (bursts, common-mode coupling):
 //
 //   ./build/examples/fault_injection
-//   ./build/examples/fault_injection --fault-model gilbert-elliott \
+//   ./build/examples/fault_injection --fault-model gilbert-elliott
 //       --ge-p-gb 1e-3 --ge-p-bg 0.1 --ge-ber-good 1e-7 --ge-ber-bad 1e-4
-//   ./build/examples/fault_injection --fault-model common-mode \
+//   ./build/examples/fault_injection --fault-model common-mode
 //       --common-fraction 0.5 --seed 7
 #include <cstdio>
 #include <cstdlib>

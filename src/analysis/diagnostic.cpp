@@ -1,0 +1,245 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace coeff::analysis {
+
+namespace {
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF "level" for a severity ("note" | "warning" | "error").
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      // --- ScheduleLint ---------------------------------------------------
+      {"schedule.config-valid", Severity::kError,
+       "cluster configuration violates a FlexRay parameter constraint"},
+      {"schedule.message-set-valid", Severity::kError,
+       "message set fails structural validation"},
+      {"schedule.deadline-period", Severity::kError,
+       "message deadline must lie in (0, period]"},
+      {"schedule.frame-id-unique", Severity::kError,
+       "two frames claim the same (slot, cycle) on one channel"},
+      {"schedule.slot-bounds", Severity::kError,
+       "slot assignment outside [1, gNumberOfStaticSlots] or an illegal "
+       "base-cycle/repetition"},
+      {"schedule.slot-capacity", Severity::kError,
+       "static payload exceeds what one static slot carries"},
+      {"schedule.period-cycle", Severity::kError,
+       "static message period is not a whole multiple of the communication "
+       "cycle"},
+      {"schedule.minislot-budget", Severity::kError,
+       "dynamic frame can never fit the dynamic segment (minislots or "
+       "pLatestTx)"},
+      {"schedule.minislot-load", Severity::kWarning,
+       "expected dynamic-segment demand exceeds the per-cycle minislot "
+       "budget"},
+      {"schedule.unplaced", Severity::kError,
+       "static message could not be placed in any slot phase"},
+      {"schedule.deadline-risk", Severity::kWarning,
+       "placement latency exceeds the message deadline (TDMA cannot do "
+       "better)"},
+      {"schedule.hyperperiod-overflow", Severity::kError,
+       "hyperperiod of the set overflows the supported horizon"},
+      {"schedule.theorem1-recheck", Severity::kError,
+       "closed-form Theorem-1 recheck of the retransmission plan failed"},
+      {"schedule.plan-degraded", Severity::kWarning,
+       "retransmission plan is degraded: rho unreachable within the copy "
+       "bound"},
+      {"schedule.slack-nonnegative", Severity::kError,
+       "slack table reports negative stealable slack"},
+      {"schedule.slack-monotone", Severity::kError,
+       "cumulative idle curve is not non-decreasing"},
+      {"schedule.slack-infeasible", Severity::kWarning,
+       "offline periodic schedule of the static set misses a deadline"},
+      {"schedule.rta-deadline", Severity::kWarning,
+       "worst-case response time exceeds the deadline (sufficient RTA "
+       "test)"},
+      // --- TraceLint ------------------------------------------------------
+      {"trace.kind-valid", Severity::kError,
+       "trace record carries an out-of-range enum tag"},
+      {"trace.monotonic-time", Severity::kError,
+       "cycle-start timestamps do not advance"},
+      {"trace.cycle-boundary", Severity::kError,
+       "cycle-start record off the cycle grid"},
+      {"trace.tx-overlap", Severity::kError,
+       "two transmissions overlap on one channel"},
+      {"trace.retx-causality", Severity::kError,
+       "retransmission transmitted without a justifying cause"},
+      {"trace.plan-swap-boundary", Severity::kError,
+       "plan swap not aligned to a cycle boundary"},
+      {"trace.load-shed-degraded", Severity::kError,
+       "load shed while the scheduler was not degraded"},
+  };
+  return kCatalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+std::string strformat(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string Location::describe() const {
+  std::string out;
+  auto append = [&out](const char* tag, std::int64_t v) {
+    if (v < 0) return;
+    if (!out.empty()) out += ' ';
+    out += tag;
+    out += ' ';
+    out += std::to_string(v);
+  };
+  append("msg", message_id);
+  append("slot", slot);
+  append("cycle", cycle);
+  append("record", record);
+  return out;
+}
+
+void Report::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void Report::add(std::string_view rule, std::string message, Location loc) {
+  const RuleInfo* info = find_rule(rule);
+  Diagnostic d;
+  d.rule = std::string(rule);
+  d.severity = info != nullptr ? info->severity : Severity::kError;
+  d.message = std::move(message);
+  d.loc = loc;
+  diags_.push_back(std::move(d));
+}
+
+void Report::merge(Report other) {
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::size_t Report::count_rule(std::string_view rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string Report::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += to_string(d.severity);
+    out += ": ";
+    out += d.rule;
+    out += ": ";
+    out += d.message;
+    if (!d.loc.empty()) {
+      out += " [";
+      out += d.loc.describe();
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Report::render_sarif() const {
+  std::string out;
+  out +=
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"coeff-lint\",\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& r : rule_catalog()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":\"";
+    out += json_escape(r.id);
+    out += "\",\"shortDescription\":{\"text\":\"";
+    out += json_escape(r.summary);
+    out += "\"}}";
+  }
+  out += "]}},\"results\":[";
+  first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ruleId\":\"";
+    out += json_escape(d.rule);
+    out += "\",\"level\":\"";
+    out += sarif_level(d.severity);
+    out += "\",\"message\":{\"text\":\"";
+    out += json_escape(d.message);
+    out += "\"}";
+    if (!d.loc.empty()) {
+      out +=
+          ",\"locations\":[{\"logicalLocations\":[{"
+          "\"fullyQualifiedName\":\"";
+      out += json_escape(d.loc.describe());
+      out += "\"}]}]";
+    }
+    out += '}';
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace coeff::analysis

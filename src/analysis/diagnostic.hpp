@@ -1,0 +1,100 @@
+// coeff-lint diagnostics (DESIGN.md §9).
+//
+// Every static-analysis rule reports through a `Diagnostic`: a stable
+// rule id ("schedule.slot-bounds"), a severity, a human-readable
+// message and an optional location into the artifact being linted (a
+// message id, a slot/cycle coordinate, or a trace record index). A
+// `Report` collects diagnostics across linters; `render_text` is the
+// terminal form, `render_sarif` a SARIF 2.1.0 document for CI
+// annotation. Unlike the `validate()` methods scattered through the
+// model types — which throw on the *first* violation — a lint pass
+// keeps going and reports everything it finds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coeff::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+/// Where a diagnostic points. All fields optional (-1 = unset); linters
+/// fill whichever coordinates exist in their artifact.
+struct Location {
+  int message_id = -1;       ///< offending message, if any
+  std::int64_t slot = -1;    ///< static slot / dynamic slot counter
+  std::int64_t cycle = -1;   ///< communication cycle
+  std::int64_t record = -1;  ///< index into the linted trace
+
+  [[nodiscard]] bool empty() const {
+    return message_id < 0 && slot < 0 && cycle < 0 && record < 0;
+  }
+  /// "msg 7 slot 3 cycle 2" (empty string when nothing is set).
+  [[nodiscard]] std::string describe() const;
+};
+
+struct Diagnostic {
+  std::string rule;  ///< stable id, e.g. "schedule.slot-bounds"
+  Severity severity = Severity::kError;
+  std::string message;
+  Location loc;
+};
+
+/// One rule's catalog entry: id, default severity, one-line summary.
+/// The catalog backs `coeffctl lint --list-rules` and the SARIF rule
+/// metadata; every rule a linter can emit must be registered here.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+/// printf-style std::string builder for diagnostic messages.
+[[nodiscard, gnu::format(printf, 1, 2)]] std::string strformat(
+    const char* fmt, ...);
+
+class Report {
+ public:
+  void add(Diagnostic d);
+  /// Convenience: add with the rule's catalog severity.
+  void add(std::string_view rule, std::string message, Location loc = {});
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t count_rule(std::string_view rule) const;
+  [[nodiscard]] bool has_rule(std::string_view rule) const {
+    return count_rule(rule) > 0;
+  }
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
+
+  /// One line per diagnostic: "error: schedule.slot-bounds: ... [slot 99]".
+  [[nodiscard]] std::string render_text() const;
+  /// SARIF 2.1.0 document (tool = coeff-lint) suitable for CI upload.
+  [[nodiscard]] std::string render_sarif() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace coeff::analysis

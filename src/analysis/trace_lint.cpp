@@ -1,0 +1,230 @@
+#include "analysis/trace_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace coeff::analysis {
+
+namespace {
+
+constexpr std::size_t kMaxPerRule = 8;
+
+/// Report wrapper that caps the diagnostics emitted per rule so a
+/// systematically broken trace does not flood CI with thousands of
+/// identical findings.
+class CappedReport {
+ public:
+  explicit CappedReport(Report& report) : report_(report) {}
+
+  void add(const char* rule, std::string message, Location loc = {}) {
+    std::size_t& n = per_rule_[rule];
+    ++n;
+    if (n < kMaxPerRule) {
+      report_.add(rule, std::move(message), loc);
+    } else if (n == kMaxPerRule) {
+      report_.add(rule, std::move(message), loc);
+      Diagnostic note;
+      note.rule = rule;
+      note.severity = Severity::kNote;
+      note.message = "further diagnostics for this rule suppressed";
+      report_.add(std::move(note));
+    }
+  }
+
+ private:
+  Report& report_;
+  std::map<std::string, std::size_t> per_rule_;
+};
+
+Location record_loc(std::int64_t index) {
+  Location loc;
+  loc.record = index;
+  return loc;
+}
+
+bool is_tx(sim::TraceKind k) {
+  return k == sim::TraceKind::kTxStart || k == sim::TraceKind::kTxSuccess ||
+         k == sim::TraceKind::kTxCorrupted;
+}
+
+}  // namespace
+
+Report lint_trace(const TraceLintInput& input) {
+  Report report;
+  if (input.trace == nullptr || input.cluster == nullptr) {
+    report.add("trace.kind-valid", "no trace or cluster configuration given");
+    return report;
+  }
+  CappedReport out(report);
+
+  const flexray::ClusterConfig& cfg = *input.cluster;
+  const sim::Time cycle = cfg.cycle_duration();
+  const sim::Time static_segment = cfg.static_segment_duration();
+
+  // Valid traces are not globally time-sorted: the cluster walks channel
+  // A's dynamic segment before channel B's, so B's records rewind within
+  // the cycle. The cycle-start stream, however, must be strictly
+  // increasing.
+  sim::Time prev_cycle_start = sim::Time::zero();
+  bool saw_cycle_start = false;
+  // Per-channel end of the latest transmission (for overlap detection).
+  sim::Time busy_until[flexray::kNumChannels] = {};
+  // Planned-discipline budget: admitted copies per node not yet sent.
+  std::map<std::int64_t, std::int64_t> retx_budget;
+  // Rounds discipline: (sender, frame id) pairs already transmitted.
+  std::set<std::pair<std::int64_t, std::int64_t>> seen_frames;
+  bool degraded = input.initial_degraded;
+
+  const auto& records = input.trace->records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const sim::TraceRecord& r = records[i];
+    const auto idx = static_cast<std::int64_t>(i);
+
+    const int kind_value = static_cast<int>(r.kind);
+    if (kind_value < 0 || kind_value >= sim::kTraceKindCount) {
+      out.add("trace.kind-valid",
+              strformat("record %lld: TraceKind %d out of range",
+                        static_cast<long long>(idx), kind_value),
+              record_loc(idx));
+      continue;  // the tags of an unknown kind mean nothing
+    }
+
+    switch (r.kind) {
+      case sim::TraceKind::kCycleStart: {
+        if (saw_cycle_start && r.at <= prev_cycle_start) {
+          out.add("trace.monotonic-time",
+                  strformat("cycle-start record %lld at %s does not advance "
+                            "past the previous cycle start %s",
+                            static_cast<long long>(idx),
+                            sim::to_string(r.at).c_str(),
+                            sim::to_string(prev_cycle_start).c_str()),
+                  record_loc(idx));
+        }
+        prev_cycle_start = r.at;
+        saw_cycle_start = true;
+        if (r.at % cycle != sim::Time::zero() ||
+            (r.a >= 0 && r.a != r.at / cycle)) {
+          out.add("trace.cycle-boundary",
+                  strformat("cycle-start record %lld at %s does not match "
+                            "cycle %lld of the %s grid",
+                            static_cast<long long>(idx),
+                            sim::to_string(r.at).c_str(),
+                            static_cast<long long>(r.a),
+                            sim::to_string(cycle).c_str()),
+                  record_loc(idx));
+        }
+        break;
+      }
+      case sim::TraceKind::kRetransmissionScheduled: {
+        if (r.b >= 0 && r.c > 0) retx_budget[r.b] += r.c;
+        break;
+      }
+      case sim::TraceKind::kPlanSwap: {
+        if (r.at % cycle != sim::Time::zero()) {
+          out.add("trace.plan-swap-boundary",
+                  strformat("plan swap at %s is not on a cycle boundary",
+                            sim::to_string(r.at).c_str()),
+                  record_loc(idx));
+        }
+        degraded = r.c == 1;
+        break;
+      }
+      case sim::TraceKind::kLoadShed: {
+        if (!degraded) {
+          out.add("trace.load-shed-degraded",
+                  strformat("message %lld shed at %s while the scheduler "
+                            "was not degraded",
+                            static_cast<long long>(r.a),
+                            sim::to_string(r.at).c_str()),
+                  record_loc(idx));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (!is_tx(r.kind)) continue;
+
+    // --- Transmission records: a=sender, b=frame id, c=channel,
+    // d=payload bits, note "retx" for retransmission copies. -----------
+    if (r.c < 0 || r.c >= flexray::kNumChannels) {
+      out.add("trace.kind-valid",
+              strformat("record %lld: channel tag %lld out of range",
+                        static_cast<long long>(idx),
+                        static_cast<long long>(r.c)),
+              record_loc(idx));
+      continue;
+    }
+    const auto channel = static_cast<std::size_t>(r.c);
+    // Static transmissions occupy their full fixed slot; dynamic ones
+    // their wire time. Position within the cycle tells the segment.
+    const bool in_static_segment = r.at % cycle < static_segment;
+    const sim::Time duration = in_static_segment
+                                   ? cfg.static_slot_duration()
+                                   : (r.d >= 0 ? cfg.transmission_time(r.d)
+                                               : sim::Time::zero());
+    if (r.at < busy_until[channel]) {
+      out.add("trace.tx-overlap",
+              strformat("record %lld: transmission on channel %s at %s "
+                        "starts before the previous one ends (%s)",
+                        static_cast<long long>(idx),
+                        flexray::to_string(
+                            static_cast<flexray::ChannelId>(channel)),
+                        sim::to_string(r.at).c_str(),
+                        sim::to_string(busy_until[channel]).c_str()),
+              record_loc(idx));
+    }
+    busy_until[channel] = std::max(busy_until[channel], r.at + duration);
+
+    const bool is_retx = r.note == "retx";
+    if (!is_retx) {
+      seen_frames.insert({r.a, r.b});
+      continue;
+    }
+    switch (input.discipline) {
+      case RetxDiscipline::kPlanned: {
+        if (--retx_budget[r.a] < 0) {
+          out.add("trace.retx-causality",
+                  strformat("record %lld: node %lld sent a retransmission "
+                            "with no scheduled copies outstanding",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a)),
+                  record_loc(idx));
+          retx_budget[r.a] = 0;  // report each excess copy exactly once
+        }
+        break;
+      }
+      case RetxDiscipline::kRounds: {
+        // A round-train copy must repeat a frame this sender already put
+        // on the wire (the round-1 original, whatever its outcome).
+        if (seen_frames.find({r.a, r.b}) == seen_frames.end()) {
+          out.add("trace.retx-causality",
+                  strformat("record %lld: node %lld retransmitted frame "
+                            "%lld it never originally transmitted",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            static_cast<long long>(r.b)),
+                  record_loc(idx));
+        }
+        break;
+      }
+      case RetxDiscipline::kMirrored: {
+        if (channel != static_cast<std::size_t>(flexray::ChannelId::kB)) {
+          out.add("trace.retx-causality",
+                  strformat("record %lld: mirror copy of node %lld rode "
+                            "channel A; mirrors belong on channel B",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a)),
+                  record_loc(idx));
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace coeff::analysis

@@ -114,6 +114,12 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
   if (admitted <= 0) return;
 
   add_copies(inst, admitted);
+  if (trace_ != nullptr) {
+    // a=message, b=node, c=admitted copies: the budget the trace linter
+    // charges retransmission transmissions against.
+    trace_->emit(inst.release, sim::TraceKind::kRetransmissionScheduled, m.id,
+                 m.node, admitted);
+  }
   RetxJob job;
   job.instance = inst.key;
   job.node = m.node;
@@ -158,7 +164,7 @@ void CoEfficientScheduler::on_cycle_start_hook(std::int64_t cycle,
       char note[64];
       std::snprintf(note, sizeof note, "ber_est=%g planned=%g", estimated,
                     monitor_->planned_ber());
-      trace_->emit(at, sim::TraceKind::kBerDrift, cycle, -1, -1, note);
+      trace_->emit(at, sim::TraceKind::kBerDrift, cycle, -1, -1, -1, note);
     }
     rebuild_plan(estimated, /*throw_on_infeasible=*/false);
     monitor_->note_replanned(estimated);

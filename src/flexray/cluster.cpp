@@ -69,7 +69,8 @@ void Cluster::execute_static_segment(std::int64_t cycle) {
                      out.corrupted ? sim::TraceKind::kTxCorrupted
                                    : sim::TraceKind::kTxSuccess,
                      req->sender, req->frame_id,
-                     static_cast<std::int64_t>(channel.id()));
+                     static_cast<std::int64_t>(channel.id()),
+                     req->payload_bits, req->retransmission ? "retx" : "");
       }
       policy_.on_tx_complete(out);
     }
@@ -107,7 +108,8 @@ void Cluster::execute_dynamic_segment(std::int64_t cycle, ChannelId cid) {
                        out.corrupted ? sim::TraceKind::kTxCorrupted
                                      : sim::TraceKind::kTxSuccess,
                        req->sender, req->frame_id,
-                       static_cast<std::int64_t>(cid));
+                       static_cast<std::int64_t>(cid), req->payload_bits,
+                       req->retransmission ? "retx" : "");
         }
         policy_.on_tx_complete(out);
         minislot += need;

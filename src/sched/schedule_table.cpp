@@ -130,6 +130,27 @@ StaticScheduleTable StaticScheduleTable::build(
   return table;
 }
 
+StaticScheduleTable StaticScheduleTable::from_assignments(
+    std::vector<SlotAssignment> assignments, std::int64_t num_slots) {
+  StaticScheduleTable table;
+  table.num_slots_ = num_slots;
+  table.slot_occupants_.resize(
+      num_slots > 0 ? static_cast<std::size_t>(num_slots) : 0);
+  table.assignments_ = std::move(assignments);
+  for (std::size_t i = 0; i < table.assignments_.size(); ++i) {
+    const SlotAssignment& a = table.assignments_[i];
+    table.by_message_[a.message_id] = i;
+    // Out-of-range or degenerate entries stay in `assignments()` for the
+    // linter to flag but cannot be indexed by slot.
+    if (a.slot >= 1 && a.slot <= num_slots && a.repetition >= 1) {
+      table.slot_occupants_[static_cast<std::size_t>(a.slot - 1)].push_back(
+          {a.base_cycle, a.repetition, a.message_id});
+      table.table_period_ = std::lcm(table.table_period_, a.repetition);
+    }
+  }
+  return table;
+}
+
 std::optional<int> StaticScheduleTable::message_at(std::int64_t slot,
                                                    std::int64_t cycle) const {
   if (slot < 1 || slot > num_slots_ || cycle < 0) return std::nullopt;

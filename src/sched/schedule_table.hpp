@@ -54,6 +54,13 @@ class StaticScheduleTable {
                                    const flexray::ClusterConfig& cfg,
                                    const TableBuildOptions& options = {});
 
+  /// Assemble a table from externally-authored assignments (a
+  /// communication matrix maintained outside the builder). Performs NO
+  /// legality checking — pair with analysis::lint_schedule, which is
+  /// the checker for such tables.
+  static StaticScheduleTable from_assignments(
+      std::vector<SlotAssignment> assignments, std::int64_t num_slots);
+
   /// Message id occupying (slot, cycle), or nullopt if the slot is idle
   /// there.
   [[nodiscard]] std::optional<int> message_at(std::int64_t slot,

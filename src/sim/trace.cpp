@@ -39,9 +39,9 @@ const char* to_string(TraceKind k) {
 }
 
 void Trace::emit(Time at, TraceKind kind, std::int64_t a, std::int64_t b,
-                 std::int64_t c, std::string note) {
+                 std::int64_t c, std::int64_t d, std::string note) {
   if (!enabled_) return;
-  records_.push_back(TraceRecord{at, kind, a, b, c, std::move(note)});
+  records_.push_back(TraceRecord{at, kind, a, b, c, d, std::move(note)});
 }
 
 std::size_t Trace::count(TraceKind kind) const {
@@ -56,10 +56,12 @@ std::string Trace::dump() const {
   std::string out;
   char line[256];
   for (const auto& r : records_) {
-    std::snprintf(line, sizeof line, "%14s %-16s a=%lld b=%lld c=%lld %s\n",
+    std::snprintf(line, sizeof line,
+                  "%14s %-16s a=%lld b=%lld c=%lld d=%lld %s\n",
                   to_string(r.at).c_str(), to_string(r.kind),
                   static_cast<long long>(r.a), static_cast<long long>(r.b),
-                  static_cast<long long>(r.c), r.note.c_str());
+                  static_cast<long long>(r.c), static_cast<long long>(r.d),
+                  r.note.c_str());
     out += line;
   }
   return out;

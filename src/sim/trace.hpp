@@ -32,16 +32,23 @@ enum class TraceKind : std::uint8_t {
   kInfo,
 };
 
+/// Number of TraceKind enumerators (kInfo is last). Keep in sync when
+/// adding kinds; the exhaustive-switch test in trace_test.cpp and the
+/// trace linter both iterate [0, kTraceKindCount).
+inline constexpr int kTraceKindCount = static_cast<int>(TraceKind::kInfo) + 1;
+
 [[nodiscard]] const char* to_string(TraceKind k);
 
 struct TraceRecord {
   Time at;
   TraceKind kind;
   // Generic integer tags; meaning depends on kind (documented at the
-  // emission site): typically node id, frame/message id, channel.
+  // emission site): typically node id, frame/message id, channel, and
+  // (for transmissions) payload bits in `d`.
   std::int64_t a = -1;
   std::int64_t b = -1;
   std::int64_t c = -1;
+  std::int64_t d = -1;
   std::string note;
 };
 
@@ -52,7 +59,7 @@ class Trace {
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   void emit(Time at, TraceKind kind, std::int64_t a = -1, std::int64_t b = -1,
-            std::int64_t c = -1, std::string note = {});
+            std::int64_t c = -1, std::int64_t d = -1, std::string note = {});
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const {
     return records_;

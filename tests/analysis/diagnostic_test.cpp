@@ -1,0 +1,100 @@
+#include "analysis/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace coeff::analysis {
+namespace {
+
+TEST(RuleCatalogTest, IdsAreUniqueAndNamespaced) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rule_catalog()) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    const std::string id = r.id;
+    EXPECT_TRUE(id.rfind("schedule.", 0) == 0 || id.rfind("trace.", 0) == 0)
+        << id << " is outside the schedule./trace. namespaces";
+    EXPECT_NE(std::string(r.summary), "");
+  }
+  EXPECT_GE(ids.size(), 20u);
+}
+
+TEST(RuleCatalogTest, FindRuleRoundTripsAndRejectsUnknown) {
+  for (const RuleInfo& r : rule_catalog()) {
+    const RuleInfo* found = find_rule(r.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->severity, r.severity);
+  }
+  EXPECT_EQ(find_rule("schedule.no-such-rule"), nullptr);
+}
+
+TEST(ReportTest, AddLooksUpCatalogSeverity) {
+  Report report;
+  report.add("schedule.deadline-risk", "late");  // warning in the catalog
+  report.add("trace.tx-overlap", "clash");       // error in the catalog
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule("trace.tx-overlap"));
+  EXPECT_FALSE(report.has_rule("trace.retx-causality"));
+}
+
+TEST(ReportTest, UnknownRuleDefaultsToError) {
+  Report report;
+  report.add("not.in.catalog", "mystery");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ReportTest, MergeConcatenates) {
+  Report a;
+  a.add("trace.tx-overlap", "one");
+  Report b;
+  b.add("trace.tx-overlap", "two");
+  a.merge(std::move(b));
+  EXPECT_EQ(a.count_rule("trace.tx-overlap"), 2u);
+}
+
+TEST(ReportTest, RenderTextShowsRuleSeverityAndLocation) {
+  Report report;
+  Location loc;
+  loc.message_id = 7;
+  loc.slot = 3;
+  report.add("schedule.slot-capacity", "too big", loc);
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("schedule.slot-capacity"), std::string::npos);
+  EXPECT_NE(text.find("msg 7"), std::string::npos);
+  EXPECT_NE(text.find("slot 3"), std::string::npos);
+}
+
+TEST(ReportTest, RenderSarifListsCatalogAndEscapesMessages) {
+  Report report;
+  report.add("trace.cycle-boundary", "bad \"quote\"\nand newline");
+  const std::string sarif = report.render_sarif();
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"coeff-lint\""), std::string::npos);
+  for (const RuleInfo& r : rule_catalog()) {
+    EXPECT_NE(sarif.find(std::string("\"id\":\"") + r.id + '"'),
+              std::string::npos)
+        << r.id << " missing from the SARIF rules array";
+  }
+  EXPECT_NE(sarif.find("\"ruleId\":\"trace.cycle-boundary\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("bad \\\"quote\\\"\\nand newline"), std::string::npos);
+  EXPECT_EQ(sarif.find('\n'), std::string::npos);  // single-line JSON
+}
+
+TEST(StrformatTest, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("m %d needs %lld bits", 3, 1024LL),
+            "m 3 needs 1024 bits");
+}
+
+TEST(SeverityTest, ToStringCoversAllLevels) {
+  EXPECT_STREQ(to_string(Severity::kNote), "note");
+  EXPECT_STREQ(to_string(Severity::kWarning), "warning");
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+}
+
+}  // namespace
+}  // namespace coeff::analysis

@@ -2,18 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace coeff::sim {
 namespace {
 
 TEST(TraceTest, RecordsEvents) {
   Trace t;
-  t.emit(micros(1), TraceKind::kTxStart, 1, 2, 3, "hello");
+  t.emit(micros(1), TraceKind::kTxStart, 1, 2, 3, 4, "hello");
   ASSERT_EQ(t.records().size(), 1u);
   EXPECT_EQ(t.records()[0].at, micros(1));
   EXPECT_EQ(t.records()[0].kind, TraceKind::kTxStart);
   EXPECT_EQ(t.records()[0].a, 1);
   EXPECT_EQ(t.records()[0].b, 2);
   EXPECT_EQ(t.records()[0].c, 3);
+  EXPECT_EQ(t.records()[0].d, 4);
   EXPECT_EQ(t.records()[0].note, "hello");
 }
 
@@ -61,6 +66,22 @@ TEST(TraceTest, AllKindsHaveNames) {
         TraceKind::kQueueDrop, TraceKind::kInfo}) {
     EXPECT_STRNE(to_string(kind), "unknown");
   }
+}
+
+// Exhaustive sweep over every enumerator value: to_string must cover the
+// whole enum (no "unknown" fallthrough) with pairwise-distinct names, and
+// kTraceKindCount must stay in sync with the enum's tail.
+TEST(TraceTest, ToStringCoversEveryEnumerator) {
+  std::vector<std::string> names;
+  for (int k = 0; k < kTraceKindCount; ++k) {
+    const char* name = to_string(static_cast<TraceKind>(k));
+    EXPECT_STRNE(name, "unknown") << "enumerator " << k;
+    names.emplace_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end())
+      << "duplicate TraceKind names";
+  EXPECT_EQ(static_cast<int>(TraceKind::kInfo), kTraceKindCount - 1);
 }
 
 }  // namespace

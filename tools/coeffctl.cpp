@@ -1,23 +1,34 @@
-// coeffctl — command-line experiment driver.
+// coeffctl — command-line experiment driver and offline linter.
 //
 // Runs one scheduling experiment from the shell, loading message sets
 // from CSV or using the built-in workloads, and prints the metrics
-// summary. Examples:
+// summary; the `lint` subcommand instead runs the static analyzer
+// (schedule legality, Theorem-1 recheck, slack/RTA cross-checks, and —
+// with --trace — protocol conformance of a recorded run) and exits
+// nonzero on any error-severity diagnostic. Examples:
 //
 //   coeffctl --scheme coefficient --workload bbw --ber 1e-7
 //   coeffctl --scheme fspec --statics my_matrix.csv --minislots 25
 //   coeffctl --scheme hosa --workload synthetic --messages 100
 //            --window-ms 1000 --seed 7
+//   coeffctl lint --workload apps --sil 3
+//   coeffctl lint --statics my_matrix.csv --trace --sarif report.sarif
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
+#include "analysis/schedule_lint.hpp"
+#include "analysis/trace_lint.hpp"
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "net/csv.hpp"
 #include "net/workloads.hpp"
+#include "sched/schedule_table.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -44,6 +55,11 @@ struct CliOptions {
   double ber_step = -1.0;
   bool monitor = false;
   fault::ReliabilityMonitorOptions monitor_opt;
+
+  // --- lint subcommand only --------------------------------------------
+  bool list_rules = false;
+  bool lint_trace = false;      // also run a batch and lint its trace
+  std::string sarif_path;       // "-" = stdout
 };
 
 void usage() {
@@ -76,7 +92,14 @@ void usage() {
       "  --jobs N                          sweep workers (default: 1; 0 = COEFF_JOBS\n"
       "                                    env var, else hardware concurrency)\n"
       "  --sweep-json PATH                 write per-cell wall-time report\n"
-      "  --help                            this text");
+      "  --help                            this text\n"
+      "\n"
+      "coeffctl lint [options] — static analysis instead of a run\n"
+      "  accepts the workload/cluster options above, plus:\n"
+      "  --trace                           also run one batch and lint the trace\n"
+      "  --sarif PATH                      write a SARIF 2.1.0 report ('-' = stdout)\n"
+      "  --list-rules                      print the rule catalog and exit\n"
+      "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -152,6 +175,12 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.monitor_opt.trigger_factor = std::atof(next(arg.c_str()));
     } else if (arg == "--monitor-cooldown") {
       opt.monitor_opt.cooldown_cycles = std::atoi(next(arg.c_str()));
+    } else if (arg == "--trace") {
+      opt.lint_trace = true;
+    } else if (arg == "--sarif") {
+      opt.sarif_path = next("--sarif");
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
     } else {
       std::fprintf(stderr, "coeffctl: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -160,18 +189,10 @@ bool parse(int argc, char** argv, CliOptions& opt) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions opt;
-  if (!parse(argc, argv, opt)) {
-    usage();
-    return 2;
-  }
-
-  try {
-    core::ExperimentConfig config;
-
+/// Assemble the cluster + message sets + fault/monitor settings from the
+/// CLI options (shared by the run and lint paths). Throws on bad input;
+/// returns false only for an unknown workload/scheme name.
+bool build_config(const CliOptions& opt, core::ExperimentConfig& config) {
     // Cluster + static workload.
     if (!opt.statics_csv.empty()) {
       // A matrix file may carry both kinds; keep the static rows here.
@@ -207,7 +228,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "coeffctl: unknown workload '%s'\n",
                    opt.workload.c_str());
-      return 2;
+      return false;
     }
 
     // Dynamic workload.
@@ -238,19 +259,146 @@ int main(int argc, char** argv) {
     }
     config.enable_monitor = opt.monitor;
     config.monitor = opt.monitor_opt;
+    return true;
+}
 
-    core::SchemeKind scheme;
-    if (opt.scheme == "coefficient") {
-      scheme = core::SchemeKind::kCoEfficient;
-    } else if (opt.scheme == "fspec") {
-      scheme = core::SchemeKind::kFspec;
-    } else if (opt.scheme == "hosa") {
-      scheme = core::SchemeKind::kHosa;
-    } else {
-      std::fprintf(stderr, "coeffctl: unknown scheme '%s'\n",
-                   opt.scheme.c_str());
-      return 2;
+bool parse_scheme(const CliOptions& opt, core::SchemeKind& scheme) {
+  if (opt.scheme == "coefficient") {
+    scheme = core::SchemeKind::kCoEfficient;
+  } else if (opt.scheme == "fspec") {
+    scheme = core::SchemeKind::kFspec;
+  } else if (opt.scheme == "hosa") {
+    scheme = core::SchemeKind::kHosa;
+  } else {
+    std::fprintf(stderr, "coeffctl: unknown scheme '%s'\n",
+                 opt.scheme.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// `coeffctl lint`: run the offline analyzer over the configured
+/// workload (and optionally one recorded batch) instead of reporting
+/// metrics. Exit status 0 = clean, 1 = error diagnostics, 2 = usage.
+int lint_main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.list_rules) {
+    for (const auto& rule : analysis::rule_catalog()) {
+      std::printf("%-32s %-8s %s\n", rule.id, analysis::to_string(rule.severity),
+                  rule.summary);
     }
+    return 0;
+  }
+
+  try {
+    core::ExperimentConfig config;
+    core::SchemeKind scheme;
+    if (!build_config(opt, config) || !parse_scheme(opt, scheme)) return 2;
+
+    const double rho = config.rho > 0.0
+                           ? config.rho
+                           : fault::reliability_goal(config.sil, config.u);
+
+    analysis::Report report;
+
+    // The schedule table and retransmission plan under analysis. A build
+    // that throws is itself a finding (the structural rules will name
+    // the root cause; the catch keeps a diagnostic even if they don't).
+    std::optional<sched::StaticScheduleTable> table;
+    try {
+      table = sched::StaticScheduleTable::build(config.statics,
+                                                config.cluster);
+    } catch (const std::exception& e) {
+      report.add("schedule.message-set-valid",
+                 std::string("schedule table: ") + e.what());
+    }
+    fault::SolverOptions solver;
+    solver.ber = config.ber;
+    solver.rho = rho;
+    solver.u = config.u;
+    solver.max_copies_per_message = config.max_copies;
+    const fault::RetransmissionPlan plan =
+        fault::solve_differentiated(config.statics, solver);
+
+    analysis::ScheduleLintInput input;
+    input.cluster = &config.cluster;
+    input.statics = &config.statics;
+    input.dynamics = &config.dynamics;
+    input.table = table.has_value() ? &*table : nullptr;
+    input.plan = &plan;
+    input.ber = config.ber;
+    input.rho = rho;
+    input.u = config.u;
+    report.merge(analysis::lint_schedule(input));
+
+    // --trace: record one batch with the chosen scheme and check the
+    // protocol-conformance rules over what actually went on the wire.
+    if (opt.lint_trace) {
+      sim::Trace trace;
+      config.trace = &trace;
+      (void)core::run_experiment(config, scheme);
+      analysis::TraceLintInput tin;
+      tin.trace = &trace;
+      tin.cluster = &config.cluster;
+      tin.discipline = scheme == core::SchemeKind::kCoEfficient
+                           ? analysis::RetxDiscipline::kPlanned
+                       : scheme == core::SchemeKind::kFspec
+                           ? analysis::RetxDiscipline::kRounds
+                           : analysis::RetxDiscipline::kMirrored;
+      tin.initial_degraded = plan.degraded;
+      report.merge(analysis::lint_trace(tin));
+    }
+
+    std::printf("%s", report.render_text().c_str());
+    std::printf("coeff-lint: %zu error(s), %zu warning(s), %zu note(s) over "
+                "%zu rules [%zu static + %zu dynamic messages, %s]\n",
+                report.count(analysis::Severity::kError),
+                report.count(analysis::Severity::kWarning),
+                report.count(analysis::Severity::kNote),
+                analysis::rule_catalog().size(), config.statics.size(),
+                config.dynamics.size(),
+                flexray::describe(config.cluster).c_str());
+    if (!opt.sarif_path.empty()) {
+      const std::string sarif = report.render_sarif();
+      if (opt.sarif_path == "-") {
+        std::printf("%s\n", sarif.c_str());
+      } else {
+        std::ofstream out(opt.sarif_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "coeffctl: cannot write '%s'\n",
+                       opt.sarif_path.c_str());
+          return 2;
+        }
+        out << sarif;
+      }
+    }
+    return report.has_errors() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "coeffctl: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
+    return lint_main(argc - 1, argv + 1);
+  }
+  CliOptions opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  try {
+    core::ExperimentConfig config;
+    core::SchemeKind scheme;
+    if (!build_config(opt, config) || !parse_scheme(opt, scheme)) return 2;
 
     fault::FaultModelConfig header_fm = config.fault_model;
     header_fm.ber = config.ber;  // mirror run_experiment's single-knob rule
