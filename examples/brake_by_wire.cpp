@@ -30,8 +30,8 @@ int main() {
   for (const auto& a : table.assignments()) {
     const net::Message* m = bbw.find(a.message_id);
     std::printf("  %-8s slot %2lld  base %2lld  rep %2lld  latency %s\n",
-                m->name.c_str(), static_cast<long long>(a.slot),
-                static_cast<long long>(a.base_cycle),
+                m->name.c_str(), static_cast<long long>(a.slot.value()),
+                static_cast<long long>(a.base_cycle.value()),
                 static_cast<long long>(a.repetition),
                 sim::to_string(a.latency).c_str());
   }

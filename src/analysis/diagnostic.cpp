@@ -89,6 +89,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "better)"},
       {"schedule.hyperperiod-overflow", Severity::kError,
        "hyperperiod of the set overflows the supported horizon"},
+      {"schedule.macrotick-roundtrip", Severity::kWarning,
+       "configured macrotick lengths do not round-trip through the units "
+       "layer's time conversions"},
       {"schedule.theorem1-recheck", Severity::kError,
        "closed-form Theorem-1 recheck of the retransmission plan failed"},
       {"schedule.plan-degraded", Severity::kWarning,

@@ -39,6 +39,50 @@ void check_config(const flexray::ClusterConfig& cfg, Report& report) {
   }
 }
 
+void check_macrotick_roundtrip(const flexray::ClusterConfig& cfg,
+                               Report& report) {
+  if (cfg.gd_macrotick <= sim::Time::zero()) return;  // config-valid fired
+  // The units layer models wall-clock durations as whole microseconds;
+  // a fractional-us macrotick cannot be expressed on that grid, so any
+  // Microseconds-typed configuration input would silently truncate.
+  if (!units::is_whole_microseconds(cfg.gd_macrotick)) {
+    report.add("schedule.macrotick-roundtrip",
+               strformat("gdMacrotick %s is not a whole number of "
+                      "microseconds; units::Microseconds cannot express "
+                      "the macrotick grid exactly",
+                      sim::to_string(cfg.gd_macrotick).c_str()));
+  }
+  // Every configured macrotick length must survive the units-layer
+  // round trip Macroticks -> sim::Time -> Macroticks on this grid.
+  struct Field {
+    const char* name;
+    units::Macroticks mt;
+  };
+  const Field fields[] = {
+      {"gMacroPerCycle", cfg.g_macro_per_cycle},
+      {"gdStaticSlot", cfg.gd_static_slot},
+      {"gdMinislot", cfg.gd_minislot},
+      {"gdActionPointOffset", cfg.gd_minislot_action_point_offset},
+      {"gdSymbolWindow", cfg.gd_symbol_window},
+  };
+  for (const auto& f : fields) {
+    try {
+      const sim::Time t = units::to_time(f.mt, cfg.gd_macrotick);
+      if (units::to_macroticks(t, cfg.gd_macrotick) != f.mt) {
+        report.add("schedule.macrotick-roundtrip",
+                   strformat("%s: %lld MT does not round-trip through "
+                          "sim::Time on a %s macrotick grid",
+                          f.name, static_cast<long long>(f.mt.count()),
+                          sim::to_string(cfg.gd_macrotick).c_str()));
+      }
+    } catch (const std::exception& e) {
+      report.add("schedule.macrotick-roundtrip",
+                 strformat("%s: units round trip failed: %s", f.name,
+                        e.what()));
+    }
+  }
+}
+
 void check_message_set(const net::MessageSet& set, const char* which,
                        Report& report) {
   try {
@@ -90,7 +134,7 @@ void check_static_capacity(const flexray::ClusterConfig& cfg,
                         "static slot carries %lld bits",
                         m.id, m.name.c_str(),
                         static_cast<long long>(m.size_bits),
-                        static_cast<long long>(cfg.gd_static_slot),
+                        static_cast<long long>(cfg.gd_static_slot.count()),
                         static_cast<long long>(capacity)),
                  msg_loc(m.id));
     }
@@ -100,7 +144,7 @@ void check_static_capacity(const flexray::ClusterConfig& cfg,
 void check_minislot_budget(const flexray::ClusterConfig& cfg,
                            const net::MessageSet& dynamics, Report& report) {
   if (dynamics.empty()) return;
-  if (cfg.latest_tx_minislot() < 1) {
+  if (cfg.latest_tx_minislot() < units::MinislotId{1}) {
     report.add("schedule.minislot-budget",
                "pLatestTx < 1: no dynamic transmission can ever start");
     return;
@@ -137,24 +181,25 @@ void check_table(const flexray::ClusterConfig& cfg,
                  const sched::StaticScheduleTable& table, Report& report) {
   // Slot bounds and multiplexing-phase legality per assignment.
   for (const auto& a : table.assignments()) {
-    if (a.slot < 1 || a.slot > cfg.g_number_of_static_slots) {
+    if (a.slot.value() < 1 || a.slot.value() > cfg.g_number_of_static_slots) {
       report.add("schedule.slot-bounds",
                  strformat("message %d assigned to slot %lld outside [1, %lld]",
-                        a.message_id, static_cast<long long>(a.slot),
+                        a.message_id, static_cast<long long>(a.slot.value()),
                         static_cast<long long>(cfg.g_number_of_static_slots)),
-                 slot_loc(a.slot));
+                 slot_loc(a.slot.value()));
     }
     // base_cycle is the first transmitting cycle, not a residue: the
     // builder shifts it past the message offset, so it may exceed the
     // repetition. Only negative bases and non-positive repetitions are
     // structurally illegal.
-    if (a.repetition < 1 || a.base_cycle < 0) {
+    if (a.repetition < 1 || a.base_cycle.value() < 0) {
       report.add("schedule.slot-bounds",
                  strformat("message %d: base cycle %lld / repetition %lld is "
                         "not a valid multiplexing phase",
-                        a.message_id, static_cast<long long>(a.base_cycle),
+                        a.message_id,
+                        static_cast<long long>(a.base_cycle.value()),
                         static_cast<long long>(a.repetition)),
-                 slot_loc(a.slot, a.base_cycle));
+                 slot_loc(a.slot.value(), a.base_cycle.value()));
     }
   }
 
@@ -163,7 +208,7 @@ void check_table(const flexray::ClusterConfig& cfg,
   // base_1 = base_2 (mod gcd(rep_1, rep_2)).
   std::map<std::int64_t, std::vector<const sched::SlotAssignment*>> by_slot;
   for (const auto& a : table.assignments()) {
-    by_slot[a.slot].push_back(&a);
+    by_slot[a.slot.value()].push_back(&a);
   }
   for (const auto& [slot, occupants] : by_slot) {
     for (std::size_t i = 0; i < occupants.size(); ++i) {
@@ -178,9 +223,9 @@ void check_table(const flexray::ClusterConfig& cfg,
                             "coinciding phases (%lld/%lld and %lld/%lld)",
                             x.message_id, y.message_id,
                             static_cast<long long>(slot),
-                            static_cast<long long>(x.base_cycle),
+                            static_cast<long long>(x.base_cycle.value()),
                             static_cast<long long>(x.repetition),
-                            static_cast<long long>(y.base_cycle),
+                            static_cast<long long>(y.base_cycle.value()),
                             static_cast<long long>(y.repetition)),
                      slot_loc(slot));
         }
@@ -342,6 +387,7 @@ Report lint_schedule(const ScheduleLintInput& input) {
   }
 
   check_config(*input.cluster, report);
+  check_macrotick_roundtrip(*input.cluster, report);
   if (input.statics != nullptr) {
     check_message_set(*input.statics, "static", report);
     check_hyperperiod(*input.statics, report);

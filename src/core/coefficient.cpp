@@ -79,7 +79,7 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
     }
     flexray::PendingMessage pending;
     pending.instance = inst.key;
-    pending.frame_id = static_cast<flexray::FrameId>(a->slot);
+    pending.frame_id = units::to_frame_id(a->slot);
     pending.payload_bits = m.size_bits;
     pending.release = inst.release;
     pending.deadline = inst.abs_deadline;
@@ -126,7 +126,7 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
   job.bits = m.size_bits;
   job.release = inst.release;
   job.deadline = inst.abs_deadline;
-  job.home_slot = a != nullptr ? a->slot : 0;
+  job.home_slot = a != nullptr ? a->slot : units::SlotId{0};
   // Keep the queue EDF-ordered.
   auto pos = std::upper_bound(
       retx_jobs_.begin(), retx_jobs_.end(), job,
@@ -153,7 +153,7 @@ void CoEfficientScheduler::on_dynamic_release(
   nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
 }
 
-void CoEfficientScheduler::on_cycle_start_hook(std::int64_t cycle,
+void CoEfficientScheduler::on_cycle_start_hook(units::CycleIndex cycle,
                                                sim::Time at) {
   // Runtime reliability loop: roll the monitor window at the cycle
   // boundary; on drift, re-solve against the worst-channel estimate and
@@ -164,13 +164,15 @@ void CoEfficientScheduler::on_cycle_start_hook(std::int64_t cycle,
       char note[64];
       std::snprintf(note, sizeof note, "ber_est=%g planned=%g", estimated,
                     monitor_->planned_ber());
-      trace_->emit(at, sim::TraceKind::kBerDrift, cycle, -1, -1, -1, note);
+      trace_->emit(at, sim::TraceKind::kBerDrift, cycle.value(), -1, -1, -1,
+                   note);
     }
     rebuild_plan(estimated, /*throw_on_infeasible=*/false);
     monitor_->note_replanned(estimated);
     ++stats_.plan_swaps;
     if (trace_ != nullptr) {
-      trace_->emit(at, sim::TraceKind::kPlanSwap, cycle, plan_.total_copies(),
+      trace_->emit(at, sim::TraceKind::kPlanSwap, cycle.value(),
+                   plan_.total_copies(),
                    plan_.degraded ? 1 : 0);
     }
   }
@@ -196,7 +198,7 @@ void CoEfficientScheduler::on_cycle_start_hook(std::int64_t cycle,
 std::deque<CoEfficientScheduler::RetxJob>::iterator
 CoEfficientScheduler::find_retx(std::int64_t capacity_bits,
                                 sim::Time slot_start, sim::Time slot_end,
-                                std::int64_t slot,
+                                units::SlotId slot,
                                 flexray::ChannelId channel) {
   for (auto it = retx_jobs_.begin(); it != retx_jobs_.end(); ++it) {
     if (it->bits > capacity_bits) continue;  // selective: slack must fit
@@ -236,9 +238,9 @@ CoEfficientScheduler::peek_dynamic_for_slack(std::int64_t capacity_bits,
 }
 
 std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
-    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
-  const sim::Time slot_start =
-      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+    flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
+  const sim::Time slot_start = cycle_duration_ * cycle.value() +
+                               cfg_.static_slot_duration() * (slot.value() - 1);
   const sim::Time slot_end = slot_start + cfg_.static_slot_duration();
 
   const std::optional<int> occupant = table_.message_at(slot, cycle);
@@ -254,8 +256,8 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
     buffers.clear(slot);
     flexray::TxRequest req;
     req.instance = pending->instance;
-    req.frame_id = static_cast<flexray::FrameId>(slot);
-    req.sender = m->node;
+    req.frame_id = units::to_frame_id(slot);
+    req.sender = units::NodeId{m->node};
     req.payload_bits = pending->payload_bits;
     return req;
   }
@@ -297,14 +299,14 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
     }
     flexray::TxRequest req;
     req.instance = job.instance;
-    req.frame_id = static_cast<flexray::FrameId>(slot);
-    req.sender = job.node;
+    req.frame_id = units::to_frame_id(slot);
+    req.sender = units::NodeId{job.node};
     req.payload_bits = job.bits;
     req.retransmission = true;
     return req;
   }
   if (dyn.has_value()) {
-    const net::Message* m = dynamic_message_for_frame(dyn->frame_id);
+    const net::Message* m = dynamic_message_for_frame(dyn->frame_id.value());
     nodes_.at(static_cast<std::size_t>(m->node))
         .dynamic_queue()
         .pop(dyn->instance);
@@ -312,8 +314,8 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
     ++stats_.dynamic_in_static_slots;
     flexray::TxRequest req;
     req.instance = dyn->instance;
-    req.frame_id = static_cast<flexray::FrameId>(slot);
-    req.sender = m->node;
+    req.frame_id = units::to_frame_id(slot);
+    req.sender = units::NodeId{m->node};
     req.payload_bits = dyn->payload_bits;
     return req;
   }
@@ -321,23 +323,22 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
 }
 
 std::optional<flexray::TxRequest> CoEfficientScheduler::dynamic_slot(
-    flexray::ChannelId channel, std::int64_t cycle,
-    std::int64_t slot_counter, std::int64_t minislot,
+    flexray::ChannelId channel, units::CycleIndex cycle,
+    units::SlotId slot_counter, units::MinislotId minislot,
     std::int64_t minislots_remaining) {
   if (options_.single_channel_dynamics &&
       channel == flexray::ChannelId::kB) {
     return std::nullopt;  // ablation: channel B carries no dynamic frames
   }
-  const net::Message* m = dynamic_message_for_frame(
-      static_cast<int>(slot_counter));
+  const net::Message* m =
+      dynamic_message_for_frame(static_cast<int>(slot_counter.value()));
   if (m == nullptr) return std::nullopt;
   auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
-  const auto pending =
-      queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  const auto pending = queue.peek(units::to_frame_id(slot_counter));
   if (!pending.has_value()) return std::nullopt;
-  const sim::Time at = cycle_duration_ * cycle +
+  const sim::Time at = cycle_duration_ * cycle.value() +
                        cfg_.static_segment_duration() +
-                       cfg_.minislot_duration() * minislot;
+                       cfg_.minislot_duration() * minislot.value();
   if (pending->release > at) return std::nullopt;
   // FTDMA feasibility: fits the remaining minislots and starts in time.
   if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
@@ -347,8 +348,8 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::dynamic_slot(
   queue.pop(pending->instance);
   flexray::TxRequest req;
   req.instance = pending->instance;
-  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
-  req.sender = m->node;
+  req.frame_id = units::to_frame_id(slot_counter);
+  req.sender = units::NodeId{m->node};
   req.payload_bits = pending->payload_bits;
   return req;
 }

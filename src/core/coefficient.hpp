@@ -82,16 +82,16 @@ class CoEfficientScheduler : public SchedulerBase {
 
   // --- TransmissionPolicy ----------------------------------------------
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
-                                                std::int64_t cycle,
-                                                std::int64_t slot) override;
+                                                units::CycleIndex cycle,
+                                                units::SlotId slot) override;
   std::optional<flexray::TxRequest> dynamic_slot(
-      flexray::ChannelId channel, std::int64_t cycle,
-      std::int64_t slot_counter, std::int64_t minislot,
+      flexray::ChannelId channel, units::CycleIndex cycle,
+      units::SlotId slot_counter, units::MinislotId minislot,
       std::int64_t minislots_remaining) override;
   void on_tx_complete(const flexray::TxOutcome& outcome) override;
 
  protected:
-  void on_cycle_start_hook(std::int64_t cycle, sim::Time at) override;
+  void on_cycle_start_hook(units::CycleIndex cycle, sim::Time at) override;
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
                           const flexray::PendingMessage& pending) override;
@@ -104,7 +104,7 @@ class CoEfficientScheduler : public SchedulerBase {
     std::int64_t bits;
     sim::Time release;
     sim::Time deadline;
-    std::int64_t home_slot = 0;  ///< the message's own static slot
+    units::SlotId home_slot{0};  ///< the message's own static slot
   };
 
   /// Earliest-deadline retransmission job that fits `capacity_bits` and
@@ -113,8 +113,7 @@ class CoEfficientScheduler : public SchedulerBase {
   /// disable_slack_stealing ablation filter.
   std::deque<RetxJob>::iterator find_retx(std::int64_t capacity_bits,
                                           sim::Time slot_start,
-                                          sim::Time slot_end,
-                                          std::int64_t slot,
+                                          sim::Time slot_end, units::SlotId slot,
                                           flexray::ChannelId channel);
 
   /// Earliest-deadline queued dynamic message (across all nodes) that

@@ -56,7 +56,7 @@ void FspecScheduler::on_dynamic_release(Instance& inst,
   nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
 }
 
-void FspecScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+void FspecScheduler::on_cycle_start_hook(units::CycleIndex /*cycle*/,
                                          sim::Time /*at*/) {
   // The mirror staging map must drain within its cycle; anything left
   // means channel B never carried the copy (should not happen — both
@@ -70,7 +70,7 @@ void FspecScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
 }
 
 std::optional<flexray::TxRequest> FspecScheduler::static_slot(
-    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
+    flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
   const auto occupant = table_.message_at(slot, cycle);
   if (!occupant.has_value()) return std::nullopt;  // unreserved slots idle
   auto it = round_state_.find(*occupant);
@@ -93,13 +93,13 @@ std::optional<flexray::TxRequest> FspecScheduler::static_slot(
   if (inst == nullptr) {
     throw std::logic_error("FspecScheduler: round train lost its instance");
   }
-  const sim::Time slot_start =
-      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+  const sim::Time slot_start = cycle_duration_ * cycle.value() +
+                               cfg_.static_slot_duration() * (slot.value() - 1);
   if (inst->release > slot_start) return std::nullopt;
   flexray::TxRequest req;
   req.instance = inst->key;
-  req.frame_id = static_cast<flexray::FrameId>(slot);
-  req.sender = inst->node;
+  req.frame_id = units::to_frame_id(slot);
+  req.sender = units::NodeId{inst->node};
   req.payload_bits = inst->size_bits;
   req.retransmission = st.rounds_done > 0;
   // Round bookkeeping advances in on_tx_complete on the channel-B copy.
@@ -107,8 +107,9 @@ std::optional<flexray::TxRequest> FspecScheduler::static_slot(
 }
 
 std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
-    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot_counter,
-    std::int64_t minislot, std::int64_t minislots_remaining) {
+    flexray::ChannelId channel, units::CycleIndex cycle,
+    units::SlotId slot_counter, units::MinislotId minislot,
+    std::int64_t minislots_remaining) {
   if (channel == flexray::ChannelId::kB) {
     // Replay exactly what channel A carried in this dynamic slot.
     auto it = dynamic_mirror_.find(slot_counter);
@@ -119,14 +120,14 @@ std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
   }
 
   const net::Message* m =
-      dynamic_message_for_frame(static_cast<int>(slot_counter));
+      dynamic_message_for_frame(static_cast<int>(slot_counter.value()));
   if (m == nullptr) return std::nullopt;
   auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
-  const auto pending = queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  const auto pending = queue.peek(units::to_frame_id(slot_counter));
   if (!pending.has_value()) return std::nullopt;
-  const sim::Time at = cycle_duration_ * cycle +
+  const sim::Time at = cycle_duration_ * cycle.value() +
                        cfg_.static_segment_duration() +
-                       cfg_.minislot_duration() * minislot;
+                       cfg_.minislot_duration() * minislot.value();
   if (pending->release > at) return std::nullopt;
   if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
     return std::nullopt;
@@ -135,8 +136,8 @@ std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
   queue.pop(pending->instance);
   flexray::TxRequest req;
   req.instance = pending->instance;
-  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
-  req.sender = m->node;
+  req.frame_id = units::to_frame_id(slot_counter);
+  req.sender = units::NodeId{m->node};
   req.payload_bits = pending->payload_bits;
   dynamic_mirror_[slot_counter] = req;  // channel B will replay it
   return req;

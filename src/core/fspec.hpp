@@ -49,16 +49,16 @@ class FspecScheduler : public SchedulerBase {
 
   // --- TransmissionPolicy ----------------------------------------------
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
-                                                std::int64_t cycle,
-                                                std::int64_t slot) override;
+                                                units::CycleIndex cycle,
+                                                units::SlotId slot) override;
   std::optional<flexray::TxRequest> dynamic_slot(
-      flexray::ChannelId channel, std::int64_t cycle,
-      std::int64_t slot_counter, std::int64_t minislot,
+      flexray::ChannelId channel, units::CycleIndex cycle,
+      units::SlotId slot_counter, units::MinislotId minislot,
       std::int64_t minislots_remaining) override;
   void on_tx_complete(const flexray::TxOutcome& outcome) override;
 
  protected:
-  void on_cycle_start_hook(std::int64_t cycle, sim::Time at) override;
+  void on_cycle_start_hook(units::CycleIndex cycle, sim::Time at) override;
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
                           const flexray::PendingMessage& pending) override;
@@ -80,7 +80,7 @@ class FspecScheduler : public SchedulerBase {
   std::unordered_map<int, RoundState> round_state_;  ///< by message id
   /// Channel-B mirror staging for the dynamic segment: what channel A
   /// sent this cycle per dynamic slot counter.
-  std::unordered_map<std::int64_t, flexray::TxRequest> dynamic_mirror_;
+  std::unordered_map<units::SlotId, flexray::TxRequest> dynamic_mirror_;
 };
 
 }  // namespace coeff::core

@@ -20,7 +20,7 @@ void HosaScheduler::on_static_release(Instance& inst, const net::Message& m) {
   }
   flexray::PendingMessage pending;
   pending.instance = inst.key;
-  pending.frame_id = static_cast<flexray::FrameId>(a->slot);
+  pending.frame_id = units::to_frame_id(a->slot);
   pending.payload_bits = m.size_bits;
   pending.release = inst.release;
   pending.deadline = inst.abs_deadline;
@@ -33,7 +33,7 @@ void HosaScheduler::on_dynamic_release(Instance& inst, const net::Message& m,
   nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
 }
 
-void HosaScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
+void HosaScheduler::on_cycle_start_hook(units::CycleIndex /*cycle*/,
                                         sim::Time /*at*/) {
   for (const auto& [_, req] : dynamic_mirror_) {
     if (Instance* inst = instances_.find(req.instance)) {
@@ -44,21 +44,21 @@ void HosaScheduler::on_cycle_start_hook(std::int64_t /*cycle*/,
 }
 
 std::optional<flexray::TxRequest> HosaScheduler::static_slot(
-    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot) {
+    flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
   const auto occupant = table_.message_at(slot, cycle);
   if (!occupant.has_value()) return std::nullopt;  // idle slacks stay idle
   const net::Message* m = statics_.find(*occupant);
   auto& buffers = nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
-  const sim::Time slot_start =
-      cycle_duration_ * cycle + cfg_.static_slot_duration() * (slot - 1);
+  const sim::Time slot_start = cycle_duration_ * cycle.value() +
+                               cfg_.static_slot_duration() * (slot.value() - 1);
   const auto pending = buffers.read(slot);
   if (!pending.has_value() || pending->release > slot_start) {
     return std::nullopt;
   }
   flexray::TxRequest req;
   req.instance = pending->instance;
-  req.frame_id = static_cast<flexray::FrameId>(slot);
-  req.sender = m->node;
+  req.frame_id = units::to_frame_id(slot);
+  req.sender = units::NodeId{m->node};
   req.payload_bits = pending->payload_bits;
   req.retransmission = channel == flexray::ChannelId::kB;
   if (channel == flexray::ChannelId::kB) {
@@ -68,8 +68,9 @@ std::optional<flexray::TxRequest> HosaScheduler::static_slot(
 }
 
 std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
-    flexray::ChannelId channel, std::int64_t cycle, std::int64_t slot_counter,
-    std::int64_t minislot, std::int64_t minislots_remaining) {
+    flexray::ChannelId channel, units::CycleIndex cycle,
+    units::SlotId slot_counter, units::MinislotId minislot,
+    std::int64_t minislots_remaining) {
   if (channel == flexray::ChannelId::kB) {
     auto it = dynamic_mirror_.find(slot_counter);
     if (it == dynamic_mirror_.end()) return std::nullopt;
@@ -79,14 +80,14 @@ std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
     return req;
   }
   const net::Message* m =
-      dynamic_message_for_frame(static_cast<int>(slot_counter));
+      dynamic_message_for_frame(static_cast<int>(slot_counter.value()));
   if (m == nullptr) return std::nullopt;
   auto& queue = nodes_.at(static_cast<std::size_t>(m->node)).dynamic_queue();
-  const auto pending = queue.peek(static_cast<flexray::FrameId>(slot_counter));
+  const auto pending = queue.peek(units::to_frame_id(slot_counter));
   if (!pending.has_value()) return std::nullopt;
-  const sim::Time at = cycle_duration_ * cycle +
+  const sim::Time at = cycle_duration_ * cycle.value() +
                        cfg_.static_segment_duration() +
-                       cfg_.minislot_duration() * minislot;
+                       cfg_.minislot_duration() * minislot.value();
   if (pending->release > at) return std::nullopt;
   if (cfg_.minislots_for(pending->payload_bits) > minislots_remaining) {
     return std::nullopt;
@@ -95,8 +96,8 @@ std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
   queue.pop(pending->instance);
   flexray::TxRequest req;
   req.instance = pending->instance;
-  req.frame_id = static_cast<flexray::FrameId>(slot_counter);
-  req.sender = m->node;
+  req.frame_id = units::to_frame_id(slot_counter);
+  req.sender = units::NodeId{m->node};
   req.payload_bits = pending->payload_bits;
   dynamic_mirror_[slot_counter] = req;
   return req;

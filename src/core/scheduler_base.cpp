@@ -26,7 +26,7 @@ SchedulerBase::SchedulerBase(const flexray::ClusterConfig& cfg,
 
   nodes_.reserve(static_cast<std::size_t>(cfg_.num_nodes));
   for (int i = 0; i < cfg_.num_nodes; ++i) {
-    nodes_.emplace_back(i, "ecu" + std::to_string(i));
+    nodes_.emplace_back(units::NodeId{i}, "ecu" + std::to_string(i));
   }
   for (const auto& a : table_.assignments()) {
     // Assignments for ids not in the base set (e.g. FSPEC's redundant
@@ -53,7 +53,8 @@ SchedulerBase::SchedulerBase(const flexray::ClusterConfig& cfg,
     }
     if (inserted) {
       nodes_.at(static_cast<std::size_t>(m.node))
-          .add_dynamic_frame_id(static_cast<flexray::FrameId>(m.frame_id));
+          .add_dynamic_frame_id(
+              flexray::FrameId{static_cast<std::uint16_t>(m.frame_id)});
     }
   }
   for (const auto& m : statics_.messages()) next_static_index_[m.id] = 0;
@@ -116,7 +117,7 @@ void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
 
   flexray::PendingMessage pending;
   pending.instance = inst.key;
-  pending.frame_id = static_cast<flexray::FrameId>(m->frame_id);
+  pending.frame_id = flexray::FrameId{static_cast<std::uint16_t>(m->frame_id)};
   pending.payload_bits = m->size_bits;
   pending.release = at;
   pending.deadline = inst.abs_deadline;
@@ -124,16 +125,17 @@ void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
   on_dynamic_release(inst, *m, pending);
 }
 
-void SchedulerBase::on_cycle_start(std::int64_t cycle, sim::Time at) {
+void SchedulerBase::on_cycle_start(units::CycleIndex cycle, sim::Time at) {
   release_statics_until(at + cycle_duration_);
   sweep(at);
   on_cycle_start_hook(cycle, at);
 }
 
-void SchedulerBase::on_cycle_end(std::int64_t /*cycle*/, sim::Time /*at*/) {}
+void SchedulerBase::on_cycle_end(units::CycleIndex /*cycle*/,
+                                 sim::Time /*at*/) {}
 
 void SchedulerBase::on_dynamic_declined(flexray::ChannelId /*channel*/,
-                                        std::int64_t /*cycle*/,
+                                        units::CycleIndex /*cycle*/,
                                         const flexray::TxRequest& request) {
   // Defensive: put the message back so it can retry in a later cycle.
   Instance* inst = instances_.find(request.instance);
@@ -142,7 +144,7 @@ void SchedulerBase::on_dynamic_declined(flexray::ChannelId /*channel*/,
   if (m == nullptr) return;
   flexray::PendingMessage pending;
   pending.instance = inst->key;
-  pending.frame_id = static_cast<flexray::FrameId>(m->frame_id);
+  pending.frame_id = flexray::FrameId{static_cast<std::uint16_t>(m->frame_id)};
   pending.payload_bits = m->size_bits;
   pending.release = inst->release;
   pending.deadline = inst->abs_deadline;

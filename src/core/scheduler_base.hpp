@@ -70,14 +70,15 @@ class SchedulerBase : public flexray::TransmissionPolicy {
   }
 
   // --- TransmissionPolicy (shared parts) -------------------------------
-  void on_cycle_start(std::int64_t cycle, sim::Time at) override;
-  void on_cycle_end(std::int64_t cycle, sim::Time at) override;
-  void on_dynamic_declined(flexray::ChannelId channel, std::int64_t cycle,
+  void on_cycle_start(units::CycleIndex cycle, sim::Time at) override;
+  void on_cycle_end(units::CycleIndex cycle, sim::Time at) override;
+  void on_dynamic_declined(flexray::ChannelId channel, units::CycleIndex cycle,
                            const flexray::TxRequest& request) override;
 
  protected:
   /// Subclass hook invoked from on_cycle_start after releases/sweeps.
-  virtual void on_cycle_start_hook(std::int64_t /*cycle*/, sim::Time /*at*/) {}
+  virtual void on_cycle_start_hook(units::CycleIndex /*cycle*/,
+                                   sim::Time /*at*/) {}
 
   /// Called for every newly released static instance. The subclass must
   /// register the copies it owes (add_copies) and stage the primary

@@ -136,7 +136,7 @@ bool CommonModeModel::draw_verdict(const flexray::TxRequest& req,
   sim::SplitMix64 mix(seed_ ^
                       static_cast<std::uint64_t>(start.ns()) *
                           0x9E3779B97F4A7C15ULL ^
-                      (static_cast<std::uint64_t>(req.frame_id) << 17));
+                      (static_cast<std::uint64_t>(req.frame_id.value()) << 17));
   const bool common_event = to_unit01(mix.next()) < common_fraction_;
   const double common_draw = to_unit01(mix.next());
   if (common_event) return common_draw < p;

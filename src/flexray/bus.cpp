@@ -3,8 +3,8 @@
 namespace coeff::flexray {
 
 TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
-                            sim::Time duration, std::int64_t cycle,
-                            std::int64_t slot, Segment segment) {
+                            sim::Time duration, units::CycleIndex cycle,
+                            units::SlotId slot, Segment segment) {
   TxOutcome out;
   out.request = req;
   out.channel = id_;

@@ -16,6 +16,7 @@
 #include "flexray/frame.hpp"
 #include "flexray/timing.hpp"
 #include "sim/time.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
@@ -24,9 +25,9 @@ struct TxRequest {
   /// Scheduler-opaque message-instance identifier, echoed in the outcome.
   std::uint64_t instance = 0;
   /// Frame ID; must equal the slot (static) / slot counter (dynamic).
-  FrameId frame_id = 0;
-  /// Sending node index.
-  int sender = -1;
+  FrameId frame_id{0};
+  /// Sending node.
+  units::NodeId sender{-1};
   /// Payload size in bits (excluding frame header/trailer overhead).
   std::int64_t payload_bits = 0;
   /// True when this transmission is a scheduled retransmission copy.
@@ -39,8 +40,9 @@ struct TxOutcome {
   ChannelId channel = ChannelId::kA;
   sim::Time start;
   sim::Time end;
-  std::int64_t cycle = 0;
-  std::int64_t slot = 0;  ///< static slot number or dynamic slot counter
+  units::CycleIndex cycle{0};
+  /// Static slot number or dynamic slot counter.
+  units::SlotId slot{0};
   Segment segment = Segment::kStatic;
   bool corrupted = false;
 };
@@ -68,7 +70,8 @@ class Channel {
   /// Clock a frame onto the wire. `duration` is the wire occupancy
   /// (already bounded by the slot by the caller).
   TxOutcome transmit(const TxRequest& req, sim::Time start, sim::Time duration,
-                     std::int64_t cycle, std::int64_t slot, Segment segment);
+                     units::CycleIndex cycle, units::SlotId slot,
+                     Segment segment);
 
   /// Dynamic-segment bookkeeping: record minislots consumed.
   void account_minislots(std::int64_t n) { stats_.minislots_used += n; }

@@ -5,15 +5,15 @@
 
 namespace coeff::flexray {
 
-void StaticBufferSet::add_slot(std::int64_t slot) {
+void StaticBufferSet::add_slot(units::SlotId slot) {
   buffers_.emplace(slot, std::nullopt);
 }
 
-bool StaticBufferSet::owns(std::int64_t slot) const {
+bool StaticBufferSet::owns(units::SlotId slot) const {
   return buffers_.contains(slot);
 }
 
-bool StaticBufferSet::write(std::int64_t slot, PendingMessage msg) {
+bool StaticBufferSet::write(units::SlotId slot, PendingMessage msg) {
   auto it = buffers_.find(slot);
   if (it == buffers_.end()) {
     throw std::invalid_argument("StaticBufferSet::write: slot not owned");
@@ -23,19 +23,19 @@ bool StaticBufferSet::write(std::int64_t slot, PendingMessage msg) {
   return overwritten;
 }
 
-std::optional<PendingMessage> StaticBufferSet::read(std::int64_t slot) const {
+std::optional<PendingMessage> StaticBufferSet::read(units::SlotId slot) const {
   auto it = buffers_.find(slot);
   if (it == buffers_.end()) return std::nullopt;
   return it->second;
 }
 
-void StaticBufferSet::clear(std::int64_t slot) {
+void StaticBufferSet::clear(units::SlotId slot) {
   auto it = buffers_.find(slot);
   if (it != buffers_.end()) it->second.reset();
 }
 
-std::vector<std::int64_t> StaticBufferSet::owned_slots() const {
-  std::vector<std::int64_t> slots;
+std::vector<units::SlotId> StaticBufferSet::owned_slots() const {
+  std::vector<units::SlotId> slots;
   slots.reserve(buffers_.size());
   for (const auto& [slot, _] : buffers_) slots.push_back(slot);
   std::sort(slots.begin(), slots.end());

@@ -18,13 +18,14 @@
 
 #include "flexray/frame.hpp"
 #include "sim/time.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
 /// A message instance waiting in a CHI buffer.
 struct PendingMessage {
   std::uint64_t instance = 0;  ///< scheduler-opaque instance id
-  FrameId frame_id = 0;
+  FrameId frame_id{0};
   std::int64_t payload_bits = 0;
   sim::Time release;                   ///< when the host produced it
   sim::Time deadline = sim::Time::max();  ///< absolute; max() = soft
@@ -36,25 +37,25 @@ struct PendingMessage {
 class StaticBufferSet {
  public:
   /// Declare ownership of `slot`. Writing to an undeclared slot throws.
-  void add_slot(std::int64_t slot);
+  void add_slot(units::SlotId slot);
 
-  [[nodiscard]] bool owns(std::int64_t slot) const;
+  [[nodiscard]] bool owns(units::SlotId slot) const;
 
   /// Host side: deposit (or overwrite) the message for `slot`. Returns
   /// true if a previous, never-transmitted message was overwritten.
-  bool write(std::int64_t slot, PendingMessage msg);
+  bool write(units::SlotId slot, PendingMessage msg);
 
   /// Controller side: peek the message for `slot`, if any.
-  [[nodiscard]] std::optional<PendingMessage> read(std::int64_t slot) const;
+  [[nodiscard]] std::optional<PendingMessage> read(units::SlotId slot) const;
 
   /// Controller side: consume the message for `slot` after transmission.
-  void clear(std::int64_t slot);
+  void clear(units::SlotId slot);
 
-  [[nodiscard]] std::vector<std::int64_t> owned_slots() const;
+  [[nodiscard]] std::vector<units::SlotId> owned_slots() const;
   [[nodiscard]] std::size_t pending_count() const;
 
  private:
-  std::unordered_map<std::int64_t, std::optional<PendingMessage>> buffers_;
+  std::unordered_map<units::SlotId, std::optional<PendingMessage>> buffers_;
 };
 
 /// Fixed-priority queue for dynamic-segment messages.
@@ -103,9 +104,10 @@ class DynamicQueue {
 /// One ECU node: identity, slot/frame-ID ownership, and its CHI buffers.
 class Node {
  public:
-  Node(int id, std::string name) : id_(id), name_(std::move(name)) {}
+  Node(units::NodeId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
 
-  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] units::NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
   StaticBufferSet& static_buffers() { return static_buffers_; }
@@ -124,7 +126,7 @@ class Node {
   }
 
  private:
-  int id_;
+  units::NodeId id_;
   std::string name_;
   StaticBufferSet static_buffers_;
   DynamicQueue dynamic_queue_;

@@ -29,10 +29,10 @@ void Cluster::run_until(sim::Time t) {
   }
 }
 
-void Cluster::execute_cycle(std::int64_t cycle) {
+void Cluster::execute_cycle(units::CycleIndex cycle) {
   const sim::Time start = timing_.cycle_start(cycle);
   engine_.run_until(start);  // deliver arrivals due before this cycle
-  if (trace_) trace_->emit(start, sim::TraceKind::kCycleStart, cycle);
+  if (trace_) trace_->emit(start, sim::TraceKind::kCycleStart, cycle.value());
   policy_.on_cycle_start(cycle, start);
 
   execute_static_segment(cycle);
@@ -44,18 +44,20 @@ void Cluster::execute_cycle(std::int64_t cycle) {
   policy_.on_cycle_end(cycle, end);
 }
 
-void Cluster::execute_static_segment(std::int64_t cycle) {
+void Cluster::execute_static_segment(units::CycleIndex cycle) {
   const ClusterConfig& cfg = config();
-  for (std::int64_t slot = 1; slot <= cfg.g_number_of_static_slots; ++slot) {
+  for (units::SlotId slot{1};
+       slot.value() <= cfg.g_number_of_static_slots; ++slot) {
     const sim::Time slot_start = timing_.static_slot_start(cycle, slot);
     engine_.run_until(slot_start);
     for (auto& channel : channels_) {
       auto req = policy_.static_slot(channel.id(), cycle, slot);
       if (!req) continue;
-      if (req->frame_id != slot) {
+      if (req->frame_id != units::to_frame_id(slot)) {
         throw std::logic_error(
-            "Cluster: static frame id " + std::to_string(req->frame_id) +
-            " does not match slot " + std::to_string(slot));
+            "Cluster: static frame id " +
+            std::to_string(req->frame_id.value()) + " does not match slot " +
+            std::to_string(slot.value()));
       }
       if (req->payload_bits > cfg.static_slot_capacity_bits()) {
         throw std::logic_error("Cluster: static payload exceeds slot capacity");
@@ -68,7 +70,7 @@ void Cluster::execute_static_segment(std::int64_t cycle) {
         trace_->emit(slot_start,
                      out.corrupted ? sim::TraceKind::kTxCorrupted
                                    : sim::TraceKind::kTxSuccess,
-                     req->sender, req->frame_id,
+                     req->sender.value(), req->frame_id.value(),
                      static_cast<std::int64_t>(channel.id()),
                      req->payload_bits, req->retransmission ? "retx" : "");
       }
@@ -77,16 +79,17 @@ void Cluster::execute_static_segment(std::int64_t cycle) {
   }
 }
 
-void Cluster::execute_dynamic_segment(std::int64_t cycle, ChannelId cid) {
+void Cluster::execute_dynamic_segment(units::CycleIndex cycle, ChannelId cid) {
   const ClusterConfig& cfg = config();
   Channel& channel = channels_[static_cast<std::size_t>(cid)];
-  std::int64_t minislot = 0;
-  std::int64_t slot_counter = cfg.g_number_of_static_slots + 1;
+  units::MinislotId minislot{0};
+  units::SlotId slot_counter{cfg.g_number_of_static_slots + 1};
 
-  while (minislot < cfg.g_number_of_minislots) {
+  while (minislot.value() < cfg.g_number_of_minislots) {
     const sim::Time at = timing_.minislot_start(cycle, minislot);
     engine_.run_until(at);
-    const std::int64_t remaining = cfg.g_number_of_minislots - minislot;
+    const std::int64_t remaining =
+        cfg.g_number_of_minislots - minislot.value();
     auto req =
         policy_.dynamic_slot(cid, cycle, slot_counter, minislot, remaining);
     bool sent = false;
@@ -97,7 +100,8 @@ void Cluster::execute_dynamic_segment(std::int64_t cycle, ChannelId cid) {
       const bool starts_in_time = minislot + 1 <= cfg.latest_tx_minislot();
       if (starts_in_time && need <= remaining) {
         const sim::Time tx_start =
-            at + cfg.gd_macrotick * cfg.gd_minislot_action_point_offset;
+            at + units::to_time(cfg.gd_minislot_action_point_offset,
+                                cfg.gd_macrotick);
         const TxOutcome out =
             channel.transmit(*req, tx_start,
                              cfg.transmission_time(req->payload_bits), cycle,
@@ -107,19 +111,19 @@ void Cluster::execute_dynamic_segment(std::int64_t cycle, ChannelId cid) {
           trace_->emit(tx_start,
                        out.corrupted ? sim::TraceKind::kTxCorrupted
                                      : sim::TraceKind::kTxSuccess,
-                       req->sender, req->frame_id,
+                       req->sender.value(), req->frame_id.value(),
                        static_cast<std::int64_t>(cid), req->payload_bits,
                        req->retransmission ? "retx" : "");
         }
         policy_.on_tx_complete(out);
-        minislot += need;
+        minislot = minislot + need;
         sent = true;
       } else {
         policy_.on_dynamic_declined(cid, cycle, *req);
       }
     }
     if (!sent) {
-      minislot += 1;  // empty dynamic slot consumes exactly one minislot
+      ++minislot;  // empty dynamic slot consumes exactly one minislot
     }
     ++slot_counter;
   }

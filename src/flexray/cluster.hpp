@@ -32,7 +32,7 @@ class Cluster {
   /// Execute whole cycles until the cycle containing `t` has completed.
   void run_until(sim::Time t);
 
-  [[nodiscard]] std::int64_t cycles_run() const { return next_cycle_; }
+  [[nodiscard]] std::int64_t cycles_run() const { return next_cycle_.value(); }
   [[nodiscard]] const Channel& channel(ChannelId id) const {
     return channels_[static_cast<std::size_t>(id)];
   }
@@ -45,24 +45,25 @@ class Cluster {
   /// Total wire capacity of the dynamic segment so far (minislots
   /// elapsed across both channels), for utilization metrics.
   [[nodiscard]] std::int64_t dynamic_minislots_elapsed() const {
-    return next_cycle_ * config().g_number_of_minislots * kNumChannels;
+    return next_cycle_.value() * config().g_number_of_minislots * kNumChannels;
   }
   /// Total static slots elapsed across both channels.
   [[nodiscard]] std::int64_t static_slots_elapsed() const {
-    return next_cycle_ * config().g_number_of_static_slots * kNumChannels;
+    return next_cycle_.value() * config().g_number_of_static_slots *
+           kNumChannels;
   }
 
  private:
-  void execute_cycle(std::int64_t cycle);
-  void execute_static_segment(std::int64_t cycle);
-  void execute_dynamic_segment(std::int64_t cycle, ChannelId channel);
+  void execute_cycle(units::CycleIndex cycle);
+  void execute_static_segment(units::CycleIndex cycle);
+  void execute_dynamic_segment(units::CycleIndex cycle, ChannelId channel);
 
   sim::Engine& engine_;
   CycleTiming timing_;
   TransmissionPolicy& policy_;
   std::array<Channel, kNumChannels> channels_;
   sim::Trace* trace_;
-  std::int64_t next_cycle_ = 0;
+  units::CycleIndex next_cycle_{0};
 };
 
 }  // namespace coeff::flexray

@@ -60,12 +60,12 @@ DecodeResult decode_frame(ChannelId channel,
   header.null_frame = read_bits(wire, 2, 1) != 0;
   header.sync = read_bits(wire, 3, 1) != 0;
   header.startup = read_bits(wire, 4, 1) != 0;
-  header.id = static_cast<FrameId>(read_bits(wire, 5, 11));
+  header.id = FrameId{static_cast<std::uint16_t>(read_bits(wire, 5, 11))};
   header.payload_words = static_cast<std::uint8_t>(read_bits(wire, 16, 7));
   header.crc = static_cast<std::uint16_t>(read_bits(wire, 23, 11));
   header.cycle_count = static_cast<std::uint8_t>(read_bits(wire, 34, 6));
 
-  if (header.id == 0) {
+  if (header.id.value() == 0) {
     result.error = DecodeError::kBadFrameId;
     return result;
   }

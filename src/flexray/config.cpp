@@ -26,32 +26,38 @@ std::int64_t ClusterConfig::static_slot_capacity_bits() const {
 
 std::int64_t ClusterConfig::minislots_for(std::int64_t bits) const {
   const sim::Time tx = transmission_time(bits);
-  const sim::Time ms = minislot_duration();
-  const std::int64_t used = (tx.ns() + ms.ns() - 1) / ms.ns();
+  const units::Macroticks used_mt = units::ceil_macroticks(tx, gd_macrotick);
+  // Whole minislots covering the wire time, rounded up to the grid.
+  const std::int64_t used =
+      (used_mt.count() + gd_minislot.count() - 1) / gd_minislot.count();
   return used + gd_dynamic_slot_idle_phase;
 }
 
 void ClusterConfig::validate() const {
   require(gd_macrotick > sim::Time::zero(), "gdMacrotick must be positive");
-  require(g_macro_per_cycle > 0, "gMacroPerCycle must be positive");
+  require(g_macro_per_cycle > units::Macroticks::zero(),
+          "gMacroPerCycle must be positive");
   require(g_number_of_static_slots > 0,
           "gNumberOfStaticSlots must be positive");
-  require(gd_static_slot > 0, "gdStaticSlot must be positive");
+  require(gd_static_slot > units::Macroticks::zero(),
+          "gdStaticSlot must be positive");
   require(g_number_of_minislots >= 0,
           "gNumberOfMinislots must be non-negative");
-  require(gd_minislot > 0, "gdMinislot must be positive");
+  require(gd_minislot > units::Macroticks::zero(),
+          "gdMinislot must be positive");
   require(gd_dynamic_slot_idle_phase >= 0,
           "gdDynamicSlotIdlePhase must be non-negative");
-  require(gd_minislot_action_point_offset >= 0,
+  require(gd_minislot_action_point_offset >= units::Macroticks::zero(),
           "gdMinislotActionPointOffset must be non-negative");
   require(gd_minislot_action_point_offset < gd_minislot,
           "gdMinislotActionPointOffset must fit inside one minislot");
-  require(gd_symbol_window >= 0, "gdSymbolWindow must be non-negative");
+  require(gd_symbol_window >= units::Macroticks::zero(),
+          "gdSymbolWindow must be non-negative");
   require(bus_bit_rate > 0, "bus bit rate must be positive");
   require(max_payload_bits > 0, "max payload must be positive");
   require(num_nodes > 0, "cluster needs at least one node");
-  require(p_latest_tx >= 0, "pLatestTx must be non-negative");
-  require(latest_tx_minislot() <= g_number_of_minislots,
+  require(p_latest_tx.value() >= 0, "pLatestTx must be non-negative");
+  require(latest_tx_minislot() <= units::MinislotId{g_number_of_minislots},
           "pLatestTx must not exceed gNumberOfMinislots");
   require(network_idle_time() >= sim::Time::zero(),
           "segments exceed the communication cycle");
@@ -62,14 +68,14 @@ void ClusterConfig::validate() const {
 
 ClusterConfig ClusterConfig::static_suite(std::int64_t num_static_slots) {
   ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 5000;  // 5 ms cycle at 1 us macroticks
+  cfg.g_macro_per_cycle = units::Macroticks{5000};  // 5 ms at 1 us macroticks
   cfg.g_number_of_static_slots = num_static_slots;
-  cfg.gd_static_slot = 40;
-  cfg.gd_minislot = 8;
+  cfg.gd_static_slot = units::Macroticks{40};
+  cfg.gd_minislot = units::Macroticks{8};
   // Give the dynamic segment all macroticks the static segment leaves.
-  const std::int64_t remaining =
+  const units::Macroticks remaining =
       cfg.g_macro_per_cycle - num_static_slots * cfg.gd_static_slot;
-  if (remaining < 0) {
+  if (remaining < units::Macroticks::zero()) {
     throw std::invalid_argument(
         "ClusterConfig::static_suite: static segment exceeds the cycle");
   }
@@ -80,10 +86,10 @@ ClusterConfig ClusterConfig::static_suite(std::int64_t num_static_slots) {
 
 ClusterConfig ClusterConfig::dynamic_suite(std::int64_t minislots) {
   ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 5000;
+  cfg.g_macro_per_cycle = units::Macroticks{5000};
   cfg.g_number_of_static_slots = 80;
-  cfg.gd_static_slot = 40;
-  cfg.gd_minislot = 8;
+  cfg.gd_static_slot = units::Macroticks{40};
+  cfg.gd_minislot = units::Macroticks{8};
   cfg.g_number_of_minislots = minislots;
   cfg.validate();
   return cfg;
@@ -91,10 +97,10 @@ ClusterConfig ClusterConfig::dynamic_suite(std::int64_t minislots) {
 
 ClusterConfig ClusterConfig::app_suite(std::int64_t minislots) {
   ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;  // 1 ms cycle
+  cfg.g_macro_per_cycle = units::Macroticks{1000};  // 1 ms cycle
   cfg.g_number_of_static_slots = 15;
-  cfg.gd_static_slot = 50;  // 0.75 ms static segment
-  cfg.gd_minislot = 8;
+  cfg.gd_static_slot = units::Macroticks{50};  // 0.75 ms static segment
+  cfg.gd_minislot = units::Macroticks{8};
   cfg.g_number_of_minislots = minislots;
   cfg.validate();
   return cfg;
@@ -108,10 +114,10 @@ std::string describe(const ClusterConfig& cfg) {
       "symbol=%lldMT NIT=%s rate=%lldbps nodes=%d",
       sim::to_string(cfg.cycle_duration()).c_str(),
       static_cast<long long>(cfg.g_number_of_static_slots),
-      static_cast<long long>(cfg.gd_static_slot),
+      static_cast<long long>(cfg.gd_static_slot.count()),
       static_cast<long long>(cfg.g_number_of_minislots),
-      static_cast<long long>(cfg.gd_minislot),
-      static_cast<long long>(cfg.gd_symbol_window),
+      static_cast<long long>(cfg.gd_minislot.count()),
+      static_cast<long long>(cfg.gd_symbol_window.count()),
       sim::to_string(cfg.network_idle_time()).c_str(),
       static_cast<long long>(cfg.bus_bit_rate), cfg.num_nodes);
   return buf;

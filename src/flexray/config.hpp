@@ -6,12 +6,18 @@
 // gdMacrotick = 1 us, gdMinislot = 8 MT, gdStaticSlot = 40 MT,
 // gNumberOfStaticSlots in {80, 120}, gNumberOfMinislots in {25..100},
 // and cycles of 5 ms (static suite) or 1 ms (dynamic suite).
+//
+// Macrotick-denominated durations carry the units::Macroticks strong
+// type (DESIGN.md §10): a gd* parameter can no longer be mixed with a
+// slot count or a raw nanosecond value without an explicit conversion.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "sim/time.hpp"
+#include "units/convert.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
@@ -28,32 +34,32 @@ struct ClusterConfig {
   /// Duration of one macrotick. All other durations are multiples of it.
   sim::Time gd_macrotick = sim::micros(1);
   /// Macroticks per communication cycle (gMacroPerCycle).
-  std::int64_t g_macro_per_cycle = 5000;
+  units::Macroticks g_macro_per_cycle{5000};
 
   // --- Static segment ----------------------------------------------------
   /// Number of static slots per cycle (gNumberOfStaticSlots).
   std::int64_t g_number_of_static_slots = 80;
   /// Macroticks per static slot (gdStaticSlot).
-  std::int64_t gd_static_slot = 40;
+  units::Macroticks gd_static_slot{40};
 
   // --- Dynamic segment ---------------------------------------------------
   /// Number of minislots in the dynamic segment (gNumberOfMinislots).
   std::int64_t g_number_of_minislots = 50;
   /// Macroticks per minislot (gdMinislot).
-  std::int64_t gd_minislot = 8;
+  units::Macroticks gd_minislot{8};
   /// Idle phase appended to every used dynamic slot, in minislots
   /// (gdDynamicSlotIdlePhase).
   std::int64_t gd_dynamic_slot_idle_phase = 1;
-  /// Action-point offset inside a minislot, in macroticks
-  /// (gdMinislotActionPointOffset). Purely a latency offset here.
-  std::int64_t gd_minislot_action_point_offset = 2;
+  /// Action-point offset inside a minislot (gdMinislotActionPointOffset).
+  /// Purely a latency offset here.
+  units::Macroticks gd_minislot_action_point_offset{2};
   /// Last minislot in which a transmission may *start*
   /// (pLatestTx; per-node in the spec, cluster-wide here as in the paper).
-  std::int64_t p_latest_tx = 0;  ///< 0 = derive as g_number_of_minislots
+  units::MinislotId p_latest_tx{0};  ///< 0 = derive as g_number_of_minislots
 
   // --- Symbol window / NIT -----------------------------------------------
   /// Macroticks of symbol window (gdSymbolWindow; 0 in the paper).
-  std::int64_t gd_symbol_window = 0;
+  units::Macroticks gd_symbol_window{0};
 
   // --- Payload / bus -----------------------------------------------------
   /// Bus bit rate in bits per second (10 Mbit/s per the FlexRay spec).
@@ -66,22 +72,22 @@ struct ClusterConfig {
 
   // --- Derived quantities --------------------------------------------------
   [[nodiscard]] sim::Time cycle_duration() const {
-    return gd_macrotick * g_macro_per_cycle;
+    return units::to_time(g_macro_per_cycle, gd_macrotick);
   }
   [[nodiscard]] sim::Time static_slot_duration() const {
-    return gd_macrotick * gd_static_slot;
+    return units::to_time(gd_static_slot, gd_macrotick);
   }
   [[nodiscard]] sim::Time static_segment_duration() const {
     return static_slot_duration() * g_number_of_static_slots;
   }
   [[nodiscard]] sim::Time minislot_duration() const {
-    return gd_macrotick * gd_minislot;
+    return units::to_time(gd_minislot, gd_macrotick);
   }
   [[nodiscard]] sim::Time dynamic_segment_duration() const {
     return minislot_duration() * g_number_of_minislots;
   }
   [[nodiscard]] sim::Time symbol_window_duration() const {
-    return gd_macrotick * gd_symbol_window;
+    return units::to_time(gd_symbol_window, gd_macrotick);
   }
   /// Network idle time: whatever remains of the cycle after the
   /// static segment, dynamic segment and symbol window.
@@ -90,8 +96,9 @@ struct ClusterConfig {
            dynamic_segment_duration() - symbol_window_duration();
   }
   /// Effective pLatestTx (derives the default).
-  [[nodiscard]] std::int64_t latest_tx_minislot() const {
-    return p_latest_tx > 0 ? p_latest_tx : g_number_of_minislots;
+  [[nodiscard]] units::MinislotId latest_tx_minislot() const {
+    return p_latest_tx.value() > 0 ? p_latest_tx
+                                   : units::MinislotId{g_number_of_minislots};
   }
   /// Time to clock `bits` onto the bus.
   [[nodiscard]] sim::Time transmission_time(std::int64_t bits) const;
@@ -118,6 +125,25 @@ struct ClusterConfig {
   /// slots x 50 MT, remaining bandwidth dynamic.
   [[nodiscard]] static ClusterConfig app_suite(std::int64_t minislots = 25);
 };
+
+// --- ClusterConfig-aware unit conversions ---------------------------------
+
+/// Exact conversion onto this cluster's macrotick grid; throws when `t`
+/// is not a whole number of macroticks.
+[[nodiscard]] inline units::Macroticks to_macroticks(
+    sim::Time t, const ClusterConfig& cfg) {
+  return units::to_macroticks(t, cfg.gd_macrotick);
+}
+
+[[nodiscard]] inline units::Macroticks to_macroticks(
+    units::Microseconds us, const ClusterConfig& cfg) {
+  return units::to_macroticks(units::to_time(us), cfg.gd_macrotick);
+}
+
+[[nodiscard]] inline sim::Time to_time(units::Macroticks mt,
+                                       const ClusterConfig& cfg) {
+  return units::to_time(mt, cfg.gd_macrotick);
+}
 
 [[nodiscard]] std::string describe(const ClusterConfig& cfg);
 

@@ -39,7 +39,7 @@ std::uint16_t header_crc(bool sync, bool startup, FrameId id,
   bits.reserve(20);
   bits.push_back(sync);
   bits.push_back(startup);
-  append_bits(bits, id, 11);
+  append_bits(bits, id.value(), 11);
   append_bits(bits, payload_words, 7);
   return static_cast<std::uint16_t>(
       crc_bits(bits, kHeaderPoly, 11, kHeaderInit));
@@ -55,7 +55,7 @@ std::vector<std::uint8_t> frame_bytes(const FrameHeader& h,
   bits.push_back(h.null_frame);
   bits.push_back(h.sync);
   bits.push_back(h.startup);
-  append_bits(bits, h.id, 11);
+  append_bits(bits, h.id.value(), 11);
   append_bits(bits, h.payload_words, 7);
   append_bits(bits, h.crc, 11);
   append_bits(bits, h.cycle_count, 6);
@@ -81,7 +81,7 @@ std::uint32_t frame_crc(ChannelId channel,
 
 Frame Frame::make(ChannelId channel, FrameId id, std::uint8_t cycle_count,
                   std::vector<std::uint8_t> payload, bool sync, bool startup) {
-  if (id == 0 || id > kMaxFrameId) {
+  if (id.value() == 0 || id > kMaxFrameId) {
     throw std::invalid_argument("Frame::make: frame id out of [1, 2047]");
   }
   if (payload.size() > 254) {
@@ -145,7 +145,8 @@ void Frame::corrupt_payload_bit(std::size_t bit) {
 }
 
 void Frame::corrupt_header_bit(std::size_t bit) {
-  header_.id ^= static_cast<FrameId>(1u << (bit % 11));
+  header_.id = FrameId{
+      static_cast<std::uint16_t>(header_.id.value() ^ (1u << (bit % 11)))};
 }
 
 }  // namespace coeff::flexray

@@ -16,12 +16,15 @@
 #include <vector>
 
 #include "flexray/config.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
 /// 11-bit frame identifier; equals the slot number it is sent in.
-using FrameId = std::uint16_t;
-inline constexpr FrameId kMaxFrameId = 2047;
+/// A strong type (units::FrameId): constructing one from a slot number
+/// goes through units::to_frame_id, and the raw wire value is `.value()`.
+using FrameId = units::FrameId;
+inline constexpr FrameId kMaxFrameId{2047};
 
 /// CRC over an MSB-first bit stream. Exposed for tests.
 [[nodiscard]] std::uint32_t crc_bits(const std::vector<bool>& bits,
@@ -42,7 +45,7 @@ struct FrameHeader {
   bool null_frame = false;  ///< true when the slot carries no new data
   bool sync = false;
   bool startup = false;
-  FrameId id = 0;
+  FrameId id{0};
   std::uint8_t payload_words = 0;  ///< payload length in 16-bit words
   std::uint16_t crc = 0;           ///< 11-bit header CRC
   std::uint8_t cycle_count = 0;    ///< 6-bit cycle counter

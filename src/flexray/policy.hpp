@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "flexray/bus.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
@@ -18,15 +19,15 @@ class TransmissionPolicy {
 
   /// Called once at the start of every communication cycle, before any
   /// slot of that cycle is processed.
-  virtual void on_cycle_start(std::int64_t cycle, sim::Time at) = 0;
+  virtual void on_cycle_start(units::CycleIndex cycle, sim::Time at) = 0;
 
   /// Content for static slot `slot` (1-based) of `cycle` on `channel`.
   /// Return std::nullopt to leave the slot idle on that channel. The
   /// returned frame_id must equal `slot` and the payload must fit the
   /// slot; the cluster enforces both.
   virtual std::optional<TxRequest> static_slot(ChannelId channel,
-                                               std::int64_t cycle,
-                                               std::int64_t slot) = 0;
+                                               units::CycleIndex cycle,
+                                               units::SlotId slot) = 0;
 
   /// Content for the dynamic slot with counter value `slot_counter` on
   /// `channel`. `minislot` is the 0-based minislot the slot starts at and
@@ -36,8 +37,8 @@ class TransmissionPolicy {
   /// and starts no later than pLatestTx; otherwise the cluster treats the
   /// slot as declined and reports on_dynamic_declined.
   virtual std::optional<TxRequest> dynamic_slot(
-      ChannelId channel, std::int64_t cycle, std::int64_t slot_counter,
-      std::int64_t minislot, std::int64_t minislots_remaining) = 0;
+      ChannelId channel, units::CycleIndex cycle, units::SlotId slot_counter,
+      units::MinislotId minislot, std::int64_t minislots_remaining) = 0;
 
   /// Result of every honoured transmission (static and dynamic).
   virtual void on_tx_complete(const TxOutcome& outcome) = 0;
@@ -45,11 +46,11 @@ class TransmissionPolicy {
   /// A dynamic TxRequest could not be honoured (too large for the
   /// remaining minislots or past pLatestTx). The request stays with the
   /// policy, which may retry in a later cycle.
-  virtual void on_dynamic_declined(ChannelId channel, std::int64_t cycle,
+  virtual void on_dynamic_declined(ChannelId channel, units::CycleIndex cycle,
                                    const TxRequest& request) = 0;
 
   /// Called at the end of every communication cycle.
-  virtual void on_cycle_end(std::int64_t cycle, sim::Time at) = 0;
+  virtual void on_cycle_end(units::CycleIndex cycle, sim::Time at) = 0;
 };
 
 }  // namespace coeff::flexray

@@ -2,66 +2,72 @@
 
 #include <stdexcept>
 
+#include "units/convert.hpp"
+
 namespace coeff::flexray {
 
 CycleTiming::CycleTiming(const ClusterConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
 }
 
-std::int64_t CycleTiming::cycle_index(sim::Time t) const {
+units::CycleIndex CycleTiming::cycle_index(sim::Time t) const {
   if (t < sim::Time::zero()) {
     throw std::invalid_argument("cycle_index: negative time");
   }
-  return t / cfg_.cycle_duration();
+  return units::CycleIndex{t / cfg_.cycle_duration()};
 }
 
-sim::Time CycleTiming::cycle_start(std::int64_t c) const {
-  return cfg_.cycle_duration() * c;
+sim::Time CycleTiming::cycle_start(units::CycleIndex c) const {
+  return cfg_.cycle_duration() * c.value();
 }
 
-sim::Time CycleTiming::offset_in_cycle(sim::Time t) const {
-  return t % cfg_.cycle_duration();
+units::CycleTime CycleTiming::offset_in_cycle(sim::Time t) const {
+  return units::wrap_cycle_time(t, cfg_.cycle_duration());
 }
 
-Segment CycleTiming::segment_at(sim::Time off) const {
-  if (off < cfg_.static_segment_duration()) return Segment::kStatic;
-  off -= cfg_.static_segment_duration();
-  if (off < cfg_.dynamic_segment_duration()) return Segment::kDynamic;
-  off -= cfg_.dynamic_segment_duration();
-  if (off < cfg_.symbol_window_duration()) return Segment::kSymbolWindow;
+Segment CycleTiming::segment_at(units::CycleTime off) const {
+  sim::Time rest = units::to_time(off);
+  if (rest < cfg_.static_segment_duration()) return Segment::kStatic;
+  rest -= cfg_.static_segment_duration();
+  if (rest < cfg_.dynamic_segment_duration()) return Segment::kDynamic;
+  rest -= cfg_.dynamic_segment_duration();
+  if (rest < cfg_.symbol_window_duration()) return Segment::kSymbolWindow;
   return Segment::kNetworkIdle;
 }
 
-sim::Time CycleTiming::static_slot_start(std::int64_t c,
-                                         std::int64_t slot) const {
-  if (slot < 1 || slot > cfg_.g_number_of_static_slots) {
+sim::Time CycleTiming::static_slot_start(units::CycleIndex c,
+                                         units::SlotId slot) const {
+  if (slot.value() < 1 || slot.value() > cfg_.g_number_of_static_slots) {
     throw std::invalid_argument("static_slot_start: slot out of range");
   }
-  return cycle_start(c) + cfg_.static_slot_duration() * (slot - 1);
+  return cycle_start(c) + cfg_.static_slot_duration() * (slot.value() - 1);
 }
 
-std::int64_t CycleTiming::static_slot_at(sim::Time off) const {
-  if (off < sim::Time::zero() || off >= cfg_.static_segment_duration()) {
-    return 0;
+std::optional<units::SlotId> CycleTiming::static_slot_at(
+    units::CycleTime off) const {
+  const sim::Time t = units::to_time(off);
+  if (t < sim::Time::zero() || t >= cfg_.static_segment_duration()) {
+    return std::nullopt;
   }
-  return off / cfg_.static_slot_duration() + 1;
+  return units::SlotId{t / cfg_.static_slot_duration() + 1};
 }
 
-sim::Time CycleTiming::dynamic_segment_start(std::int64_t c) const {
+sim::Time CycleTiming::dynamic_segment_start(units::CycleIndex c) const {
   return cycle_start(c) + cfg_.static_segment_duration();
 }
 
-sim::Time CycleTiming::minislot_start(std::int64_t c, std::int64_t m) const {
-  if (m < 0 || m >= cfg_.g_number_of_minislots) {
+sim::Time CycleTiming::minislot_start(units::CycleIndex c,
+                                      units::MinislotId m) const {
+  if (m.value() < 0 || m.value() >= cfg_.g_number_of_minislots) {
     throw std::invalid_argument("minislot_start: minislot out of range");
   }
-  return dynamic_segment_start(c) + cfg_.minislot_duration() * m;
+  return dynamic_segment_start(c) + cfg_.minislot_duration() * m.value();
 }
 
-std::int64_t CycleTiming::next_cycle_at_or_after(sim::Time t) const {
-  if (t <= sim::Time::zero()) return 0;
+units::CycleIndex CycleTiming::next_cycle_at_or_after(sim::Time t) const {
+  if (t <= sim::Time::zero()) return units::CycleIndex{0};
   const auto d = cfg_.cycle_duration();
-  return (t.ns() + d.ns() - 1) / d.ns();
+  return units::CycleIndex{(t.ns() + d.ns() - 1) / d.ns()};
 }
 
 }  // namespace coeff::flexray

@@ -2,13 +2,18 @@
 //
 // All positions are derived from the ClusterConfig; this class keeps the
 // conversions (absolute time <-> cycle index <-> slot/minislot offsets)
-// in one tested place.
+// in one tested place. Positions carry the units:: strong types: a
+// cycle index cannot be passed where a slot number is expected, and a
+// within-cycle offset (units::CycleTime) cannot be confused with an
+// absolute instant (sim::Time).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "flexray/config.hpp"
 #include "sim/time.hpp"
+#include "units/units.hpp"
 
 namespace coeff::flexray {
 
@@ -39,33 +44,35 @@ class CycleTiming {
   explicit CycleTiming(const ClusterConfig& cfg);
 
   /// Communication-cycle index containing absolute time `t` (t >= 0).
-  [[nodiscard]] std::int64_t cycle_index(sim::Time t) const;
+  [[nodiscard]] units::CycleIndex cycle_index(sim::Time t) const;
 
   /// Absolute start time of cycle `c`.
-  [[nodiscard]] sim::Time cycle_start(std::int64_t c) const;
+  [[nodiscard]] sim::Time cycle_start(units::CycleIndex c) const;
 
   /// Offset of `t` inside its cycle.
-  [[nodiscard]] sim::Time offset_in_cycle(sim::Time t) const;
+  [[nodiscard]] units::CycleTime offset_in_cycle(sim::Time t) const;
 
   /// Segment that offset `off` (within one cycle) falls in.
-  [[nodiscard]] Segment segment_at(sim::Time off) const;
+  [[nodiscard]] Segment segment_at(units::CycleTime off) const;
 
   /// Absolute start time of static slot `slot` (1-based) in cycle `c`.
-  [[nodiscard]] sim::Time static_slot_start(std::int64_t c,
-                                            std::int64_t slot) const;
+  [[nodiscard]] sim::Time static_slot_start(units::CycleIndex c,
+                                            units::SlotId slot) const;
 
-  /// Static slot (1-based) covering offset `off`; 0 when `off` is not in
-  /// the static segment.
-  [[nodiscard]] std::int64_t static_slot_at(sim::Time off) const;
+  /// Static slot (1-based) covering offset `off`; nullopt when `off` is
+  /// not in the static segment.
+  [[nodiscard]] std::optional<units::SlotId> static_slot_at(
+      units::CycleTime off) const;
 
   /// Absolute start time of minislot `m` (0-based) in cycle `c`.
-  [[nodiscard]] sim::Time minislot_start(std::int64_t c, std::int64_t m) const;
+  [[nodiscard]] sim::Time minislot_start(units::CycleIndex c,
+                                         units::MinislotId m) const;
 
   /// Start of the dynamic segment in cycle `c`.
-  [[nodiscard]] sim::Time dynamic_segment_start(std::int64_t c) const;
+  [[nodiscard]] sim::Time dynamic_segment_start(units::CycleIndex c) const;
 
   /// First cycle whose start is >= `t`.
-  [[nodiscard]] std::int64_t next_cycle_at_or_after(sim::Time t) const;
+  [[nodiscard]] units::CycleIndex next_cycle_at_or_after(sim::Time t) const;
 
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
 

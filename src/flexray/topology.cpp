@@ -118,7 +118,7 @@ bool Topology::fits_budget(const ClusterConfig& cfg) const {
   // The action-point offset inside each minislot is the time reserved
   // for the farthest receiver to see the transmission start.
   const sim::Time budget =
-      cfg.gd_macrotick * cfg.gd_minislot_action_point_offset;
+      units::to_time(cfg.gd_minislot_action_point_offset, cfg.gd_macrotick);
   return worst_case_delay() <= budget;
 }
 

@@ -12,8 +12,8 @@ namespace {
 /// Two multiplexed occupants (b1, r1) and (b2, r2) collide iff some cycle
 /// satisfies c = b1 (mod r1) and c = b2 (mod r2) with c >= max(b1, b2);
 /// by CRT that is exactly when (b1 - b2) is divisible by gcd(r1, r2).
-bool phases_conflict(std::int64_t b1, std::int64_t r1, std::int64_t b2,
-                     std::int64_t r2) {
+bool phases_conflict(units::CycleIndex b1, std::int64_t r1,
+                     units::CycleIndex b2, std::int64_t r2) {
   const std::int64_t g = std::gcd(r1, r2);
   return ((b1 - b2) % g + g) % g == 0;
 }
@@ -73,20 +73,20 @@ StaticScheduleTable StaticScheduleTable::build(
     // jobs: latency = base*cycle + slot_offset + slot_dur - msg_offset.
     std::optional<SlotAssignment> best_meeting;  // meets deadline
     std::optional<SlotAssignment> best_any;      // fallback: min latency
-    for (std::int64_t slot = 1; slot <= table.num_slots_; ++slot) {
-      const sim::Time slot_offset = slot_dur * (slot - 1);
+    for (units::SlotId slot{1}; slot.value() <= table.num_slots_; ++slot) {
+      const sim::Time slot_offset = slot_dur * (slot.value() - 1);
       // Earliest base cycle whose slot starts at/after the first release.
-      std::int64_t base = 0;
+      units::CycleIndex base{0};
       if (slot_offset < m->offset) {
         const sim::Time gap = m->offset - slot_offset;
-        base = (gap.ns() + cycle.ns() - 1) / cycle.ns();
+        base = units::CycleIndex{(gap.ns() + cycle.ns() - 1) / cycle.ns()};
       }
       // Advance base within the repetition to a free phase.
       const auto& occupants =
-          table.slot_occupants_[static_cast<std::size_t>(slot - 1)];
-      std::optional<std::int64_t> free_base;
+          table.slot_occupants_[static_cast<std::size_t>(slot.value() - 1)];
+      std::optional<units::CycleIndex> free_base;
       for (std::int64_t probe = 0; probe < repetition; ++probe) {
-        const std::int64_t b = base + probe;
+        const units::CycleIndex b = base + probe;
         const bool clash = std::any_of(
             occupants.begin(), occupants.end(), [&](const Occupant& o) {
               return phases_conflict(b, repetition, o.base, o.repetition);
@@ -104,7 +104,7 @@ StaticScheduleTable StaticScheduleTable::build(
       cand.base_cycle = *free_base;
       cand.repetition = repetition;
       cand.latency =
-          cycle * *free_base + slot_offset + slot_dur - m->offset;
+          cycle * free_base->value() + slot_offset + slot_dur - m->offset;
       if (cand.latency <= m->deadline &&
           (!best_meeting || cand.latency < best_meeting->latency)) {
         best_meeting = cand;
@@ -122,8 +122,8 @@ StaticScheduleTable StaticScheduleTable::build(
     if (!best_meeting) table.deadline_risk_.push_back(m->id);
     table.by_message_[m->id] = table.assignments_.size();
     table.assignments_.push_back(chosen);
-    table.slot_occupants_[static_cast<std::size_t>(chosen.slot - 1)].push_back(
-        {chosen.base_cycle, chosen.repetition, m->id});
+    table.slot_occupants_[static_cast<std::size_t>(chosen.slot.value() - 1)]
+        .push_back({chosen.base_cycle, chosen.repetition, m->id});
     table.table_period_ = std::lcm(table.table_period_, chosen.repetition);
   }
 
@@ -142,19 +142,23 @@ StaticScheduleTable StaticScheduleTable::from_assignments(
     table.by_message_[a.message_id] = i;
     // Out-of-range or degenerate entries stay in `assignments()` for the
     // linter to flag but cannot be indexed by slot.
-    if (a.slot >= 1 && a.slot <= num_slots && a.repetition >= 1) {
-      table.slot_occupants_[static_cast<std::size_t>(a.slot - 1)].push_back(
-          {a.base_cycle, a.repetition, a.message_id});
+    if (a.slot.value() >= 1 && a.slot.value() <= num_slots &&
+        a.repetition >= 1) {
+      table.slot_occupants_[static_cast<std::size_t>(a.slot.value() - 1)]
+          .push_back({a.base_cycle, a.repetition, a.message_id});
       table.table_period_ = std::lcm(table.table_period_, a.repetition);
     }
   }
   return table;
 }
 
-std::optional<int> StaticScheduleTable::message_at(std::int64_t slot,
-                                                   std::int64_t cycle) const {
-  if (slot < 1 || slot > num_slots_ || cycle < 0) return std::nullopt;
-  for (const auto& o : slot_occupants_[static_cast<std::size_t>(slot - 1)]) {
+std::optional<int> StaticScheduleTable::message_at(
+    units::SlotId slot, units::CycleIndex cycle) const {
+  if (slot.value() < 1 || slot.value() > num_slots_ || cycle.value() < 0) {
+    return std::nullopt;
+  }
+  for (const auto& o :
+       slot_occupants_[static_cast<std::size_t>(slot.value() - 1)]) {
     if (cycle >= o.base && (cycle - o.base) % o.repetition == 0) {
       return o.message_id;
     }
@@ -181,10 +185,10 @@ double StaticScheduleTable::occupancy() const {
   std::int64_t occupied = 0;
   // Count occupied (slot, cycle) pairs over one steady-state table
   // period, starting past every base cycle.
-  std::int64_t start = 0;
+  units::CycleIndex start{0};
   for (const auto& a : assignments_) start = std::max(start, a.base_cycle);
-  for (std::int64_t slot = 1; slot <= num_slots_; ++slot) {
-    for (std::int64_t c = start; c < start + table_period_; ++c) {
+  for (units::SlotId slot{1}; slot.value() <= num_slots_; ++slot) {
+    for (units::CycleIndex c = start; c < start + table_period_; ++c) {
       if (message_at(slot, c).has_value()) ++occupied;
     }
   }

@@ -23,13 +23,14 @@
 #include "flexray/config.hpp"
 #include "net/message.hpp"
 #include "sim/time.hpp"
+#include "units/units.hpp"
 
 namespace coeff::sched {
 
 struct SlotAssignment {
   int message_id = 0;
-  std::int64_t slot = 0;        ///< 1-based static slot
-  std::int64_t base_cycle = 0;  ///< first transmitting cycle
+  units::SlotId slot{0};        ///< 1-based static slot
+  units::CycleIndex base_cycle{0};  ///< first transmitting cycle
   std::int64_t repetition = 1;  ///< transmit every `repetition` cycles
   sim::Time latency;  ///< fixed release-to-slot-end latency of this placement
 };
@@ -63,10 +64,10 @@ class StaticScheduleTable {
 
   /// Message id occupying (slot, cycle), or nullopt if the slot is idle
   /// there.
-  [[nodiscard]] std::optional<int> message_at(std::int64_t slot,
-                                              std::int64_t cycle) const;
+  [[nodiscard]] std::optional<int> message_at(units::SlotId slot,
+                                              units::CycleIndex cycle) const;
 
-  [[nodiscard]] bool is_idle(std::int64_t slot, std::int64_t cycle) const {
+  [[nodiscard]] bool is_idle(units::SlotId slot, units::CycleIndex cycle) const {
     return !message_at(slot, cycle).has_value();
   }
 
@@ -95,7 +96,7 @@ class StaticScheduleTable {
 
  private:
   struct Occupant {
-    std::int64_t base;
+    units::CycleIndex base;
     std::int64_t repetition;
     int message_id;
   };

@@ -96,6 +96,22 @@ TEST(ScheduleLintTest, NullClusterIsAConfigError) {
   EXPECT_TRUE(report.has_rule("schedule.config-valid"));
 }
 
+TEST(ScheduleLintTest, MacrotickRoundTripCleanOnPaperCluster) {
+  Fixture f;
+  const Report report = f.lint();
+  EXPECT_FALSE(report.has_rule("schedule.macrotick-roundtrip"));
+}
+
+TEST(ScheduleLintTest, MacrotickRoundTripFlagsFractionalMicrosecond) {
+  Fixture f;
+  f.cluster.gd_macrotick = sim::nanos(1500);
+  const Report report = f.lint();
+  EXPECT_TRUE(report.has_rule("schedule.macrotick-roundtrip"));
+  // A warning, not an error: the simulator itself runs fine on a
+  // nanosecond grid, only the Microseconds-typed API loses precision.
+  EXPECT_FALSE(report.has_errors());
+}
+
 TEST(ScheduleLintTest, MessageSetValid) {
   Fixture f;
   f.statics.add(static_msg(1, sim::millis(1), 64));
@@ -167,7 +183,7 @@ TEST(ScheduleLintTest, SlotBounds) {
   f.statics.add(static_msg(1, sim::millis(1), 64));
   sched::SlotAssignment bad;
   bad.message_id = 1;
-  bad.slot = 99;  // the apps cluster has 15 static slots
+  bad.slot = units::SlotId{99};  // the apps cluster has 15 static slots
   const auto table = sched::StaticScheduleTable::from_assignments(
       {bad}, f.cluster.g_number_of_static_slots);
   ScheduleLintInput input;
@@ -181,7 +197,7 @@ TEST(ScheduleLintTest, SlotBoundsRejectsDegeneratePhase) {
   Fixture f;
   sched::SlotAssignment bad;
   bad.message_id = 1;
-  bad.slot = 1;
+  bad.slot = units::SlotId{1};
   bad.repetition = 0;
   const auto table = sched::StaticScheduleTable::from_assignments(
       {bad}, f.cluster.g_number_of_static_slots);
@@ -196,13 +212,13 @@ TEST(ScheduleLintTest, FrameIdUnique) {
   // Phases (base 0, rep 2) and (base 2, rep 4) coincide at cycles 2, 6, ...
   sched::SlotAssignment x;
   x.message_id = 1;
-  x.slot = 1;
-  x.base_cycle = 0;
+  x.slot = units::SlotId{1};
+  x.base_cycle = units::CycleIndex{0};
   x.repetition = 2;
   sched::SlotAssignment y;
   y.message_id = 2;
-  y.slot = 1;
-  y.base_cycle = 2;
+  y.slot = units::SlotId{1};
+  y.base_cycle = units::CycleIndex{2};
   y.repetition = 4;
   const auto table = sched::StaticScheduleTable::from_assignments(
       {x, y}, f.cluster.g_number_of_static_slots);
@@ -216,13 +232,13 @@ TEST(ScheduleLintTest, DisjointPhasesDoNotCollide) {
   Fixture f;
   sched::SlotAssignment x;
   x.message_id = 1;
-  x.slot = 1;
-  x.base_cycle = 0;
+  x.slot = units::SlotId{1};
+  x.base_cycle = units::CycleIndex{0};
   x.repetition = 2;
   sched::SlotAssignment y;
   y.message_id = 2;
-  y.slot = 1;
-  y.base_cycle = 1;  // odd cycles only: never meets (base 0, rep 2)
+  y.slot = units::SlotId{1};
+  y.base_cycle = units::CycleIndex{1};  // odd cycles only: never meets (base 0, rep 2)
   y.repetition = 2;
   const auto table = sched::StaticScheduleTable::from_assignments(
       {x, y}, f.cluster.g_number_of_static_slots);

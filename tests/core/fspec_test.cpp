@@ -11,11 +11,11 @@ namespace {
 
 flexray::ClusterConfig small_cluster() {
   flexray::ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;
+  cfg.g_macro_per_cycle = units::Macroticks{1000};
   cfg.g_number_of_static_slots = 8;
-  cfg.gd_static_slot = 50;
+  cfg.gd_static_slot = units::Macroticks{50};
   cfg.g_number_of_minislots = 40;
-  cfg.gd_minislot = 8;
+  cfg.gd_minislot = units::Macroticks{8};
   cfg.bus_bit_rate = 50'000'000;
   cfg.num_nodes = 4;
   cfg.validate();

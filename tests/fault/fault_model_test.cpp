@@ -16,7 +16,7 @@ namespace {
 using flexray::ChannelId;
 
 flexray::TxRequest request(std::int64_t bits = 1000,
-                           flexray::FrameId frame_id = 7) {
+                           flexray::FrameId frame_id = flexray::FrameId{7}) {
   flexray::TxRequest req;
   req.frame_id = frame_id;
   req.payload_bits = bits;
@@ -155,7 +155,7 @@ TEST(FaultModelTest, CommonModeFractionOneCouplesChannels) {
   CommonModeModel model(7e-4, 1.0, 21);  // p ~ 0.5 per 1000-bit frame
   int faults = 0;
   for (int i = 0; i < 2000; ++i) {
-    const auto req = request(1000, static_cast<flexray::FrameId>(i % 50 + 1));
+    const auto req = request(1000, flexray::FrameId{static_cast<std::uint16_t>(i % 50 + 1)});
     const auto at = sim::micros(i + 1);
     const bool a = model.corrupted(req, ChannelId::kA, at);
     const bool b = model.corrupted(req, ChannelId::kB, at);
@@ -175,7 +175,7 @@ TEST(FaultModelTest, CommonModeFractionZeroIsIndependent) {
   const int n = 20000;
   int both = 0, disagreements = 0;
   for (int i = 0; i < n; ++i) {
-    const auto req = request(1000, static_cast<flexray::FrameId>(i % 50 + 1));
+    const auto req = request(1000, flexray::FrameId{static_cast<std::uint16_t>(i % 50 + 1)});
     const auto at = sim::micros(i + 1);
     const bool a = model.corrupted(req, ChannelId::kA, at);
     const bool b = model.corrupted(req, ChannelId::kB, at);

@@ -5,11 +5,13 @@
 namespace coeff::flexray {
 namespace {
 
+using units::SlotId;
+
 PendingMessage msg(std::uint64_t instance, int priority,
                    sim::Time deadline = sim::Time::max()) {
   PendingMessage m;
   m.instance = instance;
-  m.frame_id = static_cast<FrameId>(80 + priority);
+  m.frame_id = FrameId{static_cast<std::uint16_t>(80 + priority)};
   m.payload_bits = 128;
   m.priority = priority;
   m.deadline = deadline;
@@ -18,50 +20,51 @@ PendingMessage msg(std::uint64_t instance, int priority,
 
 TEST(StaticBufferSetTest, WriteReadClear) {
   StaticBufferSet buffers;
-  buffers.add_slot(5);
-  EXPECT_TRUE(buffers.owns(5));
-  EXPECT_FALSE(buffers.owns(6));
-  EXPECT_FALSE(buffers.read(5).has_value());
-  EXPECT_FALSE(buffers.write(5, msg(1, 0)));
-  ASSERT_TRUE(buffers.read(5).has_value());
-  EXPECT_EQ(buffers.read(5)->instance, 1u);
-  buffers.clear(5);
-  EXPECT_FALSE(buffers.read(5).has_value());
+  buffers.add_slot(SlotId{5});
+  EXPECT_TRUE(buffers.owns(SlotId{5}));
+  EXPECT_FALSE(buffers.owns(SlotId{6}));
+  EXPECT_FALSE(buffers.read(SlotId{5}).has_value());
+  EXPECT_FALSE(buffers.write(SlotId{5}, msg(1, 0)));
+  ASSERT_TRUE(buffers.read(SlotId{5}).has_value());
+  EXPECT_EQ(buffers.read(SlotId{5})->instance, 1u);
+  buffers.clear(SlotId{5});
+  EXPECT_FALSE(buffers.read(SlotId{5}).has_value());
 }
 
 TEST(StaticBufferSetTest, OverwriteReportsPreviousValue) {
   StaticBufferSet buffers;
-  buffers.add_slot(2);
-  EXPECT_FALSE(buffers.write(2, msg(1, 0)));
-  EXPECT_TRUE(buffers.write(2, msg(2, 0)));  // latest value wins
-  EXPECT_EQ(buffers.read(2)->instance, 2u);
+  buffers.add_slot(SlotId{2});
+  EXPECT_FALSE(buffers.write(SlotId{2}, msg(1, 0)));
+  EXPECT_TRUE(buffers.write(SlotId{2}, msg(2, 0)));  // latest value wins
+  EXPECT_EQ(buffers.read(SlotId{2})->instance, 2u);
 }
 
 TEST(StaticBufferSetTest, WriteToUnownedSlotThrows) {
   StaticBufferSet buffers;
-  EXPECT_THROW(buffers.write(1, msg(1, 0)), std::invalid_argument);
+  EXPECT_THROW(buffers.write(SlotId{1}, msg(1, 0)), std::invalid_argument);
 }
 
 TEST(StaticBufferSetTest, ReadUnownedSlotIsEmpty) {
   StaticBufferSet buffers;
-  EXPECT_FALSE(buffers.read(9).has_value());
-  EXPECT_NO_THROW(buffers.clear(9));
+  EXPECT_FALSE(buffers.read(SlotId{9}).has_value());
+  EXPECT_NO_THROW(buffers.clear(SlotId{9}));
 }
 
 TEST(StaticBufferSetTest, OwnedSlotsSorted) {
   StaticBufferSet buffers;
-  buffers.add_slot(9);
-  buffers.add_slot(1);
-  buffers.add_slot(5);
-  EXPECT_EQ(buffers.owned_slots(), (std::vector<std::int64_t>{1, 5, 9}));
+  buffers.add_slot(SlotId{9});
+  buffers.add_slot(SlotId{1});
+  buffers.add_slot(SlotId{5});
+  EXPECT_EQ(buffers.owned_slots(),
+            (std::vector<SlotId>{SlotId{1}, SlotId{5}, SlotId{9}}));
 }
 
 TEST(StaticBufferSetTest, PendingCount) {
   StaticBufferSet buffers;
-  buffers.add_slot(1);
-  buffers.add_slot(2);
+  buffers.add_slot(SlotId{1});
+  buffers.add_slot(SlotId{2});
   EXPECT_EQ(buffers.pending_count(), 0u);
-  buffers.write(1, msg(1, 0));
+  buffers.write(SlotId{1}, msg(1, 0));
   EXPECT_EQ(buffers.pending_count(), 1u);
 }
 
@@ -88,10 +91,10 @@ TEST(DynamicQueueTest, PeekByFrameId) {
   DynamicQueue q;
   q.push(msg(1, 5));
   q.push(msg(2, 1));
-  const auto found = q.peek(static_cast<FrameId>(85));
+  const auto found = q.peek(FrameId{85});
   ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->instance, 1u);
-  EXPECT_FALSE(q.peek(static_cast<FrameId>(99)).has_value());
+  EXPECT_FALSE(q.peek(FrameId{99}).has_value());
 }
 
 TEST(DynamicQueueTest, PopSpecificInstance) {
@@ -142,14 +145,14 @@ TEST(DynamicQueueTest, ContentsInDispatchOrder) {
 }
 
 TEST(NodeTest, IdentityAndOwnership) {
-  Node node(3, "brake-ecu");
-  EXPECT_EQ(node.id(), 3);
+  Node node(units::NodeId{3}, "brake-ecu");
+  EXPECT_EQ(node.id(), units::NodeId{3});
   EXPECT_EQ(node.name(), "brake-ecu");
-  node.add_dynamic_frame_id(90);
-  node.add_dynamic_frame_id(95);
+  node.add_dynamic_frame_id(FrameId{90});
+  node.add_dynamic_frame_id(FrameId{95});
   EXPECT_EQ(node.dynamic_frame_ids().size(), 2u);
-  node.static_buffers().add_slot(4);
-  EXPECT_TRUE(node.static_buffers().owns(4));
+  node.static_buffers().add_slot(SlotId{4});
+  EXPECT_TRUE(node.static_buffers().owns(SlotId{4}));
 }
 
 }  // namespace

@@ -8,14 +8,17 @@
 namespace coeff::flexray {
 namespace {
 
+using units::CycleIndex;
+using units::MinislotId;
+using units::SlotId;
+
 /// Scripted policy for driving the cluster in tests.
 class ScriptedPolicy : public TransmissionPolicy {
  public:
-  std::function<std::optional<TxRequest>(ChannelId, std::int64_t,
-                                         std::int64_t)>
+  std::function<std::optional<TxRequest>(ChannelId, CycleIndex, SlotId)>
       on_static;
-  std::function<std::optional<TxRequest>(ChannelId, std::int64_t, std::int64_t,
-                                         std::int64_t, std::int64_t)>
+  std::function<std::optional<TxRequest>(ChannelId, CycleIndex, SlotId,
+                                         MinislotId, std::int64_t)>
       on_dynamic;
 
   std::vector<TxOutcome> outcomes;
@@ -23,16 +26,15 @@ class ScriptedPolicy : public TransmissionPolicy {
   std::vector<std::int64_t> cycles_ended;
   std::vector<TxRequest> declined;
 
-  void on_cycle_start(std::int64_t cycle, sim::Time) override {
-    cycles_started.push_back(cycle);
+  void on_cycle_start(CycleIndex cycle, sim::Time) override {
+    cycles_started.push_back(cycle.value());
   }
-  std::optional<TxRequest> static_slot(ChannelId channel, std::int64_t cycle,
-                                       std::int64_t slot) override {
+  std::optional<TxRequest> static_slot(ChannelId channel, CycleIndex cycle,
+                                       SlotId slot) override {
     return on_static ? on_static(channel, cycle, slot) : std::nullopt;
   }
-  std::optional<TxRequest> dynamic_slot(ChannelId channel, std::int64_t cycle,
-                                        std::int64_t counter,
-                                        std::int64_t minislot,
+  std::optional<TxRequest> dynamic_slot(ChannelId channel, CycleIndex cycle,
+                                        SlotId counter, MinislotId minislot,
                                         std::int64_t remaining) override {
     return on_dynamic ? on_dynamic(channel, cycle, counter, minislot, remaining)
                       : std::nullopt;
@@ -40,22 +42,22 @@ class ScriptedPolicy : public TransmissionPolicy {
   void on_tx_complete(const TxOutcome& outcome) override {
     outcomes.push_back(outcome);
   }
-  void on_dynamic_declined(ChannelId, std::int64_t,
+  void on_dynamic_declined(ChannelId, CycleIndex,
                            const TxRequest& request) override {
     declined.push_back(request);
   }
-  void on_cycle_end(std::int64_t cycle, sim::Time) override {
-    cycles_ended.push_back(cycle);
+  void on_cycle_end(CycleIndex cycle, sim::Time) override {
+    cycles_ended.push_back(cycle.value());
   }
 };
 
 ClusterConfig small_config() {
   ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;
+  cfg.g_macro_per_cycle = units::Macroticks{1000};
   cfg.g_number_of_static_slots = 4;
-  cfg.gd_static_slot = 40;
+  cfg.gd_static_slot = units::Macroticks{40};
   cfg.g_number_of_minislots = 20;
-  cfg.gd_minislot = 8;
+  cfg.gd_minislot = units::Macroticks{8};
   cfg.num_nodes = 2;
   cfg.validate();
   return cfg;
@@ -65,7 +67,7 @@ TxRequest req(FrameId id, std::int64_t bits, std::uint64_t instance = 1) {
   TxRequest r;
   r.instance = instance;
   r.frame_id = id;
-  r.sender = 0;
+  r.sender = units::NodeId{0};
   r.payload_bits = bits;
   return r;
 }
@@ -84,9 +86,11 @@ TEST(ClusterTest, RunsCycleLifecycle) {
 TEST(ClusterTest, StaticSlotTransmissionTimesAndSegments) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_static = [](ChannelId channel, std::int64_t,
-                        std::int64_t slot) -> std::optional<TxRequest> {
-    if (channel == ChannelId::kA && slot == 2) return req(2, 100);
+  policy.on_static = [](ChannelId channel, CycleIndex,
+                        SlotId slot) -> std::optional<TxRequest> {
+    if (channel == ChannelId::kA && slot == SlotId{2}) {
+      return req(FrameId{2}, 100);
+    }
     return std::nullopt;
   };
   Cluster cluster(engine, small_config(), policy, nullptr);
@@ -103,8 +107,8 @@ TEST(ClusterTest, BothChannelsOfferedEachStaticSlot) {
   sim::Engine engine;
   ScriptedPolicy policy;
   int offers_a = 0, offers_b = 0;
-  policy.on_static = [&](ChannelId channel, std::int64_t,
-                         std::int64_t) -> std::optional<TxRequest> {
+  policy.on_static = [&](ChannelId channel, CycleIndex,
+                         SlotId) -> std::optional<TxRequest> {
     (channel == ChannelId::kA ? offers_a : offers_b)++;
     return std::nullopt;
   };
@@ -117,9 +121,10 @@ TEST(ClusterTest, BothChannelsOfferedEachStaticSlot) {
 TEST(ClusterTest, StaticFrameIdMustMatchSlot) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_static = [](ChannelId, std::int64_t,
-                        std::int64_t) -> std::optional<TxRequest> {
-    return req(7, 100);  // wrong id for every slot except 7 (doesn't exist)
+  policy.on_static = [](ChannelId, CycleIndex,
+                        SlotId) -> std::optional<TxRequest> {
+    // Wrong id for every slot except 7 (doesn't exist).
+    return req(FrameId{7}, 100);
   };
   Cluster cluster(engine, small_config(), policy, nullptr);
   EXPECT_THROW(cluster.run_cycles(1), std::logic_error);
@@ -128,9 +133,9 @@ TEST(ClusterTest, StaticFrameIdMustMatchSlot) {
 TEST(ClusterTest, StaticPayloadBeyondCapacityRejected) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_static = [](ChannelId, std::int64_t,
-                        std::int64_t slot) -> std::optional<TxRequest> {
-    if (slot == 1) return req(1, 1'000'000);
+  policy.on_static = [](ChannelId, CycleIndex,
+                        SlotId slot) -> std::optional<TxRequest> {
+    if (slot == SlotId{1}) return req(FrameId{1}, 1'000'000);
     return std::nullopt;
   };
   Cluster cluster(engine, small_config(), policy, nullptr);
@@ -141,10 +146,10 @@ TEST(ClusterTest, DynamicSlotCountersStartAfterStaticSlots) {
   sim::Engine engine;
   ScriptedPolicy policy;
   std::vector<std::int64_t> counters;
-  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t counter,
-                          std::int64_t,
+  policy.on_dynamic = [&](ChannelId channel, CycleIndex, SlotId counter,
+                          MinislotId,
                           std::int64_t) -> std::optional<TxRequest> {
-    if (channel == ChannelId::kA) counters.push_back(counter);
+    if (channel == ChannelId::kA) counters.push_back(counter.value());
     return std::nullopt;
   };
   Cluster cluster(engine, small_config(), policy, nullptr);
@@ -159,14 +164,14 @@ TEST(ClusterTest, DynamicTransmissionConsumesMinislots) {
   sim::Engine engine;
   ScriptedPolicy policy;
   std::vector<std::int64_t> minislots;
-  policy.on_dynamic = [&](ChannelId channel, std::int64_t,
-                          std::int64_t counter, std::int64_t minislot,
+  policy.on_dynamic = [&](ChannelId channel, CycleIndex, SlotId counter,
+                          MinislotId minislot,
                           std::int64_t) -> std::optional<TxRequest> {
     if (channel != ChannelId::kA) return std::nullopt;
-    minislots.push_back(minislot);
-    if (counter == 5) {
+    minislots.push_back(minislot.value());
+    if (counter == SlotId{5}) {
       // 10 Mb/s, 8 us minislot = 80 bits; 160 bits -> 2 + 1 idle = 3.
-      return req(5, 160);
+      return req(FrameId{5}, 160);
     }
     return std::nullopt;
   };
@@ -180,15 +185,14 @@ TEST(ClusterTest, DynamicTransmissionConsumesMinislots) {
 
 TEST(ClusterTest, DynamicRespectsLatestTx) {
   auto cfg = small_config();
-  cfg.p_latest_tx = 5;
+  cfg.p_latest_tx = MinislotId{5};
   sim::Engine engine;
   ScriptedPolicy policy;
   int granted = 0;
-  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t,
-                          std::int64_t,
+  policy.on_dynamic = [&](ChannelId channel, CycleIndex, SlotId, MinislotId,
                           std::int64_t) -> std::optional<TxRequest> {
     if (channel != ChannelId::kA) return std::nullopt;
-    return req(0, 80);  // frame id irrelevant for dynamic
+    return req(FrameId{0}, 80);  // frame id irrelevant for dynamic
   };
   Cluster cluster(engine, cfg, policy, nullptr);
   cluster.run_cycles(1);
@@ -202,11 +206,10 @@ TEST(ClusterTest, DynamicRespectsLatestTx) {
 TEST(ClusterTest, DynamicTooLargeForRemainderIsDeclined) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_dynamic = [&](ChannelId channel, std::int64_t, std::int64_t,
-                          std::int64_t,
+  policy.on_dynamic = [&](ChannelId channel, CycleIndex, SlotId, MinislotId,
                           std::int64_t) -> std::optional<TxRequest> {
     if (channel != ChannelId::kA) return std::nullopt;
-    return req(0, 100'000);  // larger than the whole dynamic segment
+    return req(FrameId{0}, 100'000);  // larger than the whole dynamic segment
   };
   Cluster cluster(engine, small_config(), policy, nullptr);
   cluster.run_cycles(1);
@@ -217,9 +220,11 @@ TEST(ClusterTest, DynamicTooLargeForRemainderIsDeclined) {
 TEST(ClusterTest, CorruptionHookControlsOutcomes) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_static = [](ChannelId channel, std::int64_t,
-                        std::int64_t slot) -> std::optional<TxRequest> {
-    if (slot == 1 && channel == ChannelId::kA) return req(1, 100);
+  policy.on_static = [](ChannelId channel, CycleIndex,
+                        SlotId slot) -> std::optional<TxRequest> {
+    if (slot == SlotId{1} && channel == ChannelId::kA) {
+      return req(FrameId{1}, 100);
+    }
     return std::nullopt;
   };
   int verdicts = 0;
@@ -237,11 +242,11 @@ TEST(ClusterTest, CorruptionHookControlsOutcomes) {
 TEST(ClusterTest, ChannelStatsAccumulate) {
   sim::Engine engine;
   ScriptedPolicy policy;
-  policy.on_static = [](ChannelId channel, std::int64_t,
-                        std::int64_t slot) -> std::optional<TxRequest> {
-    if (slot <= 2 && channel == ChannelId::kA) {
-      auto r = req(static_cast<FrameId>(slot), 100);
-      r.retransmission = slot == 2;
+  policy.on_static = [](ChannelId channel, CycleIndex,
+                        SlotId slot) -> std::optional<TxRequest> {
+    if (slot.value() <= 2 && channel == ChannelId::kA) {
+      auto r = req(units::to_frame_id(slot), 100);
+      r.retransmission = slot == SlotId{2};
       return r;
     }
     return std::nullopt;

@@ -14,11 +14,11 @@ std::vector<std::uint8_t> payload(std::size_t n) {
 }
 
 TEST(CodecTest, RoundTripDataFrame) {
-  const Frame original = Frame::make(ChannelId::kA, 42, 7, payload(16), true);
+  const Frame original = Frame::make(ChannelId::kA, FrameId{42}, 7, payload(16), true);
   const auto wire = encode_frame(original);
   const auto decoded = decode_frame(ChannelId::kA, wire);
   ASSERT_TRUE(decoded.ok()) << to_string(*decoded.error);
-  EXPECT_EQ(decoded.frame->header().id, 42);
+  EXPECT_EQ(decoded.frame->header().id, FrameId{42});
   EXPECT_EQ(decoded.frame->header().cycle_count, 7);
   EXPECT_TRUE(decoded.frame->header().sync);
   EXPECT_EQ(decoded.frame->payload(), original.payload());
@@ -27,7 +27,7 @@ TEST(CodecTest, RoundTripDataFrame) {
 }
 
 TEST(CodecTest, RoundTripNullFrame) {
-  const Frame original = Frame::make_null(ChannelId::kB, 9, 3);
+  const Frame original = Frame::make_null(ChannelId::kB, FrameId{9}, 3);
   const auto decoded = decode_frame(ChannelId::kB, encode_frame(original));
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.frame->header().null_frame);
@@ -36,7 +36,7 @@ TEST(CodecTest, RoundTripNullFrame) {
 
 TEST(CodecTest, RoundTripAllPayloadSizes) {
   for (std::size_t n : {0u, 2u, 64u, 128u, 254u}) {
-    const Frame f = Frame::make(ChannelId::kA, 100, 0, payload(n));
+    const Frame f = Frame::make(ChannelId::kA, FrameId{100}, 0, payload(n));
     const auto decoded = decode_frame(ChannelId::kA, encode_frame(f));
     ASSERT_TRUE(decoded.ok()) << "payload " << n;
     EXPECT_EQ(decoded.frame->payload().size(), f.payload().size());
@@ -44,13 +44,13 @@ TEST(CodecTest, RoundTripAllPayloadSizes) {
 }
 
 TEST(CodecTest, WireSizeMatchesFrameSize) {
-  const Frame f = Frame::make(ChannelId::kA, 5, 0, payload(20));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{5}, 0, payload(20));
   EXPECT_EQ(static_cast<std::int64_t>(encode_frame(f).size()) * 8,
             f.size_bits());
 }
 
 TEST(CodecTest, TruncatedBufferRejected) {
-  const auto wire = encode_frame(Frame::make(ChannelId::kA, 5, 0, payload(4)));
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, FrameId{5}, 0, payload(4)));
   for (std::size_t cut : {0u, 4u, 7u}) {
     std::vector<std::uint8_t> shorter(wire.begin(),
                                       wire.begin() +
@@ -62,7 +62,7 @@ TEST(CodecTest, TruncatedBufferRejected) {
 }
 
 TEST(CodecTest, LengthMismatchRejected) {
-  auto wire = encode_frame(Frame::make(ChannelId::kA, 5, 0, payload(4)));
+  auto wire = encode_frame(Frame::make(ChannelId::kA, FrameId{5}, 0, payload(4)));
   wire.push_back(0x00);  // extra byte: header length no longer matches
   const auto decoded = decode_frame(ChannelId::kA, wire);
   ASSERT_FALSE(decoded.ok());
@@ -70,7 +70,7 @@ TEST(CodecTest, LengthMismatchRejected) {
 }
 
 TEST(CodecTest, EveryPayloadBitFlipCaught) {
-  const Frame f = Frame::make(ChannelId::kA, 77, 1, payload(8));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{77}, 1, payload(8));
   const auto wire = encode_frame(f);
   for (std::size_t bit = 5 * 8; bit < (wire.size() - 3) * 8; ++bit) {
     auto damaged = wire;
@@ -82,7 +82,7 @@ TEST(CodecTest, EveryPayloadBitFlipCaught) {
 }
 
 TEST(CodecTest, HeaderCorruptionCaught) {
-  const auto wire = encode_frame(Frame::make(ChannelId::kA, 77, 1, payload(8)));
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, FrameId{77}, 1, payload(8)));
   // Flip a frame-id bit (bits 5..15): header CRC must catch it.
   auto damaged = wire;
   damaged[1] ^= 0x10;  // inside the frame id field
@@ -93,7 +93,7 @@ TEST(CodecTest, HeaderCorruptionCaught) {
 }
 
 TEST(CodecTest, TrailerCorruptionCaught) {
-  auto wire = encode_frame(Frame::make(ChannelId::kB, 12, 0, payload(8)));
+  auto wire = encode_frame(Frame::make(ChannelId::kB, FrameId{12}, 0, payload(8)));
   wire.back() ^= 0x01;
   const auto decoded = decode_frame(ChannelId::kB, wire);
   ASSERT_FALSE(decoded.ok());
@@ -103,7 +103,7 @@ TEST(CodecTest, TrailerCorruptionCaught) {
 TEST(CodecTest, CrossChannelMisroutingDetected) {
   // A frame encoded for channel A must not decode on channel B: the
   // per-channel frame-CRC init values differ by design.
-  const auto wire = encode_frame(Frame::make(ChannelId::kA, 12, 0, payload(8)));
+  const auto wire = encode_frame(Frame::make(ChannelId::kA, FrameId{12}, 0, payload(8)));
   const auto decoded = decode_frame(ChannelId::kB, wire);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(*decoded.error, DecodeError::kFrameCrc);

@@ -36,10 +36,10 @@ TEST(ConfigTest, SegmentsExceedingCycleRejected) {
 TEST(ConfigTest, NonPositiveParametersRejected) {
   for (auto mutate : std::vector<void (*)(ClusterConfig&)>{
            [](ClusterConfig& c) { c.gd_macrotick = sim::Time::zero(); },
-           [](ClusterConfig& c) { c.g_macro_per_cycle = 0; },
+           [](ClusterConfig& c) { c.g_macro_per_cycle = units::Macroticks{0}; },
            [](ClusterConfig& c) { c.g_number_of_static_slots = 0; },
-           [](ClusterConfig& c) { c.gd_static_slot = -1; },
-           [](ClusterConfig& c) { c.gd_minislot = 0; },
+           [](ClusterConfig& c) { c.gd_static_slot = units::Macroticks{-1}; },
+           [](ClusterConfig& c) { c.gd_minislot = units::Macroticks{0}; },
            [](ClusterConfig& c) { c.bus_bit_rate = 0; },
            [](ClusterConfig& c) { c.num_nodes = 0; },
        }) {
@@ -57,15 +57,16 @@ TEST(ConfigTest, ActionPointOffsetMustFitMinislot) {
 
 TEST(ConfigTest, LatestTxDefaultsToWholeSegment) {
   ClusterConfig cfg;
-  cfg.p_latest_tx = 0;
-  EXPECT_EQ(cfg.latest_tx_minislot(), cfg.g_number_of_minislots);
-  cfg.p_latest_tx = 10;
-  EXPECT_EQ(cfg.latest_tx_minislot(), 10);
+  cfg.p_latest_tx = units::MinislotId{0};
+  EXPECT_EQ(cfg.latest_tx_minislot(),
+            units::MinislotId{cfg.g_number_of_minislots});
+  cfg.p_latest_tx = units::MinislotId{10};
+  EXPECT_EQ(cfg.latest_tx_minislot(), units::MinislotId{10});
 }
 
 TEST(ConfigTest, LatestTxBeyondSegmentRejected) {
   ClusterConfig cfg;
-  cfg.p_latest_tx = cfg.g_number_of_minislots + 1;
+  cfg.p_latest_tx = units::MinislotId{cfg.g_number_of_minislots + 1};
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
@@ -113,7 +114,7 @@ TEST(ConfigTest, DynamicSuiteMatchesPaperParameters) {
     const auto cfg = ClusterConfig::dynamic_suite(m);
     EXPECT_EQ(cfg.g_number_of_minislots, m);
     EXPECT_EQ(cfg.g_number_of_static_slots, 80);
-    EXPECT_EQ(cfg.gd_minislot, 8);
+    EXPECT_EQ(cfg.gd_minislot, units::Macroticks{8});
     EXPECT_NO_THROW(cfg.validate());
   }
 }

@@ -12,13 +12,13 @@ std::vector<std::uint8_t> payload(std::size_t n) {
 }
 
 TEST(FrameTest, MakeComputesConsistentCrcs) {
-  const Frame f = Frame::make(ChannelId::kA, 17, 3, payload(16));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{17}, 3, payload(16));
   EXPECT_TRUE(f.verify());
 }
 
 TEST(FrameTest, HeaderFields) {
-  const Frame f = Frame::make(ChannelId::kA, 17, 3, payload(16), true, false);
-  EXPECT_EQ(f.header().id, 17);
+  const Frame f = Frame::make(ChannelId::kA, FrameId{17}, 3, payload(16), true, false);
+  EXPECT_EQ(f.header().id, FrameId{17});
   EXPECT_EQ(f.header().payload_words, 8);
   EXPECT_EQ(f.header().cycle_count, 3);
   EXPECT_TRUE(f.header().sync);
@@ -26,57 +26,57 @@ TEST(FrameTest, HeaderFields) {
 }
 
 TEST(FrameTest, OddPayloadPaddedToWord) {
-  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(5));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{1}, 0, payload(5));
   EXPECT_EQ(f.payload().size(), 6u);
   EXPECT_EQ(f.header().payload_words, 3);
   EXPECT_TRUE(f.verify());
 }
 
 TEST(FrameTest, SizeBitsCountsHeaderPayloadTrailer) {
-  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(10));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{1}, 0, payload(10));
   EXPECT_EQ(f.size_bits(), 40 + 10 * 8 + 24);
 }
 
 TEST(FrameTest, InvalidFrameIdRejected) {
-  EXPECT_THROW(Frame::make(ChannelId::kA, 0, 0, {}), std::invalid_argument);
-  EXPECT_THROW(Frame::make(ChannelId::kA, 2048, 0, {}), std::invalid_argument);
-  EXPECT_NO_THROW(Frame::make(ChannelId::kA, 2047, 0, {}));
+  EXPECT_THROW(Frame::make(ChannelId::kA, FrameId{0}, 0, {}), std::invalid_argument);
+  EXPECT_THROW(Frame::make(ChannelId::kA, FrameId{2048}, 0, {}), std::invalid_argument);
+  EXPECT_NO_THROW(Frame::make(ChannelId::kA, FrameId{2047}, 0, {}));
 }
 
 TEST(FrameTest, OversizedPayloadRejected) {
-  EXPECT_THROW(Frame::make(ChannelId::kA, 1, 0, payload(255)),
+  EXPECT_THROW(Frame::make(ChannelId::kA, FrameId{1}, 0, payload(255)),
                std::invalid_argument);
-  EXPECT_NO_THROW(Frame::make(ChannelId::kA, 1, 0, payload(254)));
+  EXPECT_NO_THROW(Frame::make(ChannelId::kA, FrameId{1}, 0, payload(254)));
 }
 
 TEST(FrameTest, PayloadCorruptionDetected) {
-  Frame f = Frame::make(ChannelId::kA, 9, 1, payload(32));
+  Frame f = Frame::make(ChannelId::kA, FrameId{9}, 1, payload(32));
   f.corrupt_payload_bit(100);
   EXPECT_FALSE(f.verify());
 }
 
 TEST(FrameTest, EveryPayloadBitPositionDetected) {
   for (std::size_t bit = 0; bit < 64; ++bit) {
-    Frame f = Frame::make(ChannelId::kA, 9, 1, payload(8));
+    Frame f = Frame::make(ChannelId::kA, FrameId{9}, 1, payload(8));
     f.corrupt_payload_bit(bit);
     EXPECT_FALSE(f.verify()) << "bit " << bit;
   }
 }
 
 TEST(FrameTest, HeaderCorruptionDetected) {
-  Frame f = Frame::make(ChannelId::kB, 33, 0, payload(4));
+  Frame f = Frame::make(ChannelId::kB, FrameId{33}, 0, payload(4));
   f.corrupt_header_bit(2);
   EXPECT_FALSE(f.verify());
 }
 
 TEST(FrameTest, CorruptingNullPayloadFallsBackToHeader) {
-  Frame f = Frame::make_null(ChannelId::kA, 5, 0);
+  Frame f = Frame::make_null(ChannelId::kA, FrameId{5}, 0);
   f.corrupt_payload_bit(0);
   EXPECT_FALSE(f.verify());
 }
 
 TEST(FrameTest, NullFrameFlagSet) {
-  const Frame f = Frame::make_null(ChannelId::kA, 5, 0);
+  const Frame f = Frame::make_null(ChannelId::kA, FrameId{5}, 0);
   EXPECT_TRUE(f.header().null_frame);
   EXPECT_TRUE(f.verify());
   EXPECT_EQ(f.payload().size(), 0u);
@@ -85,23 +85,23 @@ TEST(FrameTest, NullFrameFlagSet) {
 TEST(FrameTest, ChannelsUseDifferentCrcInit) {
   // The same content must carry different frame CRCs on A and B so that
   // cross-channel misrouting is detectable.
-  const Frame fa = Frame::make(ChannelId::kA, 7, 0, payload(8));
-  const Frame fb = Frame::make(ChannelId::kB, 7, 0, payload(8));
+  const Frame fa = Frame::make(ChannelId::kA, FrameId{7}, 0, payload(8));
+  const Frame fb = Frame::make(ChannelId::kB, FrameId{7}, 0, payload(8));
   EXPECT_NE(fa.trailer_crc(), fb.trailer_crc());
   EXPECT_TRUE(fa.verify());
   EXPECT_TRUE(fb.verify());
 }
 
 TEST(FrameTest, HeaderCrcDependsOnEveryInput) {
-  const auto base = header_crc(false, false, 100, 10);
-  EXPECT_NE(base, header_crc(true, false, 100, 10));
-  EXPECT_NE(base, header_crc(false, true, 100, 10));
-  EXPECT_NE(base, header_crc(false, false, 101, 10));
-  EXPECT_NE(base, header_crc(false, false, 100, 11));
+  const auto base = header_crc(false, false, FrameId{100}, 10);
+  EXPECT_NE(base, header_crc(true, false, FrameId{100}, 10));
+  EXPECT_NE(base, header_crc(false, true, FrameId{100}, 10));
+  EXPECT_NE(base, header_crc(false, false, FrameId{101}, 10));
+  EXPECT_NE(base, header_crc(false, false, FrameId{100}, 11));
 }
 
 TEST(CrcTest, Crc11IsElevenBits) {
-  for (FrameId id : {1, 100, 2047}) {
+  for (FrameId id : {FrameId{1}, FrameId{100}, FrameId{2047}}) {
     EXPECT_LT(header_crc(false, false, id, 0), 1u << 11);
   }
 }
@@ -128,7 +128,7 @@ TEST(CrcTest, BitLevelCrcMatchesKnownWidthBounds) {
 }
 
 TEST(FrameTest, FrameBytesLayoutLength) {
-  const Frame f = Frame::make(ChannelId::kA, 1, 0, payload(6));
+  const Frame f = Frame::make(ChannelId::kA, FrameId{1}, 0, payload(6));
   const auto bytes = frame_bytes(f.header(), f.payload());
   EXPECT_EQ(bytes.size(), 5u + 6u);  // 40-bit header + payload
 }

@@ -2,17 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include "units/convert.hpp"
+
 namespace coeff::flexray {
 namespace {
+
+using units::CycleIndex;
+using units::MinislotId;
+using units::SlotId;
+using units::to_cycle_time;
 
 CycleTiming default_timing() { return CycleTiming(ClusterConfig{}); }
 
 TEST(TimingTest, CycleIndexing) {
   const auto t = default_timing();
-  EXPECT_EQ(t.cycle_index(sim::Time::zero()), 0);
-  EXPECT_EQ(t.cycle_index(sim::millis(4)), 0);
-  EXPECT_EQ(t.cycle_index(sim::millis(5)), 1);
-  EXPECT_EQ(t.cycle_index(sim::millis(12)), 2);
+  EXPECT_EQ(t.cycle_index(sim::Time::zero()), CycleIndex{0});
+  EXPECT_EQ(t.cycle_index(sim::millis(4)), CycleIndex{0});
+  EXPECT_EQ(t.cycle_index(sim::millis(5)), CycleIndex{1});
+  EXPECT_EQ(t.cycle_index(sim::millis(12)), CycleIndex{2});
 }
 
 TEST(TimingTest, NegativeTimeThrows) {
@@ -23,76 +30,89 @@ TEST(TimingTest, NegativeTimeThrows) {
 TEST(TimingTest, CycleStartInvertsIndex) {
   const auto t = default_timing();
   for (std::int64_t c : {0, 1, 7, 1000}) {
-    EXPECT_EQ(t.cycle_index(t.cycle_start(c)), c);
+    EXPECT_EQ(t.cycle_index(t.cycle_start(CycleIndex{c})), CycleIndex{c});
   }
 }
 
 TEST(TimingTest, OffsetInCycle) {
   const auto t = default_timing();
-  EXPECT_EQ(t.offset_in_cycle(sim::millis(12)), sim::millis(2));
-  EXPECT_EQ(t.offset_in_cycle(sim::millis(5)), sim::Time::zero());
+  EXPECT_EQ(t.offset_in_cycle(sim::millis(12)), to_cycle_time(sim::millis(2)));
+  EXPECT_EQ(t.offset_in_cycle(sim::millis(5)), units::CycleTime::zero());
 }
 
 TEST(TimingTest, SegmentBoundaries) {
   const auto t = default_timing();  // static 3.2ms, dynamic 0.4ms
-  EXPECT_EQ(t.segment_at(sim::Time::zero()), Segment::kStatic);
-  EXPECT_EQ(t.segment_at(sim::micros(3199)), Segment::kStatic);
-  EXPECT_EQ(t.segment_at(sim::micros(3200)), Segment::kDynamic);
-  EXPECT_EQ(t.segment_at(sim::micros(3599)), Segment::kDynamic);
-  EXPECT_EQ(t.segment_at(sim::micros(3600)), Segment::kNetworkIdle);
+  EXPECT_EQ(t.segment_at(units::CycleTime::zero()), Segment::kStatic);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3199))), Segment::kStatic);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3200))), Segment::kDynamic);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3599))), Segment::kDynamic);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3600))),
+            Segment::kNetworkIdle);
 }
 
 TEST(TimingTest, SymbolWindowSegment) {
   ClusterConfig cfg;
-  cfg.gd_symbol_window = 100;
+  cfg.gd_symbol_window = units::Macroticks{100};
   const CycleTiming t(cfg);
-  EXPECT_EQ(t.segment_at(sim::micros(3600)), Segment::kSymbolWindow);
-  EXPECT_EQ(t.segment_at(sim::micros(3700)), Segment::kNetworkIdle);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3600))),
+            Segment::kSymbolWindow);
+  EXPECT_EQ(t.segment_at(to_cycle_time(sim::micros(3700))),
+            Segment::kNetworkIdle);
 }
 
 TEST(TimingTest, StaticSlotStart) {
   const auto t = default_timing();
-  EXPECT_EQ(t.static_slot_start(0, 1), sim::Time::zero());
-  EXPECT_EQ(t.static_slot_start(0, 2), sim::micros(40));
-  EXPECT_EQ(t.static_slot_start(1, 1), sim::millis(5));
-  EXPECT_EQ(t.static_slot_start(2, 80), sim::millis(10) + sim::micros(79 * 40));
+  EXPECT_EQ(t.static_slot_start(CycleIndex{0}, SlotId{1}), sim::Time::zero());
+  EXPECT_EQ(t.static_slot_start(CycleIndex{0}, SlotId{2}), sim::micros(40));
+  EXPECT_EQ(t.static_slot_start(CycleIndex{1}, SlotId{1}), sim::millis(5));
+  EXPECT_EQ(t.static_slot_start(CycleIndex{2}, SlotId{80}),
+            sim::millis(10) + sim::micros(79 * 40));
 }
 
 TEST(TimingTest, SlotOutOfRangeThrows) {
   const auto t = default_timing();
-  EXPECT_THROW((void)t.static_slot_start(0, 0), std::invalid_argument);
-  EXPECT_THROW((void)t.static_slot_start(0, 81), std::invalid_argument);
+  EXPECT_THROW((void)t.static_slot_start(CycleIndex{0}, SlotId{0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)t.static_slot_start(CycleIndex{0}, SlotId{81}),
+               std::invalid_argument);
 }
 
 TEST(TimingTest, StaticSlotAtInvertsStart) {
   const auto t = default_timing();
   for (std::int64_t slot = 1; slot <= 80; ++slot) {
-    const auto off = t.static_slot_start(0, slot);
-    EXPECT_EQ(t.static_slot_at(off), slot);
-    EXPECT_EQ(t.static_slot_at(off + sim::micros(39)), slot);
+    const auto off = t.offset_in_cycle(
+        t.static_slot_start(CycleIndex{0}, SlotId{slot}));
+    EXPECT_EQ(t.static_slot_at(off), SlotId{slot});
+    EXPECT_EQ(t.static_slot_at(off + to_cycle_time(sim::micros(39))),
+              SlotId{slot});
   }
-  EXPECT_EQ(t.static_slot_at(sim::micros(3200)), 0);  // in dynamic segment
+  // In the dynamic segment there is no static slot.
+  EXPECT_EQ(t.static_slot_at(to_cycle_time(sim::micros(3200))), std::nullopt);
 }
 
 TEST(TimingTest, MinislotStart) {
   const auto t = default_timing();
-  EXPECT_EQ(t.minislot_start(0, 0), sim::micros(3200));
-  EXPECT_EQ(t.minislot_start(0, 1), sim::micros(3208));
-  EXPECT_EQ(t.minislot_start(1, 0), sim::millis(5) + sim::micros(3200));
+  EXPECT_EQ(t.minislot_start(CycleIndex{0}, MinislotId{0}), sim::micros(3200));
+  EXPECT_EQ(t.minislot_start(CycleIndex{0}, MinislotId{1}), sim::micros(3208));
+  EXPECT_EQ(t.minislot_start(CycleIndex{1}, MinislotId{0}),
+            sim::millis(5) + sim::micros(3200));
 }
 
 TEST(TimingTest, MinislotOutOfRangeThrows) {
   const auto t = default_timing();
-  EXPECT_THROW((void)t.minislot_start(0, -1), std::invalid_argument);
-  EXPECT_THROW((void)t.minislot_start(0, 50), std::invalid_argument);
+  EXPECT_THROW((void)t.minislot_start(CycleIndex{0}, MinislotId{-1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)t.minislot_start(CycleIndex{0}, MinislotId{50}),
+               std::invalid_argument);
 }
 
 TEST(TimingTest, NextCycleAtOrAfter) {
   const auto t = default_timing();
-  EXPECT_EQ(t.next_cycle_at_or_after(sim::Time::zero()), 0);
-  EXPECT_EQ(t.next_cycle_at_or_after(sim::nanos(1)), 1);
-  EXPECT_EQ(t.next_cycle_at_or_after(sim::millis(5)), 1);
-  EXPECT_EQ(t.next_cycle_at_or_after(sim::millis(5) + sim::nanos(1)), 2);
+  EXPECT_EQ(t.next_cycle_at_or_after(sim::Time::zero()), CycleIndex{0});
+  EXPECT_EQ(t.next_cycle_at_or_after(sim::nanos(1)), CycleIndex{1});
+  EXPECT_EQ(t.next_cycle_at_or_after(sim::millis(5)), CycleIndex{1});
+  EXPECT_EQ(t.next_cycle_at_or_after(sim::millis(5) + sim::nanos(1)),
+            CycleIndex{2});
 }
 
 TEST(TimingTest, SegmentNames) {

@@ -52,7 +52,7 @@ TEST(TopologyTest, BudgetCheckAgainstActionPointOffset) {
 
 TEST(TopologyTest, StarCouplersEatIntoTheBudget) {
   ClusterConfig cfg;
-  cfg.gd_minislot_action_point_offset = 1;  // 1 us budget
+  cfg.gd_minislot_action_point_offset = units::Macroticks{1};  // 1 us budget
   // Two stars + trunk: 2x250 ns couplers + 60 m of wire = 800 ns: fits.
   EXPECT_TRUE(Topology::hybrid({0, 1}, {0.0, 0.0}, 60.0).fits_budget(cfg));
   // 120 m of wire pushes past 1 us.

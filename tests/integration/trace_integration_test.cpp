@@ -23,9 +23,9 @@ net::MessageSet one_static_message() {
 
 flexray::ClusterConfig tiny_cluster() {
   flexray::ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;
+  cfg.g_macro_per_cycle = units::Macroticks{1000};
   cfg.g_number_of_static_slots = 4;
-  cfg.gd_static_slot = 50;
+  cfg.gd_static_slot = units::Macroticks{50};
   cfg.g_number_of_minislots = 20;
   cfg.bus_bit_rate = 50'000'000;
   cfg.num_nodes = 2;

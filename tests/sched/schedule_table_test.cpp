@@ -40,11 +40,11 @@ TEST(ScheduleTableTest, SingleMessagePlacedInFirstSlot) {
       net::MessageSet({msg(1, 0, 5, 5, 400)}), config_5ms());
   ASSERT_EQ(table.assignments().size(), 1u);
   const auto& a = table.assignments()[0];
-  EXPECT_EQ(a.slot, 1);
+  EXPECT_EQ(a.slot, units::SlotId{1});
   EXPECT_EQ(a.repetition, 1);
-  EXPECT_EQ(table.message_at(1, 0), 1);
-  EXPECT_EQ(table.message_at(1, 17), 1);
-  EXPECT_TRUE(table.is_idle(2, 0));
+  EXPECT_EQ(table.message_at(units::SlotId{1}, units::CycleIndex{0}), 1);
+  EXPECT_EQ(table.message_at(units::SlotId{1}, units::CycleIndex{17}), 1);
+  EXPECT_TRUE(table.is_idle(units::SlotId{2}, units::CycleIndex{0}));
 }
 
 TEST(ScheduleTableTest, PeriodMustBeCycleMultiple) {
@@ -77,9 +77,9 @@ TEST(ScheduleTableTest, CycleMultiplexingSharesScarceSlots) {
   // One slot, four messages of repetition 4: all four must multiplex
   // into disjoint phases of the single slot.
   flexray::ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;
+  cfg.g_macro_per_cycle = units::Macroticks{1000};
   cfg.g_number_of_static_slots = 1;
-  cfg.gd_static_slot = 40;
+  cfg.gd_static_slot = units::Macroticks{40};
   cfg.g_number_of_minislots = 10;
   cfg.bus_bit_rate = 50'000'000;
   net::MessageSet set;
@@ -90,9 +90,9 @@ TEST(ScheduleTableTest, CycleMultiplexingSharesScarceSlots) {
   EXPECT_EQ(table.slots_used(), 1);
   std::set<std::int64_t> phases;
   for (const auto& a : table.assignments()) {
-    EXPECT_EQ(a.slot, 1);
+    EXPECT_EQ(a.slot, units::SlotId{1});
     EXPECT_EQ(a.repetition, 4);
-    phases.insert(a.base_cycle % 4);
+    phases.insert(a.base_cycle.value() % 4);
   }
   EXPECT_EQ(phases.size(), 4u);
 }
@@ -114,8 +114,8 @@ TEST(ScheduleTableTest, NoSlotCycleCollisions_Property) {
          ++cycle) {
       int owners = 0;
       for (const auto& a : table.assignments()) {
-        if (a.slot == slot && cycle >= a.base_cycle &&
-            (cycle - a.base_cycle) % a.repetition == 0) {
+        if (a.slot == units::SlotId{slot} && cycle >= a.base_cycle.value() &&
+            (cycle - a.base_cycle.value()) % a.repetition == 0) {
           ++owners;
         }
       }
@@ -150,7 +150,7 @@ TEST(ScheduleTableTest, LatencyIsReleaseToSlotEnd) {
   const auto table = StaticScheduleTable::build(
       net::MessageSet({msg(1, 0, 5, 5, 400, 100)}), config_5ms());
   ASSERT_EQ(table.assignments().size(), 1u);
-  EXPECT_EQ(table.assignments()[0].slot, 4);
+  EXPECT_EQ(table.assignments()[0].slot, units::SlotId{4});
   EXPECT_EQ(table.assignments()[0].latency, sim::micros(60));
 }
 
@@ -186,9 +186,9 @@ TEST(ScheduleTableTest, AccFitsAppSuite) {
 TEST(ScheduleTableTest, OverloadReportsUnplaced) {
   // 4 messages with repetition 1 into a 2-slot segment.
   flexray::ClusterConfig cfg;
-  cfg.g_macro_per_cycle = 1000;
+  cfg.g_macro_per_cycle = units::Macroticks{1000};
   cfg.g_number_of_static_slots = 2;
-  cfg.gd_static_slot = 40;
+  cfg.gd_static_slot = units::Macroticks{40};
   cfg.g_number_of_minislots = 10;
   cfg.bus_bit_rate = 50'000'000;
   net::MessageSet set;
@@ -205,8 +205,8 @@ TEST(ScheduleTableTest, RankOptionControlsPlacementOrder) {
   TableBuildOptions options;
   options.rank = [](const net::Message& m) { return m.id == 2 ? 0 : 1; };
   const auto table = StaticScheduleTable::build(set, config_5ms(), options);
-  EXPECT_EQ(table.assignment_of(2)->slot, 1);
-  EXPECT_EQ(table.assignment_of(1)->slot, 2);
+  EXPECT_EQ(table.assignment_of(2)->slot, units::SlotId{1});
+  EXPECT_EQ(table.assignment_of(1)->slot, units::SlotId{2});
 }
 
 TEST(ScheduleTableTest, OccupancyFractionSane) {

@@ -1,0 +1,65 @@
+# Negative-compilation driver for units_misuse.cpp.
+#
+# Usage (see tests/CMakeLists.txt):
+#   cmake -DCXX=<compiler> -DSRC=<units_misuse.cpp>
+#         -DINCLUDE_DIR=<repo>/src -P check_misuse.cmake
+#
+# Compiles SRC once per MISUSE_* case with -fsyntax-only. The OK case
+# must compile; every other case must fail. Any deviation fails the
+# ctest entry with the offending case and compiler output.
+
+set(cases
+  MISUSE_CROSS_UNIT_ADD
+  MISUSE_IMPLICIT_FROM_RAW
+  MISUSE_IMPLICIT_TO_RAW
+  MISUSE_QUANTITY_TIMES_QUANTITY
+  MISUSE_ORDINAL_PLUS_ORDINAL
+  MISUSE_CROSS_ORDINAL_COMPARE
+  MISUSE_CROSS_ORDINAL_DIFF
+  MISUSE_IDENTIFIER_ARITHMETIC
+  MISUSE_IDENTIFIER_CROSS_COMPARE
+  MISUSE_SLOT_AS_FRAME_WITHOUT_CONVERSION
+  MISUSE_TIME_FROM_MACROTICKS_WITHOUT_GRID
+  MISUSE_QUANTITY_DIVIDE_CROSS_UNIT
+)
+
+function(compile_case macro out_ok out_log)
+  execute_process(
+    COMMAND ${CXX} -std=c++20 -fsyntax-only -D${macro}
+            -I${INCLUDE_DIR} ${SRC}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    set(${out_ok} TRUE PARENT_SCOPE)
+  else()
+    set(${out_ok} FALSE PARENT_SCOPE)
+  endif()
+  set(${out_log} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+# Positive control: if even the sanctioned arithmetic fails to compile,
+# the negative results below would be meaningless.
+compile_case(MISUSE_OK ok log)
+if(NOT ok)
+  message(FATAL_ERROR
+    "positive control MISUSE_OK failed to compile:\n${log}")
+endif()
+
+set(failures "")
+foreach(case IN LISTS cases)
+  compile_case(${case} ok log)
+  if(ok)
+    list(APPEND failures ${case})
+    message(STATUS "FAIL ${case}: compiled but must be rejected")
+  else()
+    message(STATUS "ok   ${case}: rejected as required")
+  endif()
+endforeach()
+
+list(LENGTH cases n)
+if(failures)
+  message(FATAL_ERROR
+    "units misuse matrix: these cases compiled but must not: ${failures}")
+endif()
+message(STATUS "units misuse matrix: all ${n} misuse cases rejected")
