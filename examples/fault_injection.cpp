@@ -124,5 +124,37 @@ int main(int argc, char** argv) {
       "Burst (gilbert-elliott) and common-mode physics violate the plan's\n"
       "independence assumptions: pair them with --monitor in coeffctl to\n"
       "watch the runtime monitor re-plan online.\n");
+
+  // Structural campaign: the same workload through a channel blackout
+  // plus an ECU crash/restart. CoEfficient re-homes static frames onto
+  // the surviving channel and re-plans around the dead member; FSPEC
+  // drains its owed mirrors into the dark wire.
+  std::printf("\nStructural campaign (channel A dark 50-100 ms, node 1 down "
+              "80-140 ms,\n200 ms window):\n");
+  core::ExperimentConfig structural = config;
+  structural.batch_window = sim::millis(200);
+  structural.structural.blackouts.push_back(
+      {flexray::ChannelId::kA, sim::millis(50), sim::millis(100)});
+  structural.structural.crashes.push_back(
+      {units::NodeId{1}, sim::millis(80), sim::millis(140)});
+  auto structural_report = [](const char* name,
+                              const core::ExperimentResult& r) {
+    std::printf("  %-12s static miss=%.4f%% failovers=%lld frames lost=%lld "
+                "source lost=%lld replans=%lld\n",
+                name, 100.0 * r.run.statics.miss_ratio(),
+                static_cast<long long>(r.run.failovers),
+                static_cast<long long>(r.run.frames_lost),
+                static_cast<long long>(r.run.statics.source_lost),
+                static_cast<long long>(r.run.membership_replans));
+  };
+  structural_report(
+      "CoEfficient",
+      core::run_experiment(structural, core::SchemeKind::kCoEfficient));
+  structural_report(
+      "FSPEC", core::run_experiment(structural, core::SchemeKind::kFspec));
+  std::printf(
+      "\nThe failover path is why CoEfficient's static segment rides out a\n"
+      "single-channel outage; replica voting (--vote in coeffctl) adds\n"
+      "value-domain masking on top of the time-domain redundancy.\n");
   return 0;
 }

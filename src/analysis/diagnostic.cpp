@@ -121,6 +121,17 @@ const std::vector<RuleInfo>& rule_catalog() {
        "plan swap not aligned to a cycle boundary"},
       {"trace.load-shed-degraded", Severity::kError,
        "load shed while the scheduler was not degraded"},
+      {"trace.structural-boundary", Severity::kError,
+       "structural transition (crash/restart/blackout) off the cycle grid"},
+      {"trace.structural-causality", Severity::kError,
+       "structural transition without a matching prior state (restart "
+       "without crash, channel-up without channel-down, double-down)"},
+      {"trace.failover-causality", Severity::kError,
+       "failover copy without a dark home channel, or on a dark wire"},
+      {"trace.dead-channel-tx", Severity::kError,
+       "transmission recorded on a channel currently blacked out"},
+      {"trace.vote-consistency", Severity::kError,
+       "replica-vote verdict inconsistent with its clean-copy count"},
   };
   return kCatalog;
 }

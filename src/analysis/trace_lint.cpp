@@ -76,6 +76,9 @@ Report lint_trace(const TraceLintInput& input) {
   // Rounds discipline: (sender, frame id) pairs already transmitted.
   std::set<std::pair<std::int64_t, std::int64_t>> seen_frames;
   bool degraded = input.initial_degraded;
+  // Structural fault state replayed from the trace.
+  std::set<std::int64_t> nodes_down;
+  bool chan_down[flexray::kNumChannels] = {};
 
   const auto& records = input.trace->records();
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -142,6 +145,114 @@ Report lint_trace(const TraceLintInput& input) {
         }
         break;
       }
+      case sim::TraceKind::kNodeCrash:
+      case sim::TraceKind::kNodeRestart:
+      case sim::TraceKind::kChannelDown:
+      case sim::TraceKind::kChannelUp: {
+        // Structural transitions are applied at cycle starts only; both
+        // the timestamp and the recorded cycle tag must sit on the grid.
+        if (r.at % cycle != sim::Time::zero() ||
+            (r.b >= 0 && r.b != r.at / cycle)) {
+          out.add("trace.structural-boundary",
+                  strformat("record %lld: %s at %s is not aligned to cycle "
+                            "%lld of the %s grid",
+                            static_cast<long long>(idx), sim::to_string(r.kind),
+                            sim::to_string(r.at).c_str(),
+                            static_cast<long long>(r.b),
+                            sim::to_string(cycle).c_str()),
+                  record_loc(idx));
+        }
+        if (r.kind == sim::TraceKind::kNodeCrash) {
+          if (!nodes_down.insert(r.a).second) {
+            out.add("trace.structural-causality",
+                    strformat("record %lld: node %lld crashed while already "
+                              "down",
+                              static_cast<long long>(idx),
+                              static_cast<long long>(r.a)),
+                    record_loc(idx));
+          }
+        } else if (r.kind == sim::TraceKind::kNodeRestart) {
+          if (nodes_down.erase(r.a) == 0) {
+            out.add("trace.structural-causality",
+                    strformat("record %lld: node %lld restarted without a "
+                              "prior crash",
+                              static_cast<long long>(idx),
+                              static_cast<long long>(r.a)),
+                    record_loc(idx));
+          }
+        } else if (r.a < 0 || r.a >= flexray::kNumChannels) {
+          out.add("trace.kind-valid",
+                  strformat("record %lld: channel tag %lld out of range",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a)),
+                  record_loc(idx));
+        } else {
+          bool& down = chan_down[static_cast<std::size_t>(r.a)];
+          const bool going_down = r.kind == sim::TraceKind::kChannelDown;
+          if (down == going_down) {
+            out.add("trace.structural-causality",
+                    strformat("record %lld: channel %s reported %s twice",
+                              static_cast<long long>(idx),
+                              flexray::to_string(
+                                  static_cast<flexray::ChannelId>(r.a)),
+                              going_down ? "down" : "up"),
+                    record_loc(idx));
+          }
+          down = going_down;
+        }
+        break;
+      }
+      case sim::TraceKind::kFailover: {
+        // A failover copy exists only because the primary's home channel
+        // (A) is dark — and it must ride a live wire itself.
+        if (!chan_down[static_cast<std::size_t>(flexray::ChannelId::kA)]) {
+          out.add("trace.failover-causality",
+                  strformat("record %lld: node %lld failed slot %lld over "
+                            "while its home channel A was up",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            static_cast<long long>(r.b)),
+                  record_loc(idx));
+        }
+        if (r.c >= 0 && r.c < flexray::kNumChannels &&
+            chan_down[static_cast<std::size_t>(r.c)]) {
+          out.add("trace.failover-causality",
+                  strformat("record %lld: failover copy of node %lld rode "
+                            "dark channel %s",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            flexray::to_string(
+                                static_cast<flexray::ChannelId>(r.c))),
+                  record_loc(idx));
+        }
+        break;
+      }
+      case sim::TraceKind::kVoteResolved: {
+        // a=message, b=accepted, c=clean replicas, d=vote size k.
+        if (r.d < 3 || r.d % 2 == 0) {
+          out.add("trace.vote-consistency",
+                  strformat("record %lld: vote over k=%lld replicas (k must "
+                            "be odd and >= 3)",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.d)),
+                  record_loc(idx));
+          break;
+        }
+        const std::int64_t majority = r.d / 2 + 1;
+        if ((r.b == 1) != (r.c >= majority)) {
+          out.add("trace.vote-consistency",
+                  strformat("record %lld: message %lld vote %s with %lld of "
+                            "%lld clean replicas (majority is %lld)",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            r.b == 1 ? "accepted" : "rejected",
+                            static_cast<long long>(r.c),
+                            static_cast<long long>(r.d),
+                            static_cast<long long>(majority)),
+                  record_loc(idx));
+        }
+        break;
+      }
       default:
         break;
     }
@@ -159,6 +270,18 @@ Report lint_trace(const TraceLintInput& input) {
       continue;
     }
     const auto channel = static_cast<std::size_t>(r.c);
+    if (chan_down[channel]) {
+      // Frames clocked into a dark channel are lost silently and never
+      // traced; a transmission record here means the cluster drove a
+      // wire it knew was down.
+      out.add("trace.dead-channel-tx",
+              strformat("record %lld: transmission on channel %s while it "
+                        "was blacked out",
+                        static_cast<long long>(idx),
+                        flexray::to_string(
+                            static_cast<flexray::ChannelId>(channel))),
+              record_loc(idx));
+    }
     // Static transmissions occupy their full fixed slot; dynamic ones
     // their wire time. Position within the cycle tells the segment.
     const bool in_static_segment = r.at % cycle < static_segment;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 #include "sched/task.hpp"
 
@@ -15,6 +16,16 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
     : SchedulerBase(cfg, std::move(statics), std::move(dynamics),
                     batch_window),
       options_(options) {
+  if (options_.vote_replicas != 0 &&
+      (options_.vote_replicas < 3 || options_.vote_replicas % 2 == 0)) {
+    throw std::invalid_argument(
+        "CoEfficientScheduler: vote_replicas must be odd and >= 3");
+  }
+  member_dead_.assign(static_cast<std::size_t>(cfg_.num_nodes), 0);
+  if (options_.silent_node_detection) {
+    detector_ = std::make_unique<fault::SilentNodeDetector>(
+        cfg_.num_nodes, options_.silent_cycle_threshold);
+  }
   if (options_.rho > 0.0) {
     rebuild_plan(options_.ber, options_.throw_on_infeasible);
     if (options_.enable_monitor) {
@@ -49,11 +60,23 @@ void CoEfficientScheduler::rebuild_plan(double ber, bool throw_on_infeasible) {
   solver.u = options_.u;
   solver.max_copies_per_message = options_.max_copies_per_message;
   solver.throw_on_infeasible = throw_on_infeasible;
-  plan_ = options_.use_uniform_plan
-              ? fault::solve_uniform(statics_, solver)
-              : fault::solve_differentiated(statics_, solver);
+  // Dead members produce nothing: solving over their messages would
+  // spend the copy budget on traffic that cannot exist. Their messages
+  // simply get no copies_by_message_ entry (k_z = 0).
+  const bool membership_reduced =
+      std::any_of(member_dead_.begin(), member_dead_.end(),
+                  [](char dead) { return dead != 0; });
+  net::MessageSet alive;
+  if (membership_reduced) {
+    for (const auto& m : statics_.messages()) {
+      if (member_dead_[static_cast<std::size_t>(m.node)] == 0) alive.add(m);
+    }
+  }
+  const net::MessageSet& set = membership_reduced ? alive : statics_;
+  plan_ = options_.use_uniform_plan ? fault::solve_uniform(set, solver)
+                                    : fault::solve_differentiated(set, solver);
   copies_by_message_.clear();
-  const auto& msgs = statics_.messages();
+  const auto& msgs = set.messages();
   for (std::size_t z = 0; z < msgs.size(); ++z) {
     copies_by_message_[msgs[z].id] = plan_.copies[z];
   }
@@ -91,7 +114,15 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
   }
 
   auto it = copies_by_message_.find(m.id);
-  const int kz = it == copies_by_message_.end() ? 0 : it->second;
+  int kz = it == copies_by_message_.end() ? 0 : it->second;
+  if (options_.vote_replicas > 0) {
+    // NMR voting: the instance needs vote_replicas replicas on the wire
+    // (primary included); the extra copies ride the same slack-stealing
+    // machinery as BER retransmission copies, so the larger of the two
+    // budgets is staged.
+    inst.vote_k = options_.vote_replicas;
+    kz = std::max(kz, options_.vote_replicas - 1);
+  }
   if (kz <= 0) return;
 
   int admitted = kz;
@@ -177,6 +208,21 @@ void CoEfficientScheduler::on_cycle_start_hook(units::CycleIndex cycle,
     }
   }
 
+  // Silent-node detection: register who the schedule expects on the
+  // wire this cycle. Skipped under a total blackout — silence proves
+  // nothing when no channel can carry a frame.
+  if (detector_ != nullptr && channels_available() > 0) {
+    for (int s = 1; s <= cfg_.g_number_of_static_slots; ++s) {
+      const auto occ = table_.message_at(units::SlotId{s}, cycle);
+      if (!occ.has_value()) continue;
+      const net::Message* m = statics_.find(*occ);
+      if (m != nullptr &&
+          member_dead_[static_cast<std::size_t>(m->node)] == 0) {
+        detector_->note_expected(units::NodeId{m->node});
+      }
+    }
+  }
+
   // Copies whose deadline passed with no fitting slack are abandoned.
   for (auto it = retx_jobs_.begin(); it != retx_jobs_.end();) {
     if (it->deadline < at) {
@@ -244,22 +290,49 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
   const sim::Time slot_end = slot_start + cfg_.static_slot_duration();
 
   const std::optional<int> occupant = table_.message_at(slot, cycle);
-  if (occupant.has_value() && channel == flexray::ChannelId::kA) {
-    // Primary transmission from the owning node's CHI buffer.
+  if (occupant.has_value()) {
     const net::Message* m = statics_.find(*occupant);
-    auto& buffers =
-        nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
-    const auto pending = buffers.read(slot);
-    if (!pending.has_value() || pending->release > slot_start) {
-      return std::nullopt;
+    if (node_alive(m->node)) {
+      // Primary transmission from the owning node's CHI buffer. Its
+      // home is channel A; when A is dark the primary fails over to the
+      // same slot on channel B — the mirror wire slack stealing would
+      // otherwise use.
+      const bool home_up = channel_available(flexray::ChannelId::kA);
+      const bool primary_here =
+          (channel == flexray::ChannelId::kA && home_up) ||
+          (channel == flexray::ChannelId::kB && !home_up &&
+           channel_available(flexray::ChannelId::kB));
+      if (primary_here) {
+        auto& buffers =
+            nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
+        const auto pending = buffers.read(slot);
+        if (!pending.has_value() || pending->release > slot_start) {
+          return std::nullopt;
+        }
+        buffers.clear(slot);
+        flexray::TxRequest req;
+        req.instance = pending->instance;
+        req.frame_id = units::to_frame_id(slot);
+        req.sender = units::NodeId{m->node};
+        req.payload_bits = pending->payload_bits;
+        req.failover = channel == flexray::ChannelId::kB;
+        return req;
+      }
+      if (channel == flexray::ChannelId::kA) {
+        return std::nullopt;  // dark home wire: the occurrence is mute
+      }
+      // Channel B mirror of a live occupied slot: idle wire, fall
+      // through to slack stealing.
     }
-    buffers.clear(slot);
-    flexray::TxRequest req;
-    req.instance = pending->instance;
-    req.frame_id = units::to_frame_id(slot);
-    req.sender = units::NodeId{m->node};
-    req.payload_bits = pending->payload_bits;
-    return req;
+    // Dead producer: its reserved occurrences are free capacity on both
+    // channels (membership re-planning turned them into stealable
+    // slack).
+  }
+
+  if (!channel_available(channel)) {
+    // Anything clocked into a dark wire is lost; hold hard copies and
+    // soft overflow for live slack instead of burning them.
+    return std::nullopt;
   }
 
   // Idle wire (channel B mirror of an occupied slot, or a fully idle
@@ -330,6 +403,9 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::dynamic_slot(
       channel == flexray::ChannelId::kB) {
     return std::nullopt;  // ablation: channel B carries no dynamic frames
   }
+  if (!channel_available(channel)) {
+    return std::nullopt;  // dark wire: keep the queue for live capacity
+  }
   const net::Message* m =
       dynamic_message_for_frame(static_cast<int>(slot_counter.value()));
   if (m == nullptr) return std::nullopt;
@@ -359,9 +435,75 @@ void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   if (outcome.request.retransmission) {
     ++stats_.retransmission_copies_sent;
   }
+  if (outcome.lost) {
+    // Dark-channel loss: no receiver saw the frame, so neither the BER
+    // monitor (no verdict exists) nor the silent-node detector (no
+    // observable activity) may learn from it.
+    return;
+  }
   if (monitor_ != nullptr) {
     monitor_->record_tx(outcome.channel, outcome.request.payload_bits,
                         outcome.corrupted);
+  }
+  if (detector_ != nullptr) {
+    detector_->note_activity(outcome.request.sender);
+  }
+}
+
+void CoEfficientScheduler::on_cycle_end(units::CycleIndex cycle, sim::Time at) {
+  SchedulerBase::on_cycle_end(cycle, at);
+  if (detector_ == nullptr) return;
+  for (const units::NodeId node : detector_->on_cycle_end()) {
+    ++stats_.silent_node_detections;
+    member_dead_[static_cast<std::size_t>(node.value())] = 1;
+    replan_membership(cycle, at);
+  }
+}
+
+void CoEfficientScheduler::replan_membership(units::CycleIndex cycle,
+                                             sim::Time at) {
+  ++stats_.membership_replans;
+  if (options_.rho <= 0.0) return;  // no retransmission plan to rebuild
+  const double ber =
+      monitor_ != nullptr ? monitor_->planned_ber() : options_.ber;
+  rebuild_plan(ber, /*throw_on_infeasible=*/false);
+  if (trace_ != nullptr) {
+    trace_->emit(at, sim::TraceKind::kPlanSwap, cycle.value(),
+                 plan_.total_copies(), plan_.degraded ? 1 : 0);
+  }
+}
+
+void CoEfficientScheduler::on_node_down(units::NodeId node,
+                                        units::CycleIndex cycle, sim::Time at) {
+  // The crash settled the node's instances as source-lost and erased
+  // them; drop the dangling retransmission copies still queued for
+  // slack (their owed counts were already cancelled).
+  for (auto it = retx_jobs_.begin(); it != retx_jobs_.end();) {
+    if (instances_.find(it->instance) == nullptr) {
+      ++stats_.retransmission_copies_dropped;
+      if (stealer_ != nullptr && stealer_->hard_backlog() > sim::Time::zero()) {
+        const sim::Time p = cfg_.transmission_time(it->bits);
+        stealer_->on_hard_executed(std::min(p, stealer_->hard_backlog()));
+      }
+      it = retx_jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (detector_ == nullptr) {
+    // Immediate membership change; with detection enabled the change is
+    // instead inferred from wire silence (on_cycle_end).
+    member_dead_[static_cast<std::size_t>(node.value())] = 1;
+    replan_membership(cycle, at);
+  }
+}
+
+void CoEfficientScheduler::on_node_up(units::NodeId node,
+                                      units::CycleIndex cycle, sim::Time at) {
+  char& dead = member_dead_[static_cast<std::size_t>(node.value())];
+  if (dead != 0) {
+    dead = 0;
+    replan_membership(cycle, at);  // reintegration at the cycle boundary
   }
 }
 

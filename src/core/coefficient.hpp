@@ -27,6 +27,7 @@
 #include "core/scheduler_base.hpp"
 #include "fault/monitor.hpp"
 #include "fault/reliability.hpp"
+#include "fault/structural.hpp"
 #include "sched/slack_stealer.hpp"
 
 namespace coeff::core {
@@ -50,6 +51,23 @@ struct CoEfficientOptions {
   /// drifts beyond the planned BER (requires rho > 0).
   bool enable_monitor = false;
   fault::ReliabilityMonitorOptions monitor;
+
+  // --- Structural fault recovery (DESIGN.md §11) -----------------------
+  /// NMR replica voting for static messages: every instance is staged
+  /// with `vote_replicas` copies total (primary + replicas through the
+  /// slack-stealing machinery) and is delivered only when a strict
+  /// majority arrives uncorrupted. Must be odd and >= 3 when set;
+  /// 0 = plain first-success acceptance.
+  int vote_replicas = 0;
+  /// Infer membership from wire silence (fault::SilentNodeDetector)
+  /// instead of reacting to the crash event directly: a node expected on
+  /// the wire but silent for `silent_cycle_threshold` consecutive cycles
+  /// is flagged and its slots re-planned as stealable slack — the way a
+  /// distributed membership service (bus guardian) would learn of the
+  /// crash. When false, membership re-planning is immediate on the
+  /// topology event.
+  bool silent_node_detection = false;
+  int silent_cycle_threshold = 2;
 
   // --- Ablation switches (DESIGN.md §6) --------------------------------
   /// Replace the differentiated plan with the uniform one (same k for
@@ -79,6 +97,16 @@ class CoEfficientScheduler : public SchedulerBase {
   /// True while the active plan cannot meet rho at its solve-time BER;
   /// dynamic-segment load is shed to keep slack free for hard copies.
   [[nodiscard]] bool degraded_mode() const { return degraded_mode_; }
+  /// Nullptr unless silent_node_detection.
+  [[nodiscard]] const fault::SilentNodeDetector* detector() const {
+    return detector_.get();
+  }
+  /// True while `node` is excluded from the retransmission plan (crashed,
+  /// or flagged silent by the detector) and its slots are stealable.
+  [[nodiscard]] bool member_dead(int node) const {
+    const auto idx = static_cast<std::size_t>(node);
+    return idx < member_dead_.size() && member_dead_[idx] != 0;
+  }
 
   // --- TransmissionPolicy ----------------------------------------------
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
@@ -89,12 +117,17 @@ class CoEfficientScheduler : public SchedulerBase {
       units::SlotId slot_counter, units::MinislotId minislot,
       std::int64_t minislots_remaining) override;
   void on_tx_complete(const flexray::TxOutcome& outcome) override;
+  void on_cycle_end(units::CycleIndex cycle, sim::Time at) override;
 
  protected:
   void on_cycle_start_hook(units::CycleIndex cycle, sim::Time at) override;
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
                           const flexray::PendingMessage& pending) override;
+  void on_node_down(units::NodeId node, units::CycleIndex cycle,
+                    sim::Time at) override;
+  void on_node_up(units::NodeId node, units::CycleIndex cycle,
+                  sim::Time at) override;
 
  private:
   /// A planned retransmission copy waiting for slack.
@@ -127,9 +160,14 @@ class CoEfficientScheduler : public SchedulerBase {
 
   /// (Re)solve the retransmission plan at `ber` and install it: future
   /// static releases use the new k_z (in-flight copies are untouched,
-  /// so a swap takes effect at the calling cycle boundary). Updates the
-  /// degraded flag and the resilience metrics.
+  /// so a swap takes effect at the calling cycle boundary). Messages of
+  /// dead members are excluded from the solve. Updates the degraded
+  /// flag and the resilience metrics.
   void rebuild_plan(double ber, bool throw_on_infeasible);
+
+  /// Re-solve after a membership change (crash detected / reintegration)
+  /// and record it (membership_replans counter, kPlanSwap trace).
+  void replan_membership(units::CycleIndex cycle, sim::Time at);
 
   CoEfficientOptions options_;
   fault::RetransmissionPlan plan_;
@@ -138,6 +176,8 @@ class CoEfficientScheduler : public SchedulerBase {
   std::deque<RetxJob> retx_jobs_;                   ///< EDF-ordered
   std::unique_ptr<sched::SlackStealer> stealer_;    ///< when use_fp_admission
   std::unique_ptr<fault::ReliabilityMonitor> monitor_;
+  std::unique_ptr<fault::SilentNodeDetector> detector_;
+  std::vector<char> member_dead_;  ///< excluded from the plan, by node
   bool degraded_mode_ = false;
 };
 

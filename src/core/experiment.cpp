@@ -64,6 +64,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     opt.use_uniform_plan = config.ablation_uniform_plan;
     opt.disable_slack_stealing = config.ablation_no_slack;
     opt.single_channel_dynamics = config.ablation_single_channel;
+    opt.vote_replicas = config.vote_replicas;
+    opt.silent_node_detection = config.silent_node_detection;
+    opt.silent_cycle_threshold = config.silent_cycle_threshold;
     auto coeff = std::make_unique<CoEfficientScheduler>(
         config.cluster, config.statics, config.dynamics, config.batch_window,
         opt);
@@ -111,6 +114,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   flexray::Cluster cluster(engine, config.cluster, *sched,
                            fault_model->as_corruption_fn(), config.trace);
+
+  // Structural fault domain: the injector must outlive the cluster run.
+  std::unique_ptr<fault::NodeFaultModel> structural;
+  if (!config.structural.empty()) {
+    config.structural.validate();
+    structural = std::make_unique<fault::NodeFaultModel>(config.structural,
+                                                         config.seed);
+    cluster.set_fault_provider(structural.get());
+  }
 
   // Pre-compute dynamic arrivals over the batch window and inject them
   // as engine events so they surface mid-cycle like real interrupts.

@@ -11,6 +11,7 @@
 #include "core/metrics.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/iec61508.hpp"
+#include "fault/structural.hpp"
 #include "flexray/config.hpp"
 #include "net/workloads.hpp"
 #include "sim/trace.hpp"
@@ -75,6 +76,16 @@ struct ExperimentConfig {
   fault::ReliabilityMonitorOptions monitor;
   /// Throw instead of degrading when rho is unreachable.
   bool throw_on_infeasible = false;
+
+  // --- Structural fault domain (node/channel failures) -----------------
+  /// ECU crash/restart windows, channel blackouts, babbling-idiot slots
+  /// and drift excursions — scheduled or stochastic (seeded off `seed`).
+  /// Empty = structural injection disabled.
+  fault::StructuralFaultConfig structural;
+  /// CoEfficient recovery knobs (see CoEfficientOptions).
+  int vote_replicas = 0;
+  bool silent_node_detection = false;
+  int silent_cycle_threshold = 2;
   /// Optional structured-trace sink (single runs only: sweep cells
   /// sharing one Trace would interleave nondeterministically).
   sim::Trace* trace = nullptr;

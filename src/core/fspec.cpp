@@ -143,6 +143,28 @@ std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
   return req;
 }
 
+void FspecScheduler::on_node_down(units::NodeId /*node*/,
+                                  units::CycleIndex /*cycle*/,
+                                  sim::Time /*at*/) {
+  for (auto& [_, st] : round_state_) {
+    if (st.staged != 0 && instances_.find(st.staged) == nullptr) {
+      st.staged = 0;
+    }
+    if (st.current != 0 && instances_.find(st.current) == nullptr) {
+      st.current = st.staged;
+      st.staged = 0;
+      st.rounds_done = 0;
+    }
+  }
+  for (auto it = dynamic_mirror_.begin(); it != dynamic_mirror_.end();) {
+    if (instances_.find(it->second.instance) == nullptr) {
+      it = dynamic_mirror_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void FspecScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   account_outcome(outcome);
   if (outcome.request.retransmission) {

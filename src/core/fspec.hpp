@@ -62,6 +62,12 @@ class FspecScheduler : public SchedulerBase {
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
                           const flexray::PendingMessage& pending) override;
+  /// A crash erased the node's instances; the round trains and mirror
+  /// staging referencing them must be reset or they would dereference
+  /// (and resubmit) dead keys. FSPEC has no further recovery: the
+  /// exclusive slots simply go idle until the node returns.
+  void on_node_down(units::NodeId node, units::CycleIndex cycle,
+                    sim::Time at) override;
 
  private:
   /// Build the exclusive-slot (repetition-1) schedule table.

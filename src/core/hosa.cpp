@@ -103,6 +103,18 @@ std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
   return req;
 }
 
+void HosaScheduler::on_node_down(units::NodeId /*node*/,
+                                 units::CycleIndex /*cycle*/,
+                                 sim::Time /*at*/) {
+  for (auto it = dynamic_mirror_.begin(); it != dynamic_mirror_.end();) {
+    if (instances_.find(it->second.instance) == nullptr) {
+      it = dynamic_mirror_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void HosaScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   account_outcome(outcome);
   if (outcome.request.retransmission) {

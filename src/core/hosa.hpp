@@ -36,6 +36,9 @@ class HosaScheduler : public SchedulerBase {
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
                           const flexray::PendingMessage& pending) override;
+  /// Drop mirror-staging entries whose instances the crash erased.
+  void on_node_down(units::NodeId node, units::CycleIndex cycle,
+                    sim::Time at) override;
 
  private:
   /// Channel-B mirror staging for the dynamic segment.

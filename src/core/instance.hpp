@@ -29,6 +29,13 @@ struct Instance {
   bool delivered = false;       ///< an uncorrupted copy landed in time
   sim::Time delivered_at;
   bool miss_recorded = false;   ///< deadline passed undelivered (counted)
+  // --- NMR replica voting (0 = plain first-success acceptance) ---------
+  /// Number of replicas in the vote; delivery requires a strict majority
+  /// (vote_k / 2 + 1) of uncorrupted replicas instead of a single
+  /// success.
+  int vote_k = 0;
+  int vote_ok = 0;              ///< uncorrupted replicas observed so far
+  bool vote_settled = false;    ///< kVoteResolved emitted for this instance
 };
 
 class InstanceStore {

@@ -41,7 +41,7 @@ double RunStats::overall_miss_ratio() const {
 }
 
 std::string RunStats::summary() const {
-  char buf[1280];
+  char buf[1792];
   std::snprintf(
       buf, sizeof buf,
       "running_time=%s\n"
@@ -53,7 +53,11 @@ std::string RunStats::summary() const {
       "retx   : planned=%lld sent=%lld dropped=%lld | slack_slots=%lld "
       "dyn_in_static=%lld\n"
       "resil  : plan_swaps=%lld shed=%lld degraded=%d "
-      "logR=%.6g target=%.6g\n",
+      "logR=%.6g target=%.6g\n"
+      "struct : crashes=%lld restarts=%lld outages=%lld down_cycles=%lld "
+      "lost=%lld src_lost=%lld\n"
+      "recover: failovers=%lld fo_latency=%.3fms silent_detect=%lld "
+      "member_replans=%lld votes=%lld/%lld\n",
       sim::to_string(running_time).c_str(),
       static_cast<long long>(statics.released),
       static_cast<long long>(statics.delivered),
@@ -75,7 +79,19 @@ std::string RunStats::summary() const {
       static_cast<long long>(dynamic_in_static_slots),
       static_cast<long long>(plan_swaps),
       static_cast<long long>(dynamic_frames_shed), plan_degraded ? 1 : 0,
-      plan_achieved_log_r, plan_target_log_r);
+      plan_achieved_log_r, plan_target_log_r,
+      static_cast<long long>(node_crashes),
+      static_cast<long long>(node_restarts),
+      static_cast<long long>(channel_outages),
+      static_cast<long long>(channel_down_cycles),
+      static_cast<long long>(frames_lost),
+      static_cast<long long>(statics.source_lost + dynamics.source_lost),
+      static_cast<long long>(failovers),
+      failover_latency.count() > 0 ? failover_latency.mean_ms() : 0.0,
+      static_cast<long long>(silent_node_detections),
+      static_cast<long long>(membership_replans),
+      static_cast<long long>(votes_accepted),
+      static_cast<long long>(votes_rejected));
   return buf;
 }
 

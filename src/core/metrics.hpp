@@ -24,6 +24,11 @@ struct SegmentMetrics {
   std::int64_t released = 0;
   std::int64_t delivered = 0;   ///< first success within deadline
   std::int64_t missed = 0;      ///< no success by the deadline (late or never)
+  /// Instances whose producing ECU was down at release, or crashed
+  /// before delivery. A dead source is a node failure, not a scheduling
+  /// failure, so these are excluded from miss_ratio (IEC 61508 treats
+  /// them under the availability budget instead).
+  std::int64_t source_lost = 0;
   std::int64_t copies_sent = 0; ///< all wire transmissions (incl. mirrors)
   std::int64_t copies_corrupted = 0;
   std::int64_t useful_payload_bits = 0;  ///< first-success instances, once each
@@ -81,6 +86,20 @@ struct RunStats {
   bool plan_degraded = false;           ///< current plan misses rho at its BER
   double plan_target_log_r = 0.0;       ///< log rho the current plan aimed at
   double plan_achieved_log_r = 0.0;     ///< log R the current plan achieves
+
+  /// Structural fault domain: availability / failover / voting.
+  std::int64_t node_crashes = 0;
+  std::int64_t node_restarts = 0;       ///< reintegrations at cycle boundaries
+  std::int64_t channel_outages = 0;     ///< kChannelDown events observed
+  std::int64_t channel_down_cycles = 0; ///< cycles begun with >=1 dark channel
+  std::int64_t frames_lost = 0;         ///< clocked into a dark channel
+  std::int64_t failovers = 0;           ///< static frames re-homed cross-channel
+  /// Release-to-delivery latency of instances rescued by a failover copy.
+  sim::LatencyStats failover_latency;
+  std::int64_t silent_node_detections = 0;
+  std::int64_t membership_replans = 0;  ///< plan swaps from membership changes
+  std::int64_t votes_accepted = 0;      ///< replica votes reaching majority
+  std::int64_t votes_rejected = 0;      ///< replica votes failing majority
 
   /// Useful-bits utilization per segment (see header comment).
   [[nodiscard]] double static_bandwidth_utilization() const;

@@ -58,6 +58,80 @@ SchedulerBase::SchedulerBase(const flexray::ClusterConfig& cfg,
     }
   }
   for (const auto& m : statics_.messages()) next_static_index_[m.id] = 0;
+  node_down_.assign(static_cast<std::size_t>(cfg_.num_nodes), 0);
+}
+
+bool SchedulerBase::node_alive(int node) const {
+  const auto idx = static_cast<std::size_t>(node);
+  return node >= 0 && (idx >= node_down_.size() || node_down_[idx] == 0);
+}
+
+int SchedulerBase::channels_available() const {
+  int n = 0;
+  for (const bool down : channel_down_) {
+    if (!down) ++n;
+  }
+  return n;
+}
+
+void SchedulerBase::settle_source_loss(int node) {
+  for (const std::uint64_t key : instances_.keys()) {
+    Instance* inst = instances_.find(key);
+    if (inst == nullptr || inst->node != node) continue;
+    cancel_copies(*inst, inst->copies_required - inst->copies_sent);
+    if (!inst->delivered && !inst->miss_recorded) {
+      ++segment(inst->kind).source_lost;
+    }
+    instances_.erase(key);
+  }
+}
+
+void SchedulerBase::on_topology_event(const flexray::TopologyEvent& event,
+                                      units::CycleIndex cycle, sim::Time at) {
+  switch (event.kind) {
+    case flexray::TopologyEventKind::kNodeCrash: {
+      const auto idx = static_cast<std::size_t>(event.node.value());
+      if (idx < node_down_.size()) node_down_[idx] = 1;
+      ++stats_.node_crashes;
+      // Power the host off: its CHI contents are gone, and whatever it
+      // had in flight can no longer be produced.
+      if (idx < nodes_.size()) nodes_[idx].shutdown();
+      settle_source_loss(static_cast<int>(event.node.value()));
+      on_node_down(event.node, cycle, at);
+      break;
+    }
+    case flexray::TopologyEventKind::kNodeRestart: {
+      const auto idx = static_cast<std::size_t>(event.node.value());
+      if (idx < node_down_.size()) node_down_[idx] = 0;
+      ++stats_.node_restarts;
+      if (idx < nodes_.size()) nodes_[idx].restart();
+      on_node_up(event.node, cycle, at);
+      break;
+    }
+    case flexray::TopologyEventKind::kChannelDown:
+      channel_down_[static_cast<std::size_t>(event.channel)] = true;
+      ++stats_.channel_outages;
+      on_channel_down(event.channel, cycle, at);
+      break;
+    case flexray::TopologyEventKind::kChannelUp:
+      channel_down_[static_cast<std::size_t>(event.channel)] = false;
+      on_channel_up(event.channel, cycle, at);
+      break;
+  }
+}
+
+void SchedulerBase::settle_vote(Instance& inst, bool accepted, sim::Time at) {
+  if (inst.vote_settled) return;
+  inst.vote_settled = true;
+  if (accepted) {
+    ++stats_.votes_accepted;
+  } else {
+    ++stats_.votes_rejected;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(at, sim::TraceKind::kVoteResolved, inst.message_id,
+                 accepted ? 1 : 0, inst.vote_ok, inst.vote_k);
+  }
 }
 
 const net::Message* SchedulerBase::dynamic_message_for_frame(
@@ -85,6 +159,16 @@ void SchedulerBase::release_statics_until(sim::Time until) {
     while (true) {
       const sim::Time release = m.offset + m.period * next;
       if (release >= cap) break;
+      if (!node_alive(m.node)) {
+        // The producing ECU is down: the instance is generated by the
+        // application model but never reaches the CHI. Count it so
+        // availability accounting stays complete, without creating an
+        // instance nothing will ever transmit.
+        ++segment(net::MessageKind::kStatic).released;
+        ++segment(net::MessageKind::kStatic).source_lost;
+        ++next;
+        continue;
+      }
       Instance& inst = instances_.create(m.id, next);
       inst.kind = net::MessageKind::kStatic;
       inst.node = m.node;
@@ -106,6 +190,12 @@ void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
                                 std::to_string(message_id));
   }
   std::int64_t& next = next_dynamic_index_[message_id];
+  if (!node_alive(m->node)) {
+    ++next;
+    ++segment(net::MessageKind::kDynamic).released;
+    ++segment(net::MessageKind::kDynamic).source_lost;
+    return;
+  }
   Instance& inst = instances_.create(message_id, next++);
   inst.kind = net::MessageKind::kDynamic;
   inst.node = m->node;
@@ -126,6 +216,9 @@ void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
 }
 
 void SchedulerBase::on_cycle_start(units::CycleIndex cycle, sim::Time at) {
+  if (channels_available() < flexray::kNumChannels) {
+    ++stats_.channel_down_cycles;
+  }
   release_statics_until(at + cycle_duration_);
   sweep(at);
   on_cycle_start_hook(cycle, at);
@@ -163,7 +256,29 @@ void SchedulerBase::account_outcome(const flexray::TxOutcome& outcome) {
   SegmentMetrics& seg = segment(inst->kind);
   ++seg.copies_sent;
   if (outcome.corrupted) ++seg.copies_corrupted;
-  if (!outcome.corrupted && !inst->delivered) {
+  if (outcome.lost) ++stats_.frames_lost;
+  if (outcome.request.failover && !outcome.lost) ++stats_.failovers;
+
+  // Acceptance: plain schemes deliver on the first uncorrupted copy; a
+  // voted instance delivers when a strict majority of its replicas
+  // arrived clean (NMR majority accept).
+  bool accepted_now = false;
+  if (inst->vote_k > 0) {
+    if (!outcome.corrupted) ++inst->vote_ok;
+    const int majority = inst->vote_k / 2 + 1;
+    if (!inst->delivered && inst->vote_ok >= majority) {
+      accepted_now = true;
+      settle_vote(*inst, true, outcome.end);
+    } else if (!inst->vote_settled &&
+               inst->copies_sent >= inst->copies_required) {
+      // All replicas are on the wire and the majority is unreachable.
+      settle_vote(*inst, false, outcome.end);
+    }
+  } else {
+    accepted_now = !outcome.corrupted && !inst->delivered;
+  }
+
+  if (accepted_now) {
     inst->delivered = true;
     inst->delivered_at = outcome.end;
     seg.useful_payload_bits += inst->size_bits;
@@ -173,6 +288,9 @@ void SchedulerBase::account_outcome(const flexray::TxOutcome& outcome) {
       stats_.useful_bits_dynamic_wire += inst->size_bits;
     }
     seg.latency.add(outcome.end - inst->release);
+    if (outcome.request.failover) {
+      stats_.failover_latency.add(outcome.end - inst->release);
+    }
     if (outcome.end <= inst->abs_deadline) {
       ++seg.delivered;
     } else if (!inst->miss_recorded) {
@@ -216,6 +334,7 @@ void SchedulerBase::sweep(sim::Time now) {
     if (!inst->delivered && !inst->miss_recorded && inst->abs_deadline < now) {
       inst->miss_recorded = true;
       ++segment(inst->kind).missed;
+      if (inst->vote_k > 0) settle_vote(*inst, false, now);
     }
     if (inst->copies_sent >= inst->copies_required &&
         (inst->delivered || inst->miss_recorded)) {
@@ -234,6 +353,7 @@ void SchedulerBase::finalize(sim::Time now) {
       // is a miss even if its deadline is formally in the future.
       inst->miss_recorded = true;
       ++segment(inst->kind).missed;
+      if (inst->vote_k > 0) settle_vote(*inst, false, now);
     }
     instances_.erase(key);
   }

@@ -4,6 +4,7 @@
 // slots are filled and how redundant copies are produced.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -74,8 +75,33 @@ class SchedulerBase : public flexray::TransmissionPolicy {
   void on_cycle_end(units::CycleIndex cycle, sim::Time at) override;
   void on_dynamic_declined(flexray::ChannelId channel, units::CycleIndex cycle,
                            const flexray::TxRequest& request) override;
+  /// Shared topology-state bookkeeping for all schemes: a crash powers
+  /// the node's CHI off and settles its undelivered instances as
+  /// source-lost (a dead producer is a node failure, not a scheduling
+  /// miss); a restart reintegrates the node with empty buffers; channel
+  /// events track availability. Subclasses refine recovery through the
+  /// on_node_down/on_node_up/on_channel_down/on_channel_up hooks.
+  void on_topology_event(const flexray::TopologyEvent& event,
+                         units::CycleIndex cycle, sim::Time at) override;
+
+  // --- Topology state ---------------------------------------------------
+  [[nodiscard]] bool node_alive(int node) const;
+  [[nodiscard]] bool channel_available(flexray::ChannelId channel) const {
+    return !channel_down_[static_cast<std::size_t>(channel)];
+  }
+  [[nodiscard]] int channels_available() const;
 
  protected:
+  /// Scheme-level recovery hooks, called after the base bookkeeping for
+  /// the corresponding topology event. Defaults: no reaction.
+  virtual void on_node_down(units::NodeId /*node*/, units::CycleIndex /*cycle*/,
+                            sim::Time /*at*/) {}
+  virtual void on_node_up(units::NodeId /*node*/, units::CycleIndex /*cycle*/,
+                          sim::Time /*at*/) {}
+  virtual void on_channel_down(flexray::ChannelId /*channel*/,
+                               units::CycleIndex /*cycle*/, sim::Time /*at*/) {}
+  virtual void on_channel_up(flexray::ChannelId /*channel*/,
+                             units::CycleIndex /*cycle*/, sim::Time /*at*/) {}
   /// Subclass hook invoked from on_cycle_start after releases/sweeps.
   virtual void on_cycle_start_hook(units::CycleIndex /*cycle*/,
                                    sim::Time /*at*/) {}
@@ -127,10 +153,20 @@ class SchedulerBase : public flexray::TransmissionPolicy {
   bool drop_expired_dynamics_ = true;
   RunStats stats_;
   sim::Trace* trace_ = nullptr;
+  std::vector<char> node_down_;  ///< indexed by node, 1 = crashed
+  std::array<bool, flexray::kNumChannels> channel_down_{};
 
  private:
   void release_statics_until(sim::Time until);
   void sweep(sim::Time now);
+  /// Settle every live instance of a crashed producer as source-lost and
+  /// cancel its outstanding copies (its CHI is gone; nothing more will
+  /// be sent). Queue entries referencing the erased instances are
+  /// purged lazily by the subclasses' stale-entry checks.
+  void settle_source_loss(int node);
+  /// Resolve a replica vote (kVoteResolved trace + counters); idempotent
+  /// per instance.
+  void settle_vote(Instance& inst, bool accepted, sim::Time at);
 };
 
 }  // namespace coeff::core

@@ -105,19 +105,28 @@ double ReliabilityMonitor::estimated_ber() const {
   return estimate(frames, corrupted, bits);
 }
 
-double ReliabilityMonitor::estimated_ber(flexray::ChannelId channel) const {
+std::optional<double> ReliabilityMonitor::channel_estimate(
+    flexray::ChannelId channel) const {
   const auto ch = static_cast<std::size_t>(channel);
+  if (totals_.frames[ch] <= 0) return std::nullopt;
   return estimate(totals_.frames[ch], totals_.corrupted[ch], totals_.bits[ch]);
 }
 
+bool ReliabilityMonitor::starved(flexray::ChannelId channel) const {
+  return totals_.frames[static_cast<std::size_t>(channel)] <= 0;
+}
+
+double ReliabilityMonitor::estimated_ber(flexray::ChannelId channel) const {
+  return channel_estimate(channel).value_or(planned_ber_);
+}
+
 double ReliabilityMonitor::worst_channel_estimate() const {
-  double worst = 0.0;
+  std::optional<double> worst;
   for (std::size_t ch = 0; ch < flexray::kNumChannels; ++ch) {
-    worst = std::max(
-        worst, estimate(totals_.frames[ch], totals_.corrupted[ch],
-                        totals_.bits[ch]));
+    const auto est = channel_estimate(static_cast<flexray::ChannelId>(ch));
+    if (est && (!worst || *est > *worst)) worst = est;
   }
-  return worst;
+  return worst.value_or(planned_ber_);
 }
 
 double ReliabilityMonitor::observed_frame_error_rate() const {

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "flexray/bus.hpp"
 #include "sim/time.hpp"
@@ -58,10 +59,23 @@ class ReliabilityMonitor {
   [[nodiscard]] double planned_ber() const { return planned_ber_; }
   /// Window BER estimate pooled over both channels (0 when no samples).
   [[nodiscard]] double estimated_ber() const;
+  /// Per-channel window estimate, or nullopt when the channel produced
+  /// zero verdicts in the window (starved — the immediate symptom of a
+  /// blackout). A starved channel has *no evidence*, which is not the
+  /// same as evidence of ber = 0.
+  [[nodiscard]] std::optional<double> channel_estimate(
+      flexray::ChannelId channel) const;
+  /// True when `channel` has zero verdicts in the window.
+  [[nodiscard]] bool starved(flexray::ChannelId channel) const;
+  /// Per-channel estimate with the defined no-estimate fallback: a
+  /// starved channel reports the planned BER (no evidence => no drift),
+  /// never a 0/0-derived zero that would mask the outage.
   [[nodiscard]] double estimated_ber(flexray::ChannelId channel) const;
-  /// Max over the per-channel estimates: a burst confined to one channel
-  /// is not diluted by the healthy one. Detection and re-planning use
-  /// this (the plan must cover the worse channel).
+  /// Max over the channels that *have* estimates: a burst confined to
+  /// one channel is not diluted by the healthy one, and a starved
+  /// channel neither drags the estimate down nor fakes perfection.
+  /// Detection and re-planning use this (the plan must cover the worse
+  /// observable channel). planned_ber() when every channel is starved.
   [[nodiscard]] double worst_channel_estimate() const;
   /// Raw corrupted/frames ratio over the window, pooled.
   [[nodiscard]] double observed_frame_error_rate() const;

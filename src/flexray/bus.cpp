@@ -4,7 +4,8 @@ namespace coeff::flexray {
 
 TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
                             sim::Time duration, units::CycleIndex cycle,
-                            units::SlotId slot, Segment segment) {
+                            units::SlotId slot, Segment segment,
+                            bool force_corrupt) {
   TxOutcome out;
   out.request = req;
   out.channel = id_;
@@ -13,7 +14,11 @@ TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
   out.cycle = cycle;
   out.slot = slot;
   out.segment = segment;
+  // The hook runs first so its per-channel verdict stream advances even
+  // when the result is overridden (keeps the surviving channel's stream
+  // independent of jamming on this one).
   out.corrupted = corruption_ ? corruption_(req, id_, start) : false;
+  if (force_corrupt) out.corrupted = true;
 
   ++stats_.frames;
   if (out.corrupted) ++stats_.corrupted_frames;
@@ -24,6 +29,22 @@ TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
   } else {
     stats_.busy_dynamic += duration;
   }
+  return out;
+}
+
+TxOutcome Channel::lose(const TxRequest& req, sim::Time start,
+                        sim::Time duration, units::CycleIndex cycle,
+                        units::SlotId slot, Segment segment) const {
+  TxOutcome out;
+  out.request = req;
+  out.channel = id_;
+  out.start = start;
+  out.end = start + duration;
+  out.cycle = cycle;
+  out.slot = slot;
+  out.segment = segment;
+  out.corrupted = true;
+  out.lost = true;
   return out;
 }
 

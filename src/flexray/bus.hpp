@@ -32,6 +32,10 @@ struct TxRequest {
   std::int64_t payload_bits = 0;
   /// True when this transmission is a scheduled retransmission copy.
   bool retransmission = false;
+  /// True when a static primary was re-homed from a dead channel to the
+  /// surviving one (dual-channel failover). Lets the accounting layer
+  /// attribute failover latency without guessing.
+  bool failover = false;
 };
 
 /// What actually happened on the wire.
@@ -45,6 +49,11 @@ struct TxOutcome {
   units::SlotId slot{0};
   Segment segment = Segment::kStatic;
   bool corrupted = false;
+  /// The frame never reached the wire: the channel was dark (blackout)
+  /// when its slot came around. Lost outcomes are always corrupted, are
+  /// not counted in ChannelStats, and produce no receiver-side verdict
+  /// (the reliability monitor must not learn from them).
+  bool lost = false;
 };
 
 /// Decides whether a given transmission is corrupted by a transient
@@ -68,13 +77,30 @@ class Channel {
       : id_(id), corruption_(std::move(corruption)) {}
 
   /// Clock a frame onto the wire. `duration` is the wire occupancy
-  /// (already bounded by the slot by the caller).
+  /// (already bounded by the slot by the caller). `force_corrupt` marks
+  /// the frame corrupted regardless of the corruption hook's verdict
+  /// (babbling-idiot collision, out-of-sync sender); the hook is still
+  /// consulted so per-channel verdict streams advance deterministically.
   TxOutcome transmit(const TxRequest& req, sim::Time start, sim::Time duration,
                      units::CycleIndex cycle, units::SlotId slot,
-                     Segment segment);
+                     Segment segment, bool force_corrupt = false);
+
+  /// Synthesize the outcome of a transmission attempted while the
+  /// channel is dark: the frame is lost, nothing touches the wire, no
+  /// stats are charged and the corruption hook is NOT consulted (a dark
+  /// channel yields no receiver verdicts).
+  [[nodiscard]] TxOutcome lose(const TxRequest& req, sim::Time start,
+                               sim::Time duration, units::CycleIndex cycle,
+                               units::SlotId slot, Segment segment) const;
 
   /// Dynamic-segment bookkeeping: record minislots consumed.
   void account_minislots(std::int64_t n) { stats_.minislots_used += n; }
+
+  /// Availability state (blackout windows): a dark channel carries
+  /// nothing. Flipped by the Cluster at cycle boundaries from the
+  /// structural fault provider.
+  void set_available(bool available) { available_ = available; }
+  [[nodiscard]] bool available() const { return available_; }
 
   [[nodiscard]] ChannelId id() const { return id_; }
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
@@ -84,6 +110,7 @@ class Channel {
   ChannelId id_;
   CorruptionFn corruption_;
   ChannelStats stats_;
+  bool available_ = true;
 };
 
 }  // namespace coeff::flexray

@@ -42,6 +42,19 @@ std::vector<units::SlotId> StaticBufferSet::owned_slots() const {
   return slots;
 }
 
+std::vector<PendingMessage> StaticBufferSet::clear_all() {
+  std::vector<PendingMessage> dropped;
+  // Deterministic order: walk slots sorted, not hash order.
+  for (const units::SlotId slot : owned_slots()) {
+    auto& buf = buffers_.at(slot);
+    if (buf.has_value()) {
+      dropped.push_back(*buf);
+      buf.reset();
+    }
+  }
+  return dropped;
+}
+
 std::size_t StaticBufferSet::pending_count() const {
   std::size_t n = 0;
   for (const auto& [_, msg] : buffers_) {
@@ -106,6 +119,15 @@ std::vector<PendingMessage> DynamicQueue::drop_if(
       ++i;
     }
   }
+  return dropped;
+}
+
+std::vector<PendingMessage> Node::shutdown() {
+  up_ = false;
+  std::vector<PendingMessage> dropped = static_buffers_.clear_all();
+  std::vector<PendingMessage> dyn =
+      dynamic_queue_.drop_if([](const PendingMessage&) { return true; });
+  dropped.insert(dropped.end(), dyn.begin(), dyn.end());
   return dropped;
 }
 

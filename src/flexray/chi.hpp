@@ -51,6 +51,10 @@ class StaticBufferSet {
   /// Controller side: consume the message for `slot` after transmission.
   void clear(units::SlotId slot);
 
+  /// Drop every buffered message (host power-off); slot ownership is
+  /// retained. Returns the dropped messages for upstream accounting.
+  std::vector<PendingMessage> clear_all();
+
   [[nodiscard]] std::vector<units::SlotId> owned_slots() const;
   [[nodiscard]] std::size_t pending_count() const;
 
@@ -125,12 +129,26 @@ class Node {
     return dynamic_ids_;
   }
 
+  // --- Lifecycle (structural fault domain) -------------------------------
+  // A crashed ECU stops producing and loses its volatile CHI contents;
+  // on restart it rejoins with empty buffers at a cycle boundary.
+
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Power the host off: drop all buffered messages (returned for
+  /// upstream accounting) and refuse writes until restart().
+  std::vector<PendingMessage> shutdown();
+
+  /// Power the host back on with empty buffers.
+  void restart() { up_ = true; }
+
  private:
   units::NodeId id_;
   std::string name_;
   StaticBufferSet static_buffers_;
   DynamicQueue dynamic_queue_;
   std::vector<FrameId> dynamic_ids_;
+  bool up_ = true;
 };
 
 }  // namespace coeff::flexray

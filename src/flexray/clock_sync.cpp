@@ -58,7 +58,33 @@ ClockSyncResult simulate_clock_sync(const ClockSyncOptions& opt, int rounds) {
   std::vector<sim::Time> prev_offset_correction(
       static_cast<std::size_t>(opt.num_nodes));
 
+  auto drifting_now = [&](int node, int round) {
+    for (const DriftExcursion& e : opt.drift_excursions) {
+      if (e.node == node && round >= e.start_round && round < e.end_round) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   for (int round = 0; round < rounds; ++round) {
+    // Apply scheduled oscillator excursions at the round boundary:
+    // rebase first so the rate fault never rewrites past readings.
+    for (const DriftExcursion& e : opt.drift_excursions) {
+      if (e.node < 0 || e.node >= opt.num_nodes) {
+        throw std::invalid_argument(
+            "simulate_clock_sync: drift excursion node out of range");
+      }
+      auto& clock = clocks[static_cast<std::size_t>(e.node)];
+      if (round == e.start_round) {
+        clock.rebase(global);
+        clock.add_rate_fault(e.excess_ppm);
+      }
+      if (round == e.end_round) {
+        clock.rebase(global);
+        clock.add_rate_fault(-e.excess_ppm);
+      }
+    }
     // Two measurement instants per double cycle (the even and the odd
     // cycle), with no corrections in between: the deviation at the
     // second instant drives the offset correction, and the *difference*
@@ -116,8 +142,11 @@ ClockSyncResult simulate_clock_sync(const ClockSyncOptions& opt, int rounds) {
       prev_offset_correction[static_cast<std::size_t>(i)] = offset_corr;
     }
 
-    // Record the max pairwise deviation among correct nodes.
+    // Record the max pairwise deviation among correct nodes; drifting
+    // nodes are tracked separately (their excursion is the fault under
+    // study, not a convergence failure).
     sim::Time worst;
+    sim::Time worst_faulty;
     for (int i = 0; i < opt.num_nodes; ++i) {
       if (is_byzantine(i)) continue;
       for (int j = i + 1; j < opt.num_nodes; ++j) {
@@ -125,10 +154,16 @@ ClockSyncResult simulate_clock_sync(const ClockSyncOptions& opt, int rounds) {
         const sim::Time d =
             clocks[static_cast<std::size_t>(i)].local_time(global) -
             clocks[static_cast<std::size_t>(j)].local_time(global);
-        worst = std::max(worst, sim::nanos(std::llabs(d.ns())));
+        const sim::Time mag = sim::nanos(std::llabs(d.ns()));
+        if (drifting_now(i, round) || drifting_now(j, round)) {
+          worst_faulty = std::max(worst_faulty, mag);
+        } else {
+          worst = std::max(worst, mag);
+        }
       }
     }
     result.max_deviation_history.push_back(worst);
+    result.faulty_deviation_history.push_back(worst_faulty);
   }
   return result;
 }

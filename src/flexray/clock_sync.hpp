@@ -51,11 +51,29 @@ class LocalClock {
     return rate_error_ + rate_trim_;
   }
 
+  /// Shift the physical oscillator error by `delta_ppm` (a thermal/aging
+  /// drift excursion). rebase() first so the fault acts from now on.
+  void add_rate_fault(double delta_ppm) { rate_error_ += delta_ppm * 1e-6; }
+
  private:
   double rate_error_;       ///< physical oscillator error (fixed)
   double rate_trim_ = 0.0;  ///< correction applied by sync
   sim::Time base_global_;
   sim::Time base_local_;
+};
+
+/// A per-node clock-drift fault: from double cycle `start_round`
+/// (inclusive) to `end_round` (exclusive) the node's oscillator runs
+/// `excess_ppm` beyond its nominal error — far outside the
+/// max_rate_error_ppm budget the sync algorithm was sized for. The node
+/// reports honest measurements (it is not byzantine); the damped
+/// correction simply cannot keep up, which is exactly the out-of-sync
+/// excursion the structural fault domain models.
+struct DriftExcursion {
+  int node = 0;
+  int start_round = 0;
+  int end_round = 0;
+  double excess_ppm = 0.0;
 };
 
 struct ClockSyncOptions {
@@ -69,12 +87,19 @@ struct ClockSyncOptions {
   sim::Time double_cycle = sim::millis(10);  ///< correction period
   /// Indices of nodes whose sync measurements are arbitrarily wrong.
   std::vector<int> byzantine_nodes;
+  /// Scheduled oscillator-drift excursions (structural clock faults).
+  std::vector<DriftExcursion> drift_excursions;
   std::uint64_t seed = 1;
 };
 
 struct ClockSyncResult {
   /// Max pairwise deviation among correct nodes after each double cycle.
+  /// Nodes inside an active drift excursion are excluded here and
+  /// reported in faulty_deviation_history instead.
   std::vector<sim::Time> max_deviation_history;
+  /// Max deviation of any actively-drifting node from any correct node,
+  /// per double cycle (zero when no excursion is active).
+  std::vector<sim::Time> faulty_deviation_history;
   [[nodiscard]] sim::Time final_deviation() const {
     return max_deviation_history.empty() ? sim::Time::zero()
                                          : max_deviation_history.back();

@@ -34,6 +34,7 @@ void Cluster::execute_cycle(units::CycleIndex cycle) {
   engine_.run_until(start);  // deliver arrivals due before this cycle
   if (trace_) trace_->emit(start, sim::TraceKind::kCycleStart, cycle.value());
   policy_.on_cycle_start(cycle, start);
+  apply_topology_events(cycle, start);
 
   execute_static_segment(cycle);
   execute_dynamic_segment(cycle, ChannelId::kA);
@@ -42,6 +43,48 @@ void Cluster::execute_cycle(units::CycleIndex cycle) {
   const sim::Time end = timing_.cycle_start(cycle + 1);
   engine_.run_until(end);
   policy_.on_cycle_end(cycle, end);
+}
+
+void Cluster::apply_topology_events(units::CycleIndex cycle, sim::Time at) {
+  if (faults_ == nullptr) return;
+  for (const TopologyEvent& ev : faults_->poll(at)) {
+    switch (ev.kind) {
+      case TopologyEventKind::kChannelDown:
+        channels_[static_cast<std::size_t>(ev.channel)].set_available(false);
+        if (trace_) {
+          trace_->emit(at, sim::TraceKind::kChannelDown,
+                       static_cast<std::int64_t>(ev.channel), cycle.value());
+        }
+        break;
+      case TopologyEventKind::kChannelUp:
+        channels_[static_cast<std::size_t>(ev.channel)].set_available(true);
+        if (trace_) {
+          trace_->emit(at, sim::TraceKind::kChannelUp,
+                       static_cast<std::int64_t>(ev.channel), cycle.value());
+        }
+        break;
+      case TopologyEventKind::kNodeCrash:
+        if (trace_) {
+          trace_->emit(at, sim::TraceKind::kNodeCrash, ev.node.value(),
+                       cycle.value());
+        }
+        break;
+      case TopologyEventKind::kNodeRestart:
+        if (trace_) {
+          trace_->emit(at, sim::TraceKind::kNodeRestart, ev.node.value(),
+                       cycle.value());
+        }
+        break;
+    }
+    policy_.on_topology_event(ev, cycle, at);
+  }
+}
+
+bool Cluster::structural_corruption(const TxRequest& req, units::SlotId slot,
+                                    ChannelId channel, sim::Time at) const {
+  if (faults_ == nullptr) return false;
+  return faults_->slot_jammed(slot, channel, at) ||
+         faults_->node_out_of_sync(req.sender, at);
 }
 
 void Cluster::execute_static_segment(units::CycleIndex cycle) {
@@ -62,10 +105,22 @@ void Cluster::execute_static_segment(units::CycleIndex cycle) {
       if (req->payload_bits > cfg.static_slot_capacity_bits()) {
         throw std::logic_error("Cluster: static payload exceeds slot capacity");
       }
+      if (!channel.available()) {
+        // Blackout: the frame never reaches the wire. The outcome is
+        // still reported so the scheduler settles the copy instead of
+        // waiting forever for a channel that cannot answer; nothing is
+        // traced (receivers observe silence, not a corrupted frame).
+        policy_.on_tx_complete(channel.lose(*req, slot_start,
+                                            cfg.static_slot_duration(), cycle,
+                                            slot, Segment::kStatic));
+        continue;
+      }
       // A static slot always occupies its full fixed duration on the wire.
       const TxOutcome out =
           channel.transmit(*req, slot_start, cfg.static_slot_duration(), cycle,
-                           slot, Segment::kStatic);
+                           slot, Segment::kStatic,
+                           structural_corruption(*req, slot, channel.id(),
+                                                 slot_start));
       if (trace_) {
         trace_->emit(slot_start,
                      out.corrupted ? sim::TraceKind::kTxCorrupted
@@ -73,6 +128,12 @@ void Cluster::execute_static_segment(units::CycleIndex cycle) {
                      req->sender.value(), req->frame_id.value(),
                      static_cast<std::int64_t>(channel.id()),
                      req->payload_bits, req->retransmission ? "retx" : "");
+        if (req->failover) {
+          trace_->emit(slot_start, sim::TraceKind::kFailover,
+                       req->sender.value(), slot.value(),
+                       static_cast<std::int64_t>(channel.id()),
+                       req->payload_bits);
+        }
       }
       policy_.on_tx_complete(out);
     }
@@ -102,10 +163,25 @@ void Cluster::execute_dynamic_segment(units::CycleIndex cycle, ChannelId cid) {
         const sim::Time tx_start =
             at + units::to_time(cfg.gd_minislot_action_point_offset,
                                 cfg.gd_macrotick);
+        if (!channel.available()) {
+          // Blackout: the sender clocks its frame into a dark wire —
+          // FTDMA timing advances exactly as for a real send, but the
+          // frame is lost and nothing is traced or charged to stats.
+          policy_.on_tx_complete(
+              channel.lose(*req, tx_start,
+                           cfg.transmission_time(req->payload_bits), cycle,
+                           slot_counter, Segment::kDynamic));
+          minislot = minislot + need;
+          sent = true;
+          ++slot_counter;
+          continue;
+        }
         const TxOutcome out =
             channel.transmit(*req, tx_start,
                              cfg.transmission_time(req->payload_bits), cycle,
-                             slot_counter, Segment::kDynamic);
+                             slot_counter, Segment::kDynamic,
+                             structural_corruption(*req, slot_counter,
+                                                   channel.id(), tx_start));
         channel.account_minislots(need);
         if (trace_) {
           trace_->emit(tx_start,

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "flexray/bus.hpp"
+#include "flexray/fault_domain.hpp"
 #include "flexray/policy.hpp"
 #include "flexray/timing.hpp"
 #include "sim/engine.hpp"
@@ -25,6 +26,17 @@ class Cluster {
   Cluster(sim::Engine& engine, const ClusterConfig& cfg,
           TransmissionPolicy& policy, CorruptionFn corruption,
           sim::Trace* trace = nullptr);
+
+  /// Install a structural fault provider (node/channel topology faults).
+  /// Must outlive the cluster; nullptr detaches. Transitions are drained
+  /// at every cycle boundary, traced (kNodeCrash/kNodeRestart/
+  /// kChannelDown/kChannelUp) and forwarded to the policy.
+  void set_fault_provider(StructuralFaultProvider* provider) {
+    faults_ = provider;
+  }
+  [[nodiscard]] const StructuralFaultProvider* fault_provider() const {
+    return faults_;
+  }
 
   /// Execute the next `n` communication cycles.
   void run_cycles(std::int64_t n);
@@ -55,14 +67,23 @@ class Cluster {
 
  private:
   void execute_cycle(units::CycleIndex cycle);
+  void apply_topology_events(units::CycleIndex cycle, sim::Time at);
   void execute_static_segment(units::CycleIndex cycle);
   void execute_dynamic_segment(units::CycleIndex cycle, ChannelId channel);
+
+  /// Forced-corruption verdict for a frame that did reach the wire:
+  /// babbling-idiot collision in its slot or an out-of-sync sender.
+  [[nodiscard]] bool structural_corruption(const TxRequest& req,
+                                           units::SlotId slot,
+                                           ChannelId channel,
+                                           sim::Time at) const;
 
   sim::Engine& engine_;
   CycleTiming timing_;
   TransmissionPolicy& policy_;
   std::array<Channel, kNumChannels> channels_;
   sim::Trace* trace_;
+  StructuralFaultProvider* faults_ = nullptr;
   units::CycleIndex next_cycle_{0};
 };
 

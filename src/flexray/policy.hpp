@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "flexray/bus.hpp"
+#include "flexray/fault_domain.hpp"
 #include "units/units.hpp"
 
 namespace coeff::flexray {
@@ -16,6 +17,17 @@ namespace coeff::flexray {
 class TransmissionPolicy {
  public:
   virtual ~TransmissionPolicy() = default;
+
+  /// A topology state change (node crash/restart, channel down/up) was
+  /// applied at the boundary of `cycle`. Delivered after on_cycle_start
+  /// for that cycle. Default: ignore (policies predating the structural
+  /// fault domain keep compiling and simply ride out the fault).
+  virtual void on_topology_event(const TopologyEvent& event,
+                                 units::CycleIndex cycle, sim::Time at) {
+    (void)event;
+    (void)cycle;
+    (void)at;
+  }
 
   /// Called once at the start of every communication cycle, before any
   /// slot of that cycle is processed.

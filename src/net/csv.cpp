@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -50,6 +51,27 @@ std::int64_t parse_int(const std::string& field, int line_no,
   }
 }
 
+/// parse_int with an inclusive range check, so downstream casts and
+/// unit conversions cannot truncate or overflow on hostile input.
+std::int64_t parse_int_in(const std::string& field, int line_no,
+                          const char* what, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t value = parse_int(field, line_no, what);
+  if (value < lo || value > hi) {
+    throw std::invalid_argument("csv line " + std::to_string(line_no) + ": " +
+                                what + " out of range '" + field + "'");
+  }
+  return value;
+}
+
+/// Microsecond fields are multiplied by 1000 on the way into sim::Time;
+/// cap them so that product stays inside int64 nanoseconds.
+constexpr std::int64_t kMaxMicros =
+    std::numeric_limits<std::int64_t>::max() / 1000;
+constexpr std::int64_t kMinMicros =
+    std::numeric_limits<std::int64_t>::min() / 1000;
+constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+constexpr std::int64_t kIntMin = std::numeric_limits<int>::min();
+
 }  // namespace
 
 std::string to_csv(const MessageSet& set) {
@@ -85,9 +107,11 @@ MessageSet from_csv(const std::string& text) {
                                   std::to_string(fields.size()));
     }
     Message m;
-    m.id = static_cast<int>(parse_int(fields[0], line_no, "id"));
+    m.id = static_cast<int>(
+        parse_int_in(fields[0], line_no, "id", kIntMin, kIntMax));
     m.name = fields[1];
-    m.node = static_cast<int>(parse_int(fields[2], line_no, "node"));
+    m.node = static_cast<int>(
+        parse_int_in(fields[2], line_no, "node", kIntMin, kIntMax));
     if (fields[3] == "static") {
       m.kind = MessageKind::kStatic;
     } else if (fields[3] == "dynamic") {
@@ -96,11 +120,15 @@ MessageSet from_csv(const std::string& text) {
       throw std::invalid_argument("csv line " + std::to_string(line_no) +
                                   ": bad kind '" + fields[3] + "'");
     }
-    m.period = sim::micros(parse_int(fields[4], line_no, "period"));
-    m.offset = sim::micros(parse_int(fields[5], line_no, "offset"));
-    m.deadline = sim::micros(parse_int(fields[6], line_no, "deadline"));
+    m.period = sim::micros(
+        parse_int_in(fields[4], line_no, "period", kMinMicros, kMaxMicros));
+    m.offset = sim::micros(
+        parse_int_in(fields[5], line_no, "offset", kMinMicros, kMaxMicros));
+    m.deadline = sim::micros(
+        parse_int_in(fields[6], line_no, "deadline", kMinMicros, kMaxMicros));
     m.size_bits = parse_int(fields[7], line_no, "size");
-    m.frame_id = static_cast<int>(parse_int(fields[8], line_no, "frame_id"));
+    m.frame_id = static_cast<int>(
+        parse_int_in(fields[8], line_no, "frame_id", kIntMin, kIntMax));
     set.add(std::move(m));
   }
   set.validate();

@@ -32,6 +32,18 @@ const char* to_string(TraceKind k) {
       return "plan_swap";
     case TraceKind::kLoadShed:
       return "load_shed";
+    case TraceKind::kNodeCrash:
+      return "node_crash";
+    case TraceKind::kNodeRestart:
+      return "node_restart";
+    case TraceKind::kChannelDown:
+      return "channel_down";
+    case TraceKind::kChannelUp:
+      return "channel_up";
+    case TraceKind::kFailover:
+      return "failover";
+    case TraceKind::kVoteResolved:
+      return "vote_resolved";
     case TraceKind::kInfo:
       return "info";
   }

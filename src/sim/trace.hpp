@@ -29,6 +29,17 @@ enum class TraceKind : std::uint8_t {
   kBerDrift,   ///< monitor detected BER drift; a=cycle, note carries estimate
   kPlanSwap,   ///< online re-plan swapped in; a=cycle, b=total copies, c=degraded
   kLoadShed,   ///< degraded mode shed a dynamic frame; a=message id, b=node
+  // Structural fault domain (node/channel topology). All four state
+  // transitions are applied at cycle boundaries, so `at` must coincide
+  // with the enclosing kCycleStart timestamp (trace.structural-boundary).
+  kNodeCrash,     ///< ECU went down; a=node, b=cycle
+  kNodeRestart,   ///< ECU reintegrated; a=node, b=cycle
+  kChannelDown,   ///< channel blackout began; a=channel, b=cycle
+  kChannelUp,     ///< channel recovered; a=channel, b=cycle
+  kFailover,      ///< static frame re-homed to surviving channel; a=node,
+                  ///< b=slot, c=carrying channel, d=payload bits
+  kVoteResolved,  ///< replica vote settled; a=message, b=accepted(0/1),
+                  ///< c=clean replicas, d=replica count k
   kInfo,
 };
 

@@ -198,6 +198,125 @@ TEST(TraceLintTest, LoadShedLegalWhenInitiallyDegraded) {
                    .has_rule("trace.load-shed-degraded"));
 }
 
+TEST(TraceLintTest, StructuralTransitionOffGridIsFlagged) {
+  Fixture f;
+  f.trace.emit(sim::micros(500), TraceKind::kNodeCrash, 1);  // mid-cycle
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-boundary"));
+}
+
+TEST(TraceLintTest, StructuralTransitionChecksCycleTag) {
+  Fixture f;
+  // On the grid, but the recorded cycle tag disagrees with the time.
+  f.trace.emit(sim::millis(2), TraceKind::kNodeCrash, 1, /*cycle=*/5);
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-boundary"));
+}
+
+TEST(TraceLintTest, AlignedStructuralTransitionIsClean) {
+  Fixture f;
+  f.trace.emit(sim::millis(2), TraceKind::kNodeCrash, 1, /*cycle=*/2);
+  f.trace.emit(sim::millis(4), TraceKind::kNodeRestart, 1, /*cycle=*/4);
+  const Report report = f.lint();
+  EXPECT_FALSE(report.has_rule("trace.structural-boundary"));
+  EXPECT_FALSE(report.has_rule("trace.structural-causality"));
+}
+
+TEST(TraceLintTest, DoubleCrashIsACausalityViolation) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kNodeCrash, 1, 1);
+  f.trace.emit(sim::millis(2), TraceKind::kNodeCrash, 1, 2);
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-causality"));
+}
+
+TEST(TraceLintTest, RestartWithoutCrashIsACausalityViolation) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kNodeRestart, 1, 1);
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-causality"));
+}
+
+TEST(TraceLintTest, ChannelDownTwiceIsACausalityViolation) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, 0, 1);
+  f.trace.emit(sim::millis(2), TraceKind::kChannelDown, 0, 2);
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-causality"));
+}
+
+TEST(TraceLintTest, ChannelUpWithoutDownIsACausalityViolation) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelUp, 1, 1);
+  EXPECT_TRUE(f.lint().has_rule("trace.structural-causality"));
+}
+
+TEST(TraceLintTest, ChannelEventTagMustBeAChannel) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, /*channel=*/7, 1);
+  EXPECT_TRUE(f.lint().has_rule("trace.kind-valid"));
+}
+
+TEST(TraceLintTest, FailoverRequiresDarkHomeChannel) {
+  Fixture f;
+  // a=sender, b=slot, c=carrying channel, d=bits.
+  f.trace.emit(sim::micros(100), TraceKind::kFailover, 0, 2, 1, 64);
+  EXPECT_TRUE(f.lint().has_rule("trace.failover-causality"));
+}
+
+TEST(TraceLintTest, FailoverMustRideALiveWire) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, 0, 1);
+  f.trace.emit(sim::millis(2), TraceKind::kChannelDown, 1, 2);
+  f.trace.emit(sim::millis(2) + sim::micros(100), TraceKind::kFailover, 0, 2,
+               /*channel=*/1, 64);
+  EXPECT_TRUE(f.lint().has_rule("trace.failover-causality"));
+}
+
+TEST(TraceLintTest, FailoverDuringBlackoutIsClean) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, 0, 1);
+  f.trace.emit(sim::millis(1) + sim::micros(100), TraceKind::kTxSuccess, 0, 1,
+               /*channel=*/1, 64);
+  f.trace.emit(sim::millis(1) + sim::micros(100), TraceKind::kFailover, 0, 2,
+               /*channel=*/1, 64);
+  EXPECT_FALSE(f.lint().has_rule("trace.failover-causality"));
+}
+
+TEST(TraceLintTest, TransmissionOnDarkChannelIsFlagged) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, 0, 1);
+  f.trace.emit(sim::millis(1) + sim::micros(100), TraceKind::kTxSuccess, 0, 1,
+               /*channel=*/0, 64);
+  EXPECT_TRUE(f.lint().has_rule("trace.dead-channel-tx"));
+}
+
+TEST(TraceLintTest, TransmissionAfterChannelRecoveryIsClean) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kChannelDown, 0, 1);
+  f.trace.emit(sim::millis(2), TraceKind::kChannelUp, 0, 2);
+  f.trace.emit(sim::millis(2) + sim::micros(100), TraceKind::kTxSuccess, 0, 1,
+               /*channel=*/0, 64);
+  EXPECT_FALSE(f.lint().has_rule("trace.dead-channel-tx"));
+}
+
+TEST(TraceLintTest, VoteSizeMustBeOddAndAtLeastThree) {
+  Fixture f;
+  // a=message, b=accepted, c=clean, d=k.
+  f.trace.emit(sim::micros(100), TraceKind::kVoteResolved, 1, 1, 2, 2);
+  f.trace.emit(sim::micros(200), TraceKind::kVoteResolved, 1, 1, 1, 1);
+  EXPECT_EQ(f.lint().count_rule("trace.vote-consistency"), 2u);
+}
+
+TEST(TraceLintTest, VoteVerdictMustMatchCleanMajority) {
+  Fixture f;
+  // Accepted with 1 of 3 clean replicas: majority is 2.
+  f.trace.emit(sim::micros(100), TraceKind::kVoteResolved, 1, 1, 1, 3);
+  EXPECT_TRUE(f.lint().has_rule("trace.vote-consistency"));
+}
+
+TEST(TraceLintTest, ConsistentVotesAreClean) {
+  Fixture f;
+  f.trace.emit(sim::micros(100), TraceKind::kVoteResolved, 1, 1, 2, 3);
+  f.trace.emit(sim::micros(200), TraceKind::kVoteResolved, 2, 0, 1, 3);
+  EXPECT_FALSE(f.lint().has_rule("trace.vote-consistency"));
+}
+
 TEST(TraceLintTest, FloodedRuleIsCapped) {
   Fixture f;
   for (int i = 0; i < 20; ++i) {

@@ -115,6 +115,58 @@ TEST(MonitorTest, WindowEvictsOldCycles) {
   EXPECT_DOUBLE_EQ(mon.estimated_ber(), 0.0);
 }
 
+TEST(MonitorTest, StarvedChannelHasNoEstimate) {
+  // A blacked-out channel records zero verdicts. That is absence of
+  // evidence, not evidence of a perfect wire: channel_estimate must be
+  // empty and the defined fallback is the planned BER.
+  ReliabilityMonitor mon(1e-5, small_window());
+  for (int i = 0; i < 50; ++i) mon.record_tx(ChannelId::kB, 1000, i < 5);
+  EXPECT_TRUE(mon.starved(ChannelId::kA));
+  EXPECT_FALSE(mon.starved(ChannelId::kB));
+  EXPECT_FALSE(mon.channel_estimate(ChannelId::kA).has_value());
+  ASSERT_TRUE(mon.channel_estimate(ChannelId::kB).has_value());
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kA), 1e-5);
+  EXPECT_GT(mon.estimated_ber(ChannelId::kB), 1e-5);
+}
+
+TEST(MonitorTest, WorstChannelSkipsStarvedChannels) {
+  // Only channel B has samples; the worst-channel estimate must come
+  // from B alone — the starved channel neither drags the estimate to
+  // the planned baseline nor fakes a clean zero.
+  ReliabilityMonitor mon(1e-5, small_window());
+  for (int i = 0; i < 100; ++i) mon.record_tx(ChannelId::kB, 1000, false);
+  EXPECT_DOUBLE_EQ(mon.worst_channel_estimate(), 0.0);
+
+  for (int i = 0; i < 10; ++i) mon.record_tx(ChannelId::kB, 1000, true);
+  EXPECT_DOUBLE_EQ(mon.worst_channel_estimate(),
+                   *mon.channel_estimate(ChannelId::kB));
+}
+
+TEST(MonitorTest, FullyStarvedWindowFallsBackToPlan) {
+  // No traffic at all (total blackout): every estimate that has a
+  // defined fallback reports the planned BER; nothing divides by zero.
+  ReliabilityMonitor mon(1e-5, small_window());
+  for (int c = 0; c < 6; ++c) EXPECT_FALSE(mon.on_cycle_end());
+  EXPECT_TRUE(mon.starved(ChannelId::kA));
+  EXPECT_TRUE(mon.starved(ChannelId::kB));
+  EXPECT_DOUBLE_EQ(mon.worst_channel_estimate(), 1e-5);
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kA), 1e-5);
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kB), 1e-5);
+  EXPECT_EQ(mon.drift_detections(), 0);
+}
+
+TEST(MonitorTest, ChannelRecoveryRestoresEstimate) {
+  // Traffic returns after a starved window: the estimate picks the new
+  // samples up immediately.
+  auto opt = small_window();
+  ReliabilityMonitor mon(1e-7, opt);
+  for (int c = 0; c < opt.window_cycles + 1; ++c) (void)mon.on_cycle_end();
+  ASSERT_TRUE(mon.starved(ChannelId::kA));
+  for (int i = 0; i < 10; ++i) mon.record_tx(ChannelId::kA, 1000, false);
+  EXPECT_FALSE(mon.starved(ChannelId::kA));
+  EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kA), 0.0);
+}
+
 TEST(MonitorTest, InvalidOptionsThrow) {
   ReliabilityMonitorOptions opt;
   EXPECT_THROW(ReliabilityMonitor(1.5, opt), std::invalid_argument);

@@ -63,7 +63,10 @@ TEST(TraceTest, AllKindsHaveNames) {
         TraceKind::kTxSuccess, TraceKind::kTxCorrupted,
         TraceKind::kRetransmissionScheduled, TraceKind::kSlackStolen,
         TraceKind::kDeadlineMiss, TraceKind::kDeadlineMet,
-        TraceKind::kQueueDrop, TraceKind::kInfo}) {
+        TraceKind::kQueueDrop, TraceKind::kBerDrift, TraceKind::kPlanSwap,
+        TraceKind::kLoadShed, TraceKind::kNodeCrash, TraceKind::kNodeRestart,
+        TraceKind::kChannelDown, TraceKind::kChannelUp, TraceKind::kFailover,
+        TraceKind::kVoteResolved, TraceKind::kInfo}) {
     EXPECT_STRNE(to_string(kind), "unknown");
   }
 }

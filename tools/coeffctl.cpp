@@ -19,6 +19,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/schedule_lint.hpp"
 #include "analysis/trace_lint.hpp"
@@ -56,6 +57,16 @@ struct CliOptions {
   bool monitor = false;
   fault::ReliabilityMonitorOptions monitor_opt;
 
+  // --- structural fault domain -----------------------------------------
+  fault::StructuralFaultConfig structural;
+  double crash_rate = 0.0;       // stochastic crashes per second (0 = off)
+  std::int64_t crash_mttr_ms = 50;
+  double outage_rate = 0.0;      // stochastic blackouts per second (0 = off)
+  std::int64_t outage_ms = 5;
+  int vote = 0;                  // k-replica voting (0 = off)
+  bool silent_detect = false;
+  int silent_threshold = 2;
+
   // --- lint subcommand only --------------------------------------------
   bool list_rules = false;
   bool lint_trace = false;      // also run a batch and lint its trace
@@ -89,6 +100,19 @@ void usage() {
       "  --monitor-window N                monitor window in cycles (default: 200)\n"
       "  --monitor-factor X                drift trigger factor (default: 5)\n"
       "  --monitor-cooldown N              re-plan cooldown in cycles (default: 100)\n"
+      "  --crash NODE:START_MS:END_MS      scheduled ECU crash/restart (repeatable)\n"
+      "  --blackout A|B:START_MS:END_MS    scheduled channel blackout (repeatable)\n"
+      "  --babble NODE:SLOT:START_MS:END_MS[:A|B]\n"
+      "                                    babbling-idiot slot jam (both channels\n"
+      "                                    unless one is named; repeatable)\n"
+      "  --drift NODE:START_MS:END_MS:PPM  clock-drift excursion window (repeatable)\n"
+      "  --crash-rate X                    stochastic crashes/s over the window\n"
+      "  --crash-mttr-ms N                 mean time to repair (default: 50)\n"
+      "  --outage-rate X                   stochastic channel outages/s\n"
+      "  --outage-ms N                     mean outage length (default: 5)\n"
+      "  --vote K                          k-replica majority voting (odd, >= 3)\n"
+      "  --silent-detect                   flag silent nodes + re-plan membership\n"
+      "  --silent-threshold N              consecutive silent cycles (default: 2)\n"
       "  --jobs N                          sweep workers (default: 1; 0 = COEFF_JOBS\n"
       "                                    env var, else hardware concurrency)\n"
       "  --sweep-json PATH                 write per-cell wall-time report\n"
@@ -100,6 +124,75 @@ void usage() {
       "  --sarif PATH                      write a SARIF 2.1.0 report ('-' = stdout)\n"
       "  --list-rules                      print the rule catalog and exit\n"
       "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error");
+}
+
+/// Split a colon-separated fault spec ("1:10:30" or "A:5:20").
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : spec) {
+    if (c == ':') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::optional<flexray::ChannelId> parse_channel(const std::string& name) {
+  if (name == "A" || name == "a") return flexray::ChannelId::kA;
+  if (name == "B" || name == "b") return flexray::ChannelId::kB;
+  return std::nullopt;
+}
+
+[[noreturn]] void bad_spec(const char* flag, const std::string& spec) {
+  std::fprintf(stderr, "coeffctl: bad %s spec '%s' (see --help)\n", flag,
+               spec.c_str());
+  std::exit(2);
+}
+
+void parse_crash_spec(const std::string& spec, CliOptions& opt) {
+  const auto parts = split_spec(spec);
+  if (parts.size() != 3) bad_spec("--crash", spec);
+  opt.structural.crashes.push_back({units::NodeId{std::atoi(parts[0].c_str())},
+                                    sim::millis(std::atoll(parts[1].c_str())),
+                                    sim::millis(std::atoll(parts[2].c_str()))});
+}
+
+void parse_blackout_spec(const std::string& spec, CliOptions& opt) {
+  const auto parts = split_spec(spec);
+  const auto channel = parts.empty() ? std::nullopt : parse_channel(parts[0]);
+  if (parts.size() != 3 || !channel.has_value()) bad_spec("--blackout", spec);
+  opt.structural.blackouts.push_back(
+      {*channel, sim::millis(std::atoll(parts[1].c_str())),
+       sim::millis(std::atoll(parts[2].c_str()))});
+}
+
+void parse_babble_spec(const std::string& spec, CliOptions& opt) {
+  const auto parts = split_spec(spec);
+  if (parts.size() != 4 && parts.size() != 5) bad_spec("--babble", spec);
+  fault::BabbleWindow babble;
+  babble.babbler = units::NodeId{std::atoi(parts[0].c_str())};
+  babble.slot = units::SlotId{std::atoi(parts[1].c_str())};
+  babble.at = sim::millis(std::atoll(parts[2].c_str()));
+  babble.until = sim::millis(std::atoll(parts[3].c_str()));
+  if (parts.size() == 5) {
+    babble.channel = parse_channel(parts[4]);
+    if (!babble.channel.has_value()) bad_spec("--babble", spec);
+  }
+  opt.structural.babbles.push_back(babble);
+}
+
+void parse_drift_spec(const std::string& spec, CliOptions& opt) {
+  const auto parts = split_spec(spec);
+  if (parts.size() != 4) bad_spec("--drift", spec);
+  opt.structural.drifts.push_back({units::NodeId{std::atoi(parts[0].c_str())},
+                                   sim::millis(std::atoll(parts[1].c_str())),
+                                   sim::millis(std::atoll(parts[2].c_str())),
+                                   std::atof(parts[3].c_str())});
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -175,6 +268,28 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.monitor_opt.trigger_factor = std::atof(next(arg.c_str()));
     } else if (arg == "--monitor-cooldown") {
       opt.monitor_opt.cooldown_cycles = std::atoi(next(arg.c_str()));
+    } else if (arg == "--crash") {
+      parse_crash_spec(next(arg.c_str()), opt);
+    } else if (arg == "--blackout") {
+      parse_blackout_spec(next(arg.c_str()), opt);
+    } else if (arg == "--babble") {
+      parse_babble_spec(next(arg.c_str()), opt);
+    } else if (arg == "--drift") {
+      parse_drift_spec(next(arg.c_str()), opt);
+    } else if (arg == "--crash-rate") {
+      opt.crash_rate = std::atof(next(arg.c_str()));
+    } else if (arg == "--crash-mttr-ms") {
+      opt.crash_mttr_ms = std::atoll(next(arg.c_str()));
+    } else if (arg == "--outage-rate") {
+      opt.outage_rate = std::atof(next(arg.c_str()));
+    } else if (arg == "--outage-ms") {
+      opt.outage_ms = std::atoll(next(arg.c_str()));
+    } else if (arg == "--vote") {
+      opt.vote = std::atoi(next(arg.c_str()));
+    } else if (arg == "--silent-detect") {
+      opt.silent_detect = true;
+    } else if (arg == "--silent-threshold") {
+      opt.silent_threshold = std::atoi(next(arg.c_str()));
     } else if (arg == "--trace") {
       opt.lint_trace = true;
     } else if (arg == "--sarif") {
@@ -259,6 +374,28 @@ bool build_config(const CliOptions& opt, core::ExperimentConfig& config) {
     }
     config.enable_monitor = opt.monitor;
     config.monitor = opt.monitor_opt;
+
+    // Structural fault domain: scheduled windows pass through verbatim;
+    // stochastic processes run over the batch window on this cluster.
+    config.structural = opt.structural;
+    if (opt.crash_rate > 0.0) {
+      config.structural.stochastic_crashes.crashes_per_second = opt.crash_rate;
+      config.structural.stochastic_crashes.mean_time_to_repair =
+          sim::millis(opt.crash_mttr_ms);
+      config.structural.stochastic_crashes.horizon = config.batch_window;
+      config.structural.stochastic_crashes.num_nodes =
+          static_cast<int>(config.cluster.num_nodes);
+    }
+    if (opt.outage_rate > 0.0) {
+      config.structural.stochastic_blackouts.outages_per_second =
+          opt.outage_rate;
+      config.structural.stochastic_blackouts.mean_outage =
+          sim::millis(opt.outage_ms);
+      config.structural.stochastic_blackouts.horizon = config.batch_window;
+    }
+    config.vote_replicas = opt.vote;
+    config.silent_node_detection = opt.silent_detect;
+    config.silent_cycle_threshold = opt.silent_threshold;
     return true;
 }
 
@@ -413,6 +550,20 @@ int main(int argc, char** argv) {
     if (config.ber_step >= 0.0 && config.ber_step_at > sim::Time::zero()) {
       std::printf("drift    : ber -> %g at %s\n", config.ber_step,
                   sim::to_string(config.ber_step_at).c_str());
+    }
+    if (!config.structural.empty()) {
+      config.structural.validate();
+      std::printf("faults   : %s\n",
+                  fault::NodeFaultModel(config.structural, config.seed)
+                      .describe()
+                      .c_str());
+    }
+    if (config.vote_replicas > 0) {
+      std::printf("voting   : %d-replica majority\n", config.vote_replicas);
+    }
+    if (config.silent_node_detection) {
+      std::printf("detect   : silent nodes after %d cycle(s)\n",
+                  config.silent_cycle_threshold);
     }
     std::printf("\n");
     bench::BenchOptions sweep_opt;
