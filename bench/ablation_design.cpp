@@ -36,7 +36,6 @@ void report(const char* name, const core::ExperimentResult& r) {
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
 
   auto uniform = base_config();
   uniform.ablation_uniform_plan = true;
@@ -51,9 +50,10 @@ int main(int argc, char** argv) {
       {no_slack, coeff::core::SchemeKind::kCoEfficient, "no_slack"},
       {single, coeff::core::SchemeKind::kCoEfficient, "single_channel"},
   };
-  const auto report_cells = run_sweep("ablation_design", cells, opt);
-
-  std::printf("Ablations — what each CoEfficient mechanism contributes\n\n");
+  const auto report_cells = run_figure(
+      argc, argv, "ablation_design",
+      "Ablations — what each CoEfficient mechanism contributes\n",
+      cells);
   report("full CoEfficient", report_cells.cells[0].result);
   report("uniform retx plan", report_cells.cells[1].result);
   report("no slack stealing", report_cells.cells[2].result);

@@ -7,7 +7,6 @@
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
 
   coeff::core::ExperimentConfig config;
   config.cluster = coeff::core::paper_cluster_dynamic_suite(50);
@@ -20,9 +19,9 @@ int main(int argc, char** argv) {
         coeff::core::SchemeKind::kFspec}) {
     cells.push_back({config, scheme, coeff::core::to_string(scheme)});
   }
-  const auto report = run_sweep("baseline_comparison", cells, opt);
-
-  std::printf("Baseline comparison — CoEfficient vs HOSA vs FSPEC\n");
+  const auto report =
+      run_figure(argc, argv, "baseline_comparison",
+                 "Baseline comparison — CoEfficient vs HOSA vs FSPEC", cells);
   print_header("loaded synthetic + SAE aperiodics, 50 minislots, BER=1e-7");
   std::printf("%-12s | %9s %12s %13s | %11s %13s | %10s\n", "scheme",
               "miss[%]", "stat miss[%]", "dyn miss[%]", "dyn lat[ms]",

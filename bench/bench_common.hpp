@@ -5,6 +5,8 @@
 // binaries to figures and records paper-vs-measured values.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +74,34 @@ inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Monotonic stopwatch shared by the figure reporter and the cycle
+/// microbenchmark; wraps steady_clock so no binary rolls its own.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Median of a sample set (destructive on a copy). The microbenchmark
+/// and the perf gate both report medians: a background-load spike can
+/// only shift one repetition, not the reported number.
+inline double median_of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 != 0
+             ? samples[mid]
+             : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
 /// Command-line options shared by every figure binary. Figure rows on
 /// stdout are byte-identical for any `--jobs` value; timing lives on
 /// stderr and in the JSON report.
@@ -136,6 +166,19 @@ inline core::SweepReport run_sweep(const std::string& suite,
                suite.c_str(), report.cells.size(), report.jobs,
                report.total_wall_seconds, report.serial_estimate_seconds,
                report.speedup_estimate(), sink.c_str());
+  return report;
+}
+
+/// Shared prologue of every figure binary: parse the common flags, run
+/// the grid through the sweep reporter, and print the figure banner.
+/// Keeps the six binaries down to "build cells, format rows".
+inline core::SweepReport run_figure(int argc, char** argv,
+                                    const std::string& suite,
+                                    const std::string& title,
+                                    const std::vector<core::SweepCell>& cells) {
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  core::SweepReport report = run_sweep(suite, cells, opt);
+  std::printf("%s\n", title.c_str());
   return report;
 }
 

@@ -109,10 +109,9 @@ void print_suite(const Suite& suite, const core::SweepReport& report,
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
-  const auto report = run_sweep("fig1_2_running_time", build_cells(), opt);
-
-  std::printf("Fig.1/2 — running time (batch makespan)\n");
+  const auto report =
+      run_figure(argc, argv, "fig1_2_running_time",
+                 "Fig.1/2 — running time (batch makespan)", build_cells());
   std::size_t cell = 0;
   for (const Suite& suite : kSuites) print_suite(suite, report, cell);
   return 0;

@@ -13,7 +13,6 @@
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
 
   std::vector<coeff::core::SweepCell> cells;
   for (std::int64_t minislots : {25, 50, 75, 100}) {
@@ -31,9 +30,9 @@ int main(int argc, char** argv) {
                            coeff::core::to_string(scheme)});
     }
   }
-  const auto report = run_sweep("fig3_bandwidth", cells, opt);
-
-  std::printf("Fig.3 — dynamic-segment bandwidth utilization\n");
+  const auto report =
+      run_figure(argc, argv, "fig3_bandwidth",
+                 "Fig.3 — dynamic-segment bandwidth utilization", cells);
   print_header("synthetic statics + saturating SAE aperiodics, BER=1e-7");
   std::printf("%9s | %10s %10s %10s | %12s %12s\n", "minislots", "CoEff[%]",
               "FSPEC[%]", "gain[pts]", "CoEff Mb/s", "FSPEC Mb/s");

@@ -99,10 +99,9 @@ void print_panel(const Panel& panel, const core::SweepReport& report,
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
-  const auto report = run_sweep("fig4_latency", build_cells(), opt);
-
-  std::printf("Fig.4 — average transmission latency\n");
+  const auto report =
+      run_figure(argc, argv, "fig4_latency",
+                 "Fig.4 — average transmission latency", build_cells());
   std::size_t cell = 0;
   for (const Panel& panel : kPanels) print_panel(panel, report, cell);
   return 0;

@@ -9,10 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace coeff::bench;
-  const BenchOptions opt = parse_bench_args(argc, argv);
-  const auto report = run_sweep("fig5_miss_ratio", fig5_cells(), opt);
-
-  std::printf("Fig.5 — deadline miss ratio\n");
+  const auto report = run_figure(argc, argv, "fig5_miss_ratio",
+                                 "Fig.5 — deadline miss ratio", fig5_cells());
   print_header("synthetic statics + SAE aperiodics");
   std::printf("%9s %7s | %10s %10s | %12s %12s\n", "minislots", "BER",
               "CoEff[%]", "FSPEC[%]", "CoEff dyn[%]", "FSPEC dyn[%]");

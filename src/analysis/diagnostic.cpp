@@ -132,6 +132,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "transmission recorded on a channel currently blacked out"},
       {"trace.vote-consistency", Severity::kError,
        "replica-vote verdict inconsistent with its clean-copy count"},
+      {"engine.template-invalidation", Severity::kError,
+       "transmission while the compiled cycle template was stale (plan "
+       "swap / membership / channel event without a rebuild marker)"},
   };
   return kCatalog;
 }

@@ -16,6 +16,7 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
     : SchedulerBase(cfg, std::move(statics), std::move(dynamics),
                     batch_window),
       options_(options) {
+  static_capacity_bits_ = cfg_.static_slot_capacity_bits();
   if (options_.vote_replicas != 0 &&
       (options_.vote_replicas < 3 || options_.vote_replicas % 2 == 0)) {
     throw std::invalid_argument(
@@ -28,6 +29,11 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
   }
   if (options_.rho > 0.0) {
     rebuild_plan(options_.ber, options_.throw_on_infeasible);
+    // Bake the fresh budget into the template (the base constructor
+    // built it before the plan existed). No trace is attached yet, so
+    // this stays silent; the first cycle start announces the result.
+    rebuild_template(TemplateRebuildWhy::kInitial, units::CycleIndex{0},
+                     sim::Time::zero());
     if (options_.enable_monitor) {
       monitor_ = std::make_unique<fault::ReliabilityMonitor>(
           options_.ber, options_.monitor);
@@ -113,8 +119,16 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
     cancel_copies(inst, 1);
   }
 
-  auto it = copies_by_message_.find(m.id);
-  int kz = it == copies_by_message_.end() ? 0 : it->second;
+  // Budget class from the compiled template when the message is placed
+  // (its entry at the home occurrence carries k_z); unplaced messages
+  // fall back to the plan map.
+  int kz;
+  if (a != nullptr) {
+    kz = tpl_.budget_at(a->slot, a->base_cycle);
+  } else {
+    auto it = copies_by_message_.find(m.id);
+    kz = it == copies_by_message_.end() ? 0 : it->second;
+  }
   if (options_.vote_replicas > 0) {
     // NMR voting: the instance needs vote_replicas replicas on the wire
     // (primary included); the extra copies ride the same slack-stealing
@@ -162,9 +176,7 @@ void CoEfficientScheduler::on_static_release(Instance& inst,
   auto pos = std::upper_bound(
       retx_jobs_.begin(), retx_jobs_.end(), job,
       [](const RetxJob& a, const RetxJob& b) { return a.deadline < b.deadline; });
-  for (int c = 0; c < admitted; ++c) {
-    pos = retx_jobs_.insert(pos, job);
-  }
+  retx_jobs_.insert(pos, static_cast<std::size_t>(admitted), job);
 }
 
 void CoEfficientScheduler::on_dynamic_release(
@@ -206,19 +218,17 @@ void CoEfficientScheduler::on_cycle_start_hook(units::CycleIndex cycle,
                    plan_.total_copies(),
                    plan_.degraded ? 1 : 0);
     }
+    rebuild_template(TemplateRebuildWhy::kPlanSwap, cycle, at);
   }
 
   // Silent-node detection: register who the schedule expects on the
   // wire this cycle. Skipped under a total blackout — silence proves
   // nothing when no channel can carry a frame.
   if (detector_ != nullptr && channels_available() > 0) {
-    for (int s = 1; s <= cfg_.g_number_of_static_slots; ++s) {
-      const auto occ = table_.message_at(units::SlotId{s}, cycle);
-      if (!occ.has_value()) continue;
-      const net::Message* m = statics_.find(*occ);
-      if (m != nullptr &&
-          member_dead_[static_cast<std::size_t>(m->node)] == 0) {
-        detector_->note_expected(units::NodeId{m->node});
+    for (std::int64_t s = 1; s <= cfg_.g_number_of_static_slots; ++s) {
+      const std::int32_t node = tpl_.node_at(units::SlotId{s}, cycle);
+      if (node >= 0 && member_dead_[static_cast<std::size_t>(node)] == 0) {
+        detector_->note_expected(units::NodeId{node});
       }
     }
   }
@@ -283,15 +293,121 @@ CoEfficientScheduler::peek_dynamic_for_slack(std::int64_t capacity_bits,
   return best;
 }
 
+std::optional<flexray::PendingMessage>
+CoEfficientScheduler::peek_dynamic_cached(std::int64_t capacity_bits,
+                                          sim::Time slot_start) const {
+  std::uint64_t stamp = 0;
+  for (const auto& node : nodes_) stamp += node.dynamic_queue().version();
+  if (!slack_peek_valid_ || stamp != slack_peek_stamp_) {
+    // Same iteration order and comparator as peek_dynamic_for_slack,
+    // minus the waited-a-cycle filter (applied below at query time).
+    slack_peek_best_.reset();
+    for (const auto& node : nodes_) {
+      for (const auto& pending : node.dynamic_queue().contents()) {
+        if (pending.payload_bits > capacity_bits) continue;
+        if (!slack_peek_best_ ||
+            pending.release < slack_peek_best_->release ||
+            (pending.release == slack_peek_best_->release &&
+             pending.priority < slack_peek_best_->priority)) {
+          slack_peek_best_ = pending;
+        }
+      }
+    }
+    slack_peek_stamp_ = stamp;
+    slack_peek_valid_ = true;
+  }
+  if (!slack_peek_best_.has_value()) return std::nullopt;
+  if (slack_peek_best_->release + cycle_duration_ > slot_start) {
+    return std::nullopt;
+  }
+  return slack_peek_best_;
+}
+
 std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
     flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
+  return decide_static(channel, cycle, slot, /*use_slack_cache=*/false);
+}
+
+void CoEfficientScheduler::decide_static_chunk(
+    units::CycleIndex cycle, std::int64_t slot_begin, std::int64_t slot_end,
+    flexray::TransmissionPolicy::StaticChunkSink& sink) {
+  // Bulk fast path: when no retransmission copy is queued and no queued
+  // dynamic message can become slack-eligible anywhere in the chunk,
+  // the per-slot decision collapses — only occupied template cells can
+  // stage a request (the primary), and every idle-wire decision's sole
+  // side effect is one idle_slot_counter_ bump, which batches exactly.
+  // Eligibility grows with slot_start, so checking the cached best at
+  // the chunk's LAST slot bounds the whole chunk.
+  bool dyn_quiet = options_.disable_slack_stealing || degraded_mode_;
+  if (!dyn_quiet) {
+    const sim::Time last_start =
+        cycle_duration_ * cycle.value() +
+        cfg_.static_slot_duration() * (slot_end - 1);
+    dyn_quiet = !peek_dynamic_cached(static_capacity_bits_,
+                                     last_start)
+                     .has_value();
+  }
+  if (retx_jobs_.empty() && dyn_quiet) {
+    const bool a_up = channel_available(flexray::ChannelId::kA);
+    const bool b_up = channel_available(flexray::ChannelId::kB);
+    std::int64_t idle_bumps = 0;
+    for (std::int64_t s = slot_begin; s <= slot_end; ++s) {
+      const units::SlotId slot{s};
+      const net::Message* m = tpl_.message_at(slot, cycle);
+      if (m != nullptr && node_alive(m->node)) {
+        // Primary on the home channel A, failing over to B when A is
+        // dark; the mirror wire of a live occupied slot is idle slack.
+        const flexray::ChannelId primary_ch = a_up ? flexray::ChannelId::kA
+                                                   : flexray::ChannelId::kB;
+        if (a_up || b_up) {
+          const sim::Time slot_start =
+              cycle_duration_ * cycle.value() +
+              cfg_.static_slot_duration() * (s - 1);
+          auto& buffers =
+              nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
+          const auto pending = buffers.read(slot);
+          if (pending.has_value() && pending->release <= slot_start) {
+            buffers.clear(slot);
+            flexray::TxRequest req;
+            req.instance = pending->instance;
+            req.frame_id = units::to_frame_id(slot);
+            req.sender = units::NodeId{m->node};
+            req.payload_bits = pending->payload_bits;
+            req.failover = primary_ch == flexray::ChannelId::kB;
+            sink.stage(slot, primary_ch, req);
+          }
+        }
+        if (a_up && b_up) ++idle_bumps;  // the B mirror
+      } else {
+        // Unoccupied (or dead-producer) cell: idle wire on every
+        // available channel.
+        if (a_up) ++idle_bumps;
+        if (b_up) ++idle_bumps;
+      }
+    }
+    idle_slot_counter_ += idle_bumps;
+    return;
+  }
+
+  for (std::int64_t s = slot_begin; s <= slot_end; ++s) {
+    for (const flexray::ChannelId channel :
+         {flexray::ChannelId::kA, flexray::ChannelId::kB}) {
+      if (auto req = decide_static(channel, cycle, units::SlotId{s},
+                                   /*use_slack_cache=*/true)) {
+        sink.stage(units::SlotId{s}, channel, *req);
+      }
+    }
+  }
+}
+
+std::optional<flexray::TxRequest> CoEfficientScheduler::decide_static(
+    flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot,
+    bool use_slack_cache) {
   const sim::Time slot_start = cycle_duration_ * cycle.value() +
                                cfg_.static_slot_duration() * (slot.value() - 1);
   const sim::Time slot_end = slot_start + cfg_.static_slot_duration();
 
-  const std::optional<int> occupant = table_.message_at(slot, cycle);
-  if (occupant.has_value()) {
-    const net::Message* m = statics_.find(*occupant);
+  if (const net::Message* m = tpl_.message_at(slot, cycle); m != nullptr) {
     if (node_alive(m->node)) {
       // Primary transmission from the owning node's CHI buffer. Its
       // home is channel A; when A is dark the primary fails over to the
@@ -339,13 +455,15 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::static_slot(
   // slot): selective slack stealing, earliest deadline first across the
   // hard retransmission copies and the soft dynamic overflow; a hard
   // copy wins a tie.
-  const std::int64_t capacity = cfg_.static_slot_capacity_bits();
+  const std::int64_t capacity = static_capacity_bits_;
   const auto retx_it = find_retx(capacity, slot_start, slot_end, slot, channel);
   // Degraded mode sheds soft traffic from the static segment entirely:
   // stolen slack is reserved for hard retransmission copies.
-  const auto dyn = options_.disable_slack_stealing || degraded_mode_
-                       ? std::optional<flexray::PendingMessage>{}
-                       : peek_dynamic_for_slack(capacity, slot_start);
+  const auto dyn =
+      options_.disable_slack_stealing || degraded_mode_
+          ? std::optional<flexray::PendingMessage>{}
+          : (use_slack_cache ? peek_dynamic_cached(capacity, slot_start)
+                             : peek_dynamic_for_slack(capacity, slot_start));
   ++idle_slot_counter_;
   // Hard copies normally win the stolen slot, with two exceptions that
   // keep soft response times low (§III-B: soft aperiodics are serviced
@@ -430,6 +548,18 @@ std::optional<flexray::TxRequest> CoEfficientScheduler::dynamic_slot(
   return req;
 }
 
+std::int64_t CoEfficientScheduler::dynamic_next_frame(
+    flexray::ChannelId channel, std::int64_t min_frame) const {
+  // Mirror of dynamic_slot's early-outs: a channel that answers nullopt
+  // unconditionally is idle for the rest of the segment.
+  if (options_.single_channel_dynamics &&
+      channel == flexray::ChannelId::kB) {
+    return flexray::kNoDynamicFrame;
+  }
+  if (!channel_available(channel)) return flexray::kNoDynamicFrame;
+  return queued_dynamic_next_frame(min_frame);
+}
+
 void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   account_outcome(outcome);
   if (outcome.request.retransmission) {
@@ -471,6 +601,9 @@ void CoEfficientScheduler::replan_membership(units::CycleIndex cycle,
     trace_->emit(at, sim::TraceKind::kPlanSwap, cycle.value(),
                  plan_.total_copies(), plan_.degraded ? 1 : 0);
   }
+  // Membership replans reach here from the silent-node detector too
+  // (no topology event, so the base's rebuild does not fire).
+  rebuild_template(TemplateRebuildWhy::kMembership, cycle, at);
 }
 
 void CoEfficientScheduler::on_node_down(units::NodeId node,

@@ -112,14 +112,28 @@ class CoEfficientScheduler : public SchedulerBase {
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
                                                 units::CycleIndex cycle,
                                                 units::SlotId slot) override;
+  /// Compiled-walk batch decide: same decisions as per-slot static_slot
+  /// calls, but the slack peek is served from a version-stamped cache
+  /// (DESIGN.md §12). The interpreted walk keeps the naive per-slot
+  /// scan — it is the differential-testing oracle.
+  void decide_static_chunk(units::CycleIndex cycle, std::int64_t slot_begin,
+                           std::int64_t slot_end,
+                           flexray::TransmissionPolicy::StaticChunkSink& sink)
+      override;
   std::optional<flexray::TxRequest> dynamic_slot(
       flexray::ChannelId channel, units::CycleIndex cycle,
       units::SlotId slot_counter, units::MinislotId minislot,
       std::int64_t minislots_remaining) override;
+  [[nodiscard]] std::int64_t dynamic_next_frame(
+      flexray::ChannelId channel, std::int64_t min_frame) const override;
   void on_tx_complete(const flexray::TxOutcome& outcome) override;
   void on_cycle_end(units::CycleIndex cycle, sim::Time at) override;
 
  protected:
+  [[nodiscard]] const std::unordered_map<int, int>* retransmission_budget()
+      const override {
+    return &copies_by_message_;
+  }
   void on_cycle_start_hook(units::CycleIndex cycle, sim::Time at) override;
   void on_static_release(Instance& inst, const net::Message& m) override;
   void on_dynamic_release(Instance& inst, const net::Message& m,
@@ -154,6 +168,23 @@ class CoEfficientScheduler : public SchedulerBase {
   [[nodiscard]] std::optional<flexray::PendingMessage> peek_dynamic_for_slack(
       std::int64_t capacity_bits, sim::Time slot_start) const;
 
+  /// Memoized peek_dynamic_for_slack for the compiled walk. Caches the
+  /// best *fitting* entry (ignoring the waited-a-cycle filter) keyed by
+  /// the sum of the per-queue version counters; the filter is applied at
+  /// query time. Exact: the cached best has the minimum release among
+  /// fitting entries, so if it has not waited a full cycle, none has.
+  /// Assumes `capacity_bits` is invariant across calls (it is always
+  /// static_slot_capacity_bits()).
+  [[nodiscard]] std::optional<flexray::PendingMessage> peek_dynamic_cached(
+      std::int64_t capacity_bits, sim::Time slot_start) const;
+
+  /// Body of static_slot; `use_slack_cache` selects the memoized peek
+  /// (compiled chunk walk) or the naive scan (interpreted oracle).
+  std::optional<flexray::TxRequest> decide_static(flexray::ChannelId channel,
+                                                  units::CycleIndex cycle,
+                                                  units::SlotId slot,
+                                                  bool use_slack_cache);
+
   /// One stolen slot in kSoftShare is reserved for soft traffic when
   /// both hard copies and soft messages are waiting.
   static constexpr std::int64_t kSoftShare = 4;
@@ -171,6 +202,9 @@ class CoEfficientScheduler : public SchedulerBase {
 
   CoEfficientOptions options_;
   fault::RetransmissionPlan plan_;
+  /// cfg_.static_slot_capacity_bits(), hoisted: the config is immutable
+  /// after construction and the value is read on every slot decision.
+  std::int64_t static_capacity_bits_ = 0;
   std::int64_t idle_slot_counter_ = 0;
   std::unordered_map<int, int> copies_by_message_;  ///< k_z by message id
   std::deque<RetxJob> retx_jobs_;                   ///< EDF-ordered
@@ -179,6 +213,11 @@ class CoEfficientScheduler : public SchedulerBase {
   std::unique_ptr<fault::SilentNodeDetector> detector_;
   std::vector<char> member_dead_;  ///< excluded from the plan, by node
   bool degraded_mode_ = false;
+
+  // Slack-peek cache (compiled walk only; see peek_dynamic_cached).
+  mutable std::uint64_t slack_peek_stamp_ = 0;
+  mutable bool slack_peek_valid_ = false;
+  mutable std::optional<flexray::PendingMessage> slack_peek_best_;
 };
 
 }  // namespace coeff::core

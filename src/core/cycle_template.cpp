@@ -1,0 +1,57 @@
+#include "core/cycle_template.hpp"
+
+namespace coeff::core {
+
+void CycleTemplate::rebuild(const sched::StaticScheduleTable& table,
+                            const net::MessageSet& statics,
+                            const std::unordered_map<int, int>* budget,
+                            std::int64_t num_slots) {
+  num_slots_ = num_slots;
+  period_ = table.table_period_cycles();
+  if (period_ < 1) period_ = 1;
+  const auto n = static_cast<std::size_t>(period_ * num_slots_);
+  message_.assign(n, nullptr);
+  message_id_.assign(n, -1);
+  node_.assign(n, -1);
+  payload_bits_.assign(n, 0);
+  budget_.assign(n, 0);
+  first_cycle_.assign(n, 0);
+
+  // Occupancy only becomes periodic once every placement's phase has
+  // started (cycle >= its base). Sample the table at a steady-state
+  // horizon — the first period boundary past the largest base — and
+  // remember each placement's base as the cell's first active cycle.
+  std::int64_t max_base = 0;
+  for (const auto& a : table.assignments()) {
+    if (a.base_cycle.value() > max_base) max_base = a.base_cycle.value();
+  }
+  const std::int64_t horizon = (max_base + period_ - 1) / period_ * period_;
+
+  for (std::int64_t row = 0; row < period_; ++row) {
+    for (std::int64_t slot = 1; slot <= num_slots_; ++slot) {
+      const auto occupant = table.message_at(units::SlotId{slot},
+                                             units::CycleIndex{horizon + row});
+      if (!occupant.has_value()) continue;
+      // Table entries whose ids are outside the base set (e.g. a
+      // subclass's pre-planned clones) stay idle here; the subclass
+      // resolves them through its own mapping.
+      const net::Message* m = statics.find(*occupant);
+      if (m == nullptr) continue;
+      const std::size_t i =
+          index(units::SlotId{slot}, units::CycleIndex{row});
+      message_[i] = m;
+      message_id_[i] = m->id;
+      node_[i] = m->node;
+      payload_bits_[i] = m->size_bits;
+      const sched::SlotAssignment* a = table.assignment_of(*occupant);
+      first_cycle_[i] = a != nullptr ? a->base_cycle.value() : 0;
+      if (budget != nullptr) {
+        auto it = budget->find(m->id);
+        if (it != budget->end()) budget_[i] = it->second;
+      }
+    }
+  }
+  ++version_;
+}
+
+}  // namespace coeff::core

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "core/hosa.hpp"
@@ -114,6 +115,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   flexray::Cluster cluster(engine, config.cluster, *sched,
                            fault_model->as_corruption_fn(), config.trace);
+  cluster.set_engine_mode(config.engine);
+  // Batched verdicts draw from the same model in wire order, so the
+  // verdict stream matches per-frame draws bit for bit.
+  cluster.set_batch_corruption(fault_model->as_batch_fn());
 
   // Structural fault domain: the injector must outlive the cluster run.
   std::unique_ptr<fault::NodeFaultModel> structural;
@@ -138,12 +143,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   // Run the batch window, then drain whatever the scheme still owes.
+  const auto walk_begin = std::chrono::steady_clock::now();
   cluster.run_until(config.batch_window);
   const std::int64_t window_cycles = cluster.cycles_run();
   const std::int64_t cap = window_cycles * config.max_drain_factor + 64;
   while (sched->work_remaining() && cluster.cycles_run() < cap) {
     cluster.run_cycles(1);
   }
+  result.walk_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    walk_begin)
+          .count();
   result.drained = !sched->work_remaining();
   sched->finalize(engine.now());
 
@@ -163,6 +173,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     stats.dynamic_wire_busy += ch.busy_dynamic;
   }
   result.cycles_run = cycles;
+  result.compiled_cycles = cluster.compiled_cycles();
   if (coeff_ptr != nullptr) result.final_plan = coeff_ptr->plan();
   result.run = stats;
   return result;

@@ -12,6 +12,7 @@
 #include "fault/fault_model.hpp"
 #include "fault/iec61508.hpp"
 #include "fault/structural.hpp"
+#include "flexray/cluster.hpp"
 #include "flexray/config.hpp"
 #include "net/workloads.hpp"
 #include "sim/trace.hpp"
@@ -56,6 +57,11 @@ struct ExperimentConfig {
   bool ablation_uniform_plan = false;
   bool ablation_no_slack = false;
   bool ablation_single_channel = false;
+
+  /// Cycle-walk engine (DESIGN.md §12). Compiled is the default fast
+  /// path; interpreted is the slot-by-slot reference for differential
+  /// testing. Results are byte-identical either way.
+  flexray::EngineMode engine = flexray::EngineMode::kCompiled;
 
   net::ArrivalOptions arrivals;
   std::uint64_t seed = 42;
@@ -106,6 +112,14 @@ struct ExperimentResult {
   /// from the initial plan when the monitor re-planned online.
   fault::RetransmissionPlan final_plan;
   std::int64_t cycles_run = 0;
+  /// Cycles executed by the compiled engine (0 when interpreted; less
+  /// than cycles_run when structural faults forced fallbacks).
+  std::int64_t compiled_cycles = 0;
+  /// Wall-clock seconds spent in the cycle walk (window + drain), i.e.
+  /// excluding scheduler construction, plan solving and finalization.
+  /// cycles_run / walk_seconds is the engine-throughput figure
+  /// bench/micro_cycle reports.
+  double walk_seconds = 0.0;
   bool drained = true;           ///< false if the drain cap was hit
 };
 

@@ -71,9 +71,9 @@ void FspecScheduler::on_cycle_start_hook(units::CycleIndex /*cycle*/,
 
 std::optional<flexray::TxRequest> FspecScheduler::static_slot(
     flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
-  const auto occupant = table_.message_at(slot, cycle);
-  if (!occupant.has_value()) return std::nullopt;  // unreserved slots idle
-  auto it = round_state_.find(*occupant);
+  const int occupant = tpl_.message_id_at(slot, cycle);
+  if (occupant < 0) return std::nullopt;  // unreserved slots idle
+  auto it = round_state_.find(occupant);
   if (it == round_state_.end() || it->second.current == 0) {
     return std::nullopt;  // reserved but no fresh data: wasted occurrence
   }
@@ -104,6 +104,56 @@ std::optional<flexray::TxRequest> FspecScheduler::static_slot(
   req.retransmission = st.rounds_done > 0;
   // Round bookkeeping advances in on_tx_complete on the channel-B copy.
   return req;
+}
+
+void FspecScheduler::decide_static_chunk(
+    units::CycleIndex cycle, std::int64_t slot_begin, std::int64_t slot_end,
+    flexray::TransmissionPolicy::StaticChunkSink& sink) {
+  // Equivalence with the default per-slot loop: the only mutation in
+  // static_slot is the channel-A preemption rotation, which runs before
+  // the release check; the B call then reads the post-rotation train and
+  // builds the identical request (round bookkeeping advances in
+  // on_tx_complete, which the chunk walk defers past the decide phase,
+  // so rounds_done cannot change between the A and B calls). One pass
+  // doing rotation + release check once and staging the A/B pair
+  // reproduces the two-call sequence exactly.
+  const sim::Time slot_duration = cfg_.static_slot_duration();
+  sim::Time slot_start =
+      cycle_duration_ * cycle.value() + slot_duration * (slot_begin - 1);
+  for (std::int64_t s = slot_begin; s <= slot_end;
+       ++s, slot_start = slot_start + slot_duration) {
+    const units::SlotId slot{s};
+    const int occupant = tpl_.message_id_at(slot, cycle);
+    if (occupant < 0) continue;  // unreserved slots idle
+    auto it = round_state_.find(occupant);
+    if (it == round_state_.end() || it->second.current == 0) {
+      continue;  // reserved but no fresh data: wasted occurrence
+    }
+    RoundState& st = it->second;
+    if (st.staged != 0 && st.rounds_done >= 1) {
+      // Best effort: once the old instance has had a shot, fresh data
+      // preempts its remaining retransmission rounds.
+      if (Instance* prev = instances_.find(st.current)) {
+        cancel_copies(*prev, prev->copies_required - prev->copies_sent);
+      }
+      st.current = st.staged;
+      st.staged = 0;
+      st.rounds_done = 0;
+    }
+    Instance* inst = instances_.find(st.current);
+    if (inst == nullptr) {
+      throw std::logic_error("FspecScheduler: round train lost its instance");
+    }
+    if (inst->release > slot_start) continue;
+    flexray::TxRequest req;
+    req.instance = inst->key;
+    req.frame_id = units::to_frame_id(slot);
+    req.sender = units::NodeId{inst->node};
+    req.payload_bits = inst->size_bits;
+    req.retransmission = st.rounds_done > 0;
+    sink.stage(slot, flexray::ChannelId::kA, req);
+    sink.stage(slot, flexray::ChannelId::kB, req);
+  }
 }
 
 std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
@@ -141,6 +191,21 @@ std::optional<flexray::TxRequest> FspecScheduler::dynamic_slot(
   req.payload_bits = pending->payload_bits;
   dynamic_mirror_[slot_counter] = req;  // channel B will replay it
   return req;
+}
+
+std::int64_t FspecScheduler::dynamic_next_frame(flexray::ChannelId channel,
+                                                std::int64_t min_frame) const {
+  if (channel == flexray::ChannelId::kB) {
+    // Channel B only replays what A staged: the mirror map's keys are
+    // the complete set of slot counters B can transmit in.
+    std::int64_t best = flexray::kNoDynamicFrame;
+    for (const auto& [slot_counter, _] : dynamic_mirror_) {
+      const std::int64_t frame = slot_counter.value();
+      if (frame >= min_frame && frame < best) best = frame;
+    }
+    return best;
+  }
+  return queued_dynamic_next_frame(min_frame);
 }
 
 void FspecScheduler::on_node_down(units::NodeId /*node*/,

@@ -45,9 +45,8 @@ void HosaScheduler::on_cycle_start_hook(units::CycleIndex /*cycle*/,
 
 std::optional<flexray::TxRequest> HosaScheduler::static_slot(
     flexray::ChannelId channel, units::CycleIndex cycle, units::SlotId slot) {
-  const auto occupant = table_.message_at(slot, cycle);
-  if (!occupant.has_value()) return std::nullopt;  // idle slacks stay idle
-  const net::Message* m = statics_.find(*occupant);
+  const net::Message* m = tpl_.message_at(slot, cycle);
+  if (m == nullptr) return std::nullopt;  // idle slacks stay idle
   auto& buffers = nodes_.at(static_cast<std::size_t>(m->node)).static_buffers();
   const sim::Time slot_start = cycle_duration_ * cycle.value() +
                                cfg_.static_slot_duration() * (slot.value() - 1);
@@ -65,6 +64,41 @@ std::optional<flexray::TxRequest> HosaScheduler::static_slot(
     buffers.clear(slot);  // the mirrored pair is complete
   }
   return req;
+}
+
+void HosaScheduler::decide_static_chunk(
+    units::CycleIndex cycle, std::int64_t slot_begin, std::int64_t slot_end,
+    flexray::TransmissionPolicy::StaticChunkSink& sink) {
+  // Equivalence with the default per-slot loop: static_slot is a pure
+  // function of the template cell and the slot's buffer — the A call
+  // reads the buffer, the B call reads the same (A does not clear) and
+  // then clears it. Either both channels stage the identical request
+  // (modulo the retransmission flag) or neither does, so one buffer
+  // read per slot with the A/B pair staged together reproduces the
+  // two-call sequence exactly.
+  const sim::Time slot_duration = cfg_.static_slot_duration();
+  sim::Time slot_start =
+      cycle_duration_ * cycle.value() + slot_duration * (slot_begin - 1);
+  for (std::int64_t s = slot_begin; s <= slot_end;
+       ++s, slot_start = slot_start + slot_duration) {
+    const units::SlotId slot{s};
+    const net::Message* m = tpl_.message_at(slot, cycle);
+    if (m == nullptr) continue;
+    auto& buffers =
+        nodes_[static_cast<std::size_t>(m->node)].static_buffers();
+    const auto pending = buffers.read(slot);
+    if (!pending.has_value() || pending->release > slot_start) continue;
+    flexray::TxRequest req;
+    req.instance = pending->instance;
+    req.frame_id = units::to_frame_id(slot);
+    req.sender = units::NodeId{m->node};
+    req.payload_bits = pending->payload_bits;
+    req.retransmission = false;
+    sink.stage(slot, flexray::ChannelId::kA, req);
+    req.retransmission = true;
+    sink.stage(slot, flexray::ChannelId::kB, req);
+    buffers.clear(slot);  // the mirrored pair is complete
+  }
 }
 
 std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
@@ -101,6 +135,19 @@ std::optional<flexray::TxRequest> HosaScheduler::dynamic_slot(
   req.payload_bits = pending->payload_bits;
   dynamic_mirror_[slot_counter] = req;
   return req;
+}
+
+std::int64_t HosaScheduler::dynamic_next_frame(flexray::ChannelId channel,
+                                               std::int64_t min_frame) const {
+  if (channel == flexray::ChannelId::kB) {
+    std::int64_t best = flexray::kNoDynamicFrame;
+    for (const auto& [slot_counter, _] : dynamic_mirror_) {
+      const std::int64_t frame = slot_counter.value();
+      if (frame >= min_frame && frame < best) best = frame;
+    }
+    return best;
+  }
+  return queued_dynamic_next_frame(min_frame);
 }
 
 void HosaScheduler::on_node_down(units::NodeId /*node*/,

@@ -25,10 +25,19 @@ class HosaScheduler : public SchedulerBase {
   std::optional<flexray::TxRequest> static_slot(flexray::ChannelId channel,
                                                 units::CycleIndex cycle,
                                                 units::SlotId slot) override;
+  /// Batched decision path for the compiled walk: one template-row scan
+  /// staging the A/B mirror pair per ready occupant. Stages exactly what
+  /// the default per-slot loop would (see the equivalence note in the
+  /// implementation).
+  void decide_static_chunk(units::CycleIndex cycle, std::int64_t slot_begin,
+                           std::int64_t slot_end,
+                           StaticChunkSink& sink) override;
   std::optional<flexray::TxRequest> dynamic_slot(
       flexray::ChannelId channel, units::CycleIndex cycle,
       units::SlotId slot_counter, units::MinislotId minislot,
       std::int64_t minislots_remaining) override;
+  [[nodiscard]] std::int64_t dynamic_next_frame(
+      flexray::ChannelId channel, std::int64_t min_frame) const override;
   void on_tx_complete(const flexray::TxOutcome& outcome) override;
 
  protected:

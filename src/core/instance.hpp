@@ -67,6 +67,13 @@ class InstanceStore {
 
   void erase(std::uint64_t key) { map_.erase(key); }
 
+  /// Erase during iteration; returns the iterator past the erased
+  /// element (same traversal order as keys(): erasing never rehashes).
+  std::unordered_map<std::uint64_t, Instance>::iterator erase(
+      std::unordered_map<std::uint64_t, Instance>::iterator it) {
+    return map_.erase(it);
+  }
+
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
   /// Stable snapshot of keys (iteration while mutating the store).

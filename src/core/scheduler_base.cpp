@@ -59,6 +59,44 @@ SchedulerBase::SchedulerBase(const flexray::ClusterConfig& cfg,
   }
   for (const auto& m : statics_.messages()) next_static_index_[m.id] = 0;
   node_down_.assign(static_cast<std::size_t>(cfg_.num_nodes), 0);
+
+  // Flatten the frame-id → message map for the FTDMA hot path.
+  int max_frame_id = 0;
+  for (const auto& [frame_id, _] : dynamic_by_frame_id_) {
+    if (frame_id > max_frame_id) max_frame_id = frame_id;
+  }
+  dynamic_frame_lut_.assign(static_cast<std::size_t>(max_frame_id) + 1,
+                            nullptr);
+  for (const auto& [frame_id, m] : dynamic_by_frame_id_) {
+    dynamic_frame_lut_[static_cast<std::size_t>(frame_id)] = m;
+  }
+
+  // First template build. Virtual dispatch is still the base's here, so
+  // the budget column starts empty; a subclass that plans retransmission
+  // copies rebuilds from its own constructor once the plan exists.
+  tpl_.rebuild(table_, statics_, nullptr, cfg_.g_number_of_static_slots);
+}
+
+void SchedulerBase::rebuild_template(TemplateRebuildWhy why,
+                                     units::CycleIndex cycle, sim::Time at) {
+  tpl_.rebuild(table_, statics_, retransmission_budget(),
+               cfg_.g_number_of_static_slots);
+  if (trace_ != nullptr) {
+    trace_->emit(at, sim::TraceKind::kTemplateRebuild, cycle.value(),
+                 tpl_.version(), static_cast<std::int64_t>(why));
+  }
+}
+
+std::int64_t SchedulerBase::queued_dynamic_next_frame(
+    std::int64_t min_frame) const {
+  std::int64_t best = flexray::kNoDynamicFrame;
+  for (const auto& node : nodes_) {
+    for (const auto& pending : node.dynamic_queue().contents()) {
+      const std::int64_t frame = pending.frame_id.value();
+      if (frame >= min_frame && frame < best) best = frame;
+    }
+  }
+  return best;
 }
 
 bool SchedulerBase::node_alive(int node) const {
@@ -118,6 +156,15 @@ void SchedulerBase::on_topology_event(const flexray::TopologyEvent& event,
       on_channel_up(event.channel, cycle, at);
       break;
   }
+  // Every topology event can re-home traffic or change the budget a
+  // subclass hook just re-planned; the template must never serve a
+  // pre-event view to the upcoming segment walk.
+  const bool channel_event =
+      event.kind == flexray::TopologyEventKind::kChannelDown ||
+      event.kind == flexray::TopologyEventKind::kChannelUp;
+  rebuild_template(channel_event ? TemplateRebuildWhy::kChannel
+                                 : TemplateRebuildWhy::kMembership,
+                   cycle, at);
 }
 
 void SchedulerBase::settle_vote(Instance& inst, bool accepted, sim::Time at) {
@@ -134,12 +181,6 @@ void SchedulerBase::settle_vote(Instance& inst, bool accepted, sim::Time at) {
   }
 }
 
-const net::Message* SchedulerBase::dynamic_message_for_frame(
-    int frame_id) const {
-  auto it = dynamic_by_frame_id_.find(frame_id);
-  return it == dynamic_by_frame_id_.end() ? nullptr : it->second;
-}
-
 void SchedulerBase::add_copies(Instance& inst, int copies) {
   inst.copies_required += copies;
   owed_copies_ += copies;
@@ -154,11 +195,19 @@ void SchedulerBase::cancel_copies(Instance& inst, int copies) {
 
 void SchedulerBase::release_statics_until(sim::Time until) {
   const sim::Time cap = std::min(until, batch_window_);
+  // Nothing due: every message's next release is at or past the cap.
+  // The cached minimum makes idle cycles one comparison instead of a
+  // full scan over the static set.
+  if (next_static_release_ >= cap) return;
+  sim::Time next_min = sim::Time::max();
   for (const auto& m : statics_.messages()) {
     std::int64_t& next = next_static_index_[m.id];
     while (true) {
       const sim::Time release = m.offset + m.period * next;
-      if (release >= cap) break;
+      if (release >= cap) {
+        if (release < next_min) next_min = release;
+        break;
+      }
       if (!node_alive(m.node)) {
         // The producing ECU is down: the instance is generated by the
         // application model but never reaches the CHI. Count it so
@@ -181,6 +230,7 @@ void SchedulerBase::release_statics_until(sim::Time until) {
       ++next;
     }
   }
+  next_static_release_ = next_min;
 }
 
 void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
@@ -216,6 +266,17 @@ void SchedulerBase::add_dynamic_arrival(int message_id, sim::Time at) {
 }
 
 void SchedulerBase::on_cycle_start(units::CycleIndex cycle, sim::Time at) {
+  if (!tpl_announced_) {
+    // Announce the constructor-time build once tracing can see it, so
+    // every traced run carries a baseline marker the invalidation lint
+    // rule is armed by.
+    tpl_announced_ = true;
+    if (trace_ != nullptr) {
+      trace_->emit(at, sim::TraceKind::kTemplateRebuild, cycle.value(),
+                   tpl_.version(),
+                   static_cast<std::int64_t>(TemplateRebuildWhy::kInitial));
+    }
+  }
   if (channels_available() < flexray::kNumChannels) {
     ++stats_.channel_down_cycles;
   }
@@ -313,6 +374,7 @@ void SchedulerBase::sweep(sim::Time now) {
   // abandon entries the scheme demonstrably cannot serve — 15 periods
   // past the deadline — so an unservable frame id cannot stall the run.
   for (auto& node : nodes_) {
+    if (node.dynamic_queue().empty()) continue;
     const auto dropped =
         drop_expired_dynamics_
             ? node.dynamic_queue().drop_expired(now)
@@ -328,17 +390,21 @@ void SchedulerBase::sweep(sim::Time now) {
       }
     }
   }
-  for (const std::uint64_t key : instances_.keys()) {
-    Instance* inst = instances_.find(key);
-    if (inst == nullptr) continue;
-    if (!inst->delivered && !inst->miss_recorded && inst->abs_deadline < now) {
-      inst->miss_recorded = true;
-      ++segment(inst->kind).missed;
-      if (inst->vote_k > 0) settle_vote(*inst, false, now);
+  // Direct iterate-and-erase: same traversal order as a keys() snapshot
+  // (erase never rehashes), without the snapshot vector and the
+  // per-key hash lookups.
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    Instance& inst = it->second;
+    if (!inst.delivered && !inst.miss_recorded && inst.abs_deadline < now) {
+      inst.miss_recorded = true;
+      ++segment(inst.kind).missed;
+      if (inst.vote_k > 0) settle_vote(inst, false, now);
     }
-    if (inst->copies_sent >= inst->copies_required &&
-        (inst->delivered || inst->miss_recorded)) {
-      instances_.erase(key);
+    if (inst.copies_sent >= inst.copies_required &&
+        (inst.delivered || inst.miss_recorded)) {
+      it = instances_.erase(it);
+    } else {
+      ++it;
     }
   }
 }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cycle_template.hpp"
 #include "core/instance.hpp"
 #include "core/metrics.hpp"
 #include "flexray/chi.hpp"
@@ -70,7 +71,15 @@ class SchedulerBase : public flexray::TransmissionPolicy {
     return dynamics_;
   }
 
+  /// The compiled (table × plan) lookup the hot paths read from.
+  [[nodiscard]] const CycleTemplate& cycle_template() const { return tpl_; }
+
   // --- TransmissionPolicy (shared parts) -------------------------------
+  /// All SchedulerBase schemes satisfy the compiled-walk contract: slot
+  /// decisions read only decide-side state (CHI buffers, queues, plans)
+  /// and never state written by same-cycle on_tx_complete calls, which
+  /// do pure outcome accounting read at cycle boundaries.
+  [[nodiscard]] bool compiled_capable() const override { return true; }
   void on_cycle_start(units::CycleIndex cycle, sim::Time at) override;
   void on_cycle_end(units::CycleIndex cycle, sim::Time at) override;
   void on_dynamic_declined(flexray::ChannelId channel, units::CycleIndex cycle,
@@ -132,9 +141,35 @@ class SchedulerBase : public flexray::TransmissionPolicy {
                                              : stats_.dynamics;
   }
 
-  /// The node that owns a dynamic frame id, or nullptr.
+  /// The node that owns a dynamic frame id, or nullptr. Flat-array
+  /// lookup (built once: the dynamic set never changes at runtime).
   [[nodiscard]] const net::Message* dynamic_message_for_frame(
-      int frame_id) const;
+      int frame_id) const {
+    const auto idx = static_cast<std::size_t>(frame_id);
+    return frame_id >= 0 && idx < dynamic_frame_lut_.size()
+               ? dynamic_frame_lut_[idx]
+               : nullptr;
+  }
+
+  /// Smallest frame id >= `min_frame` queued in any node's CHI dynamic
+  /// queue, or flexray::kNoDynamicFrame. Shared building block for the
+  /// schemes' dynamic_next_frame overrides (channel-A semantics).
+  [[nodiscard]] std::int64_t queued_dynamic_next_frame(
+      std::int64_t min_frame) const;
+
+  /// The per-message retransmission budget baked into the template
+  /// (k_z by message id), or nullptr when the scheme plans none.
+  [[nodiscard]] virtual const std::unordered_map<int, int>*
+  retransmission_budget() const {
+    return nullptr;
+  }
+
+  /// Recompute the cycle template from (table_, statics_,
+  /// retransmission_budget()) and emit the kTemplateRebuild marker
+  /// (a=cycle, b=version, c=why) the trace linter checks invalidation
+  /// against. Call after ANY input of the template changed.
+  void rebuild_template(TemplateRebuildWhy why, units::CycleIndex cycle,
+                        sim::Time at);
 
   flexray::ClusterConfig cfg_;
   net::MessageSet statics_;
@@ -145,6 +180,8 @@ class SchedulerBase : public flexray::TransmissionPolicy {
 
   InstanceStore instances_;
   std::vector<flexray::Node> nodes_;
+  CycleTemplate tpl_;
+  std::vector<const net::Message*> dynamic_frame_lut_;  ///< by frame id
   std::unordered_map<int, const net::Message*> dynamic_by_frame_id_;
   std::unordered_map<int, std::int64_t> next_static_index_;
   std::unordered_map<int, std::int64_t> next_dynamic_index_;
@@ -157,6 +194,13 @@ class SchedulerBase : public flexray::TransmissionPolicy {
   std::array<bool, flexray::kNumChannels> channel_down_{};
 
  private:
+  bool tpl_announced_ = false;  ///< initial kTemplateRebuild emitted
+  /// Earliest not-yet-released static instance, maintained by
+  /// release_statics_until so cycles with nothing due skip the full
+  /// static scan. Starts at zero (= before any cap) so the first call
+  /// always scans; exact thereafter because the static set and the
+  /// per-message indices only change inside that function.
+  sim::Time next_static_release_;
   void release_statics_until(sim::Time until);
   void sweep(sim::Time now);
   /// Settle every live instance of a crashed producer as source-lost and

@@ -7,12 +7,50 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace coeff::fault {
 
 /// Failure probability of one transmission of `bits` bits at `ber`.
 /// Preconditions: bits >= 0, 0 <= ber <= 1.
 [[nodiscard]] double frame_failure_probability(std::int64_t bits, double ber);
+
+/// Memo of frame_failure_probability for a fixed BER, keyed by frame
+/// size. The verdict hot path calls it once per transmission with one
+/// of a handful of message sizes, so the expm1/log1p pair is paid once
+/// per size instead of once per frame. Returns the exact same double
+/// as the direct call (it IS the direct call, cached), so RNG verdict
+/// streams are unchanged.
+class BerCache {
+ public:
+  BerCache() = default;
+  explicit BerCache(double ber) : ber_(ber) {}
+
+  /// Change the BER; drops every memoized entry.
+  void set_ber(double ber) {
+    ber_ = ber;
+    memo_.clear();
+  }
+  [[nodiscard]] double ber() const { return ber_; }
+
+  [[nodiscard]] double p(std::int64_t bits) {
+    // Frame sizes are bounded by segment capacities (a few kbit);
+    // anything unexpected falls through to the direct computation.
+    if (bits < 0 || bits > kMaxMemoBits) {
+      return frame_failure_probability(bits, ber_);
+    }
+    const auto idx = static_cast<std::size_t>(bits);
+    if (idx >= memo_.size()) memo_.resize(idx + 1, -1.0);
+    double& slot = memo_[idx];
+    if (slot < 0.0) slot = frame_failure_probability(bits, ber_);
+    return slot;
+  }
+
+ private:
+  static constexpr std::int64_t kMaxMemoBits = 1 << 20;
+  double ber_ = 0.0;
+  std::vector<double> memo_;  ///< -1 = not yet computed
+};
 
 /// Probability that an instance fails its initial transmission *and*
 /// all `retransmissions` scheduled copies: p^(k+1).

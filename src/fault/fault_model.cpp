@@ -33,6 +33,8 @@ const char* to_string(FaultModelKind k) {
       return "gilbert-elliott";
     case FaultModelKind::kCommonMode:
       return "common-mode";
+    case FaultModelKind::kIidCounter:
+      return "iid-counter";
   }
   return "?";
 }
@@ -43,6 +45,7 @@ std::optional<FaultModelKind> parse_fault_model_kind(std::string_view name) {
     return FaultModelKind::kGilbertElliott;
   }
   if (name == "common-mode") return FaultModelKind::kCommonMode;
+  if (name == "iid-counter") return FaultModelKind::kIidCounter;
   return std::nullopt;
 }
 
@@ -67,6 +70,19 @@ flexray::CorruptionFn FaultModel::as_corruption_fn() {
                 sim::Time start) { return corrupted(req, channel, start); };
 }
 
+void FaultModel::draw_batch(const flexray::VerdictQuery* queries,
+                            std::size_t n, bool* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = corrupted(*queries[i].request, queries[i].channel,
+                       queries[i].start);
+  }
+}
+
+flexray::BatchCorruptionFn FaultModel::as_batch_fn() {
+  return [this](const flexray::VerdictQuery* queries, std::size_t n,
+                bool* out) { draw_batch(queries, n, out); };
+}
+
 void FaultModel::schedule_ber_step(sim::Time at, double ber) {
   check_probability("ber_step", ber);
   pending_step_ = BerStep{at, ber};
@@ -77,6 +93,8 @@ void FaultModel::schedule_ber_step(sim::Time at, double ber) {
 GilbertElliottModel::GilbertElliottModel(const GilbertElliottParams& params,
                                          std::uint64_t seed)
     : params_(params),
+      good_p_(params.ber_good),
+      bad_p_(params.ber_bad),
       chains_{Chain{sim::Rng{seed ^ 0x414141ULL}},
               Chain{sim::Rng{seed ^ 0x424242ULL}}} {
   check_probability("gilbert_elliott.p_good_to_bad", params.p_good_to_bad);
@@ -95,13 +113,15 @@ bool GilbertElliottModel::draw_verdict(const flexray::TxRequest& req,
   const double p_move =
       chain.bad ? params_.p_bad_to_good : params_.p_good_to_bad;
   if (chain.rng.bernoulli(p_move)) chain.bad = !chain.bad;
-  const double ber = chain.bad ? params_.ber_bad : params_.ber_good;
-  return chain.rng.bernoulli(frame_failure_probability(req.payload_bits, ber));
+  BerCache& memo = chain.bad ? bad_p_ : good_p_;
+  return chain.rng.bernoulli(memo.p(req.payload_bits));
 }
 
 void GilbertElliottModel::apply_ber_step(double ber) {
   params_.ber_good = ber;
   if (params_.ber_bad < ber) params_.ber_bad = ber;
+  good_p_.set_ber(params_.ber_good);
+  bad_p_.set_ber(params_.ber_bad);
 }
 
 std::string GilbertElliottModel::describe() const {
@@ -128,7 +148,7 @@ CommonModeModel::CommonModeModel(double ber, double common_fraction,
 bool CommonModeModel::draw_verdict(const flexray::TxRequest& req,
                                    flexray::ChannelId channel,
                                    sim::Time start) {
-  const double p = frame_failure_probability(req.payload_bits, ber_);
+  const double p = ber_.p(req.payload_bits);
   // Slot-keyed stateless stream: both channels of the same slot (same
   // start time and frame id) derive identical draws, so a common-mode
   // event corrupts both copies together; the independent branch falls
@@ -143,12 +163,41 @@ bool CommonModeModel::draw_verdict(const flexray::TxRequest& req,
   return rngs_[static_cast<std::size_t>(channel)].bernoulli(p);
 }
 
-void CommonModeModel::apply_ber_step(double ber) { ber_ = ber; }
+void CommonModeModel::apply_ber_step(double ber) { ber_.set_ber(ber); }
 
 std::string CommonModeModel::describe() const {
   char buf[96];
   std::snprintf(buf, sizeof buf, "common-mode(ber=%g, common_fraction=%g)",
-                ber_, common_fraction_);
+                ber_.ber(), common_fraction_);
+  return buf;
+}
+
+// --- Counter-based iid --------------------------------------------------
+
+CounterIidModel::CounterIidModel(double ber, std::uint64_t seed)
+    : ber_(ber), philox_(seed) {
+  check_probability("ber", ber);
+}
+
+bool CounterIidModel::draw_verdict(const flexray::TxRequest& req,
+                                   flexray::ChannelId channel,
+                                   sim::Time start) {
+  const double p = ber_.p(req.payload_bits);
+  // Counter layout: c0 = transmission start (unique per slot/minislot,
+  // encodes cycle and slot), c1 = frame id and channel. At most one
+  // frame occupies a (start, frame, channel) triple, so every verdict
+  // has its own counter and the draw order is immaterial.
+  const std::uint64_t c1 =
+      (static_cast<std::uint64_t>(req.frame_id.value()) << 1) |
+      static_cast<std::uint64_t>(channel);
+  return philox_.bernoulli(p, static_cast<std::uint64_t>(start.ns()), c1);
+}
+
+void CounterIidModel::apply_ber_step(double ber) { ber_.set_ber(ber); }
+
+std::string CounterIidModel::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "iid-counter(ber=%g)", ber_.ber());
   return buf;
 }
 
@@ -165,6 +214,8 @@ std::string describe(const FaultModelConfig& config) {
       return GilbertElliottModel(config.gilbert_elliott, 0).describe();
     case FaultModelKind::kCommonMode:
       return CommonModeModel(config.ber, config.common_fraction, 0).describe();
+    case FaultModelKind::kIidCounter:
+      return CounterIidModel(config.ber, 0).describe();
   }
   return "?";
 }
@@ -180,6 +231,8 @@ std::unique_ptr<FaultModel> make_fault_model(const FaultModelConfig& config,
     case FaultModelKind::kCommonMode:
       return std::make_unique<CommonModeModel>(config.ber,
                                                config.common_fraction, seed);
+    case FaultModelKind::kIidCounter:
+      return std::make_unique<CounterIidModel>(config.ber, seed);
   }
   throw std::invalid_argument("make_fault_model: unknown kind");
 }

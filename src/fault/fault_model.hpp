@@ -29,16 +29,23 @@
 #include <string>
 #include <string_view>
 
+#include "fault/ber.hpp"
 #include "flexray/bus.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace coeff::fault {
 
-enum class FaultModelKind : std::uint8_t { kIid, kGilbertElliott, kCommonMode };
+enum class FaultModelKind : std::uint8_t {
+  kIid,
+  kGilbertElliott,
+  kCommonMode,
+  kIidCounter,
+};
 
 [[nodiscard]] const char* to_string(FaultModelKind k);
-/// Accepts the CLI spellings "iid", "gilbert-elliott" and "common-mode".
+/// Accepts the CLI spellings "iid", "gilbert-elliott", "common-mode"
+/// and "iid-counter".
 [[nodiscard]] std::optional<FaultModelKind> parse_fault_model_kind(
     std::string_view name);
 
@@ -56,6 +63,20 @@ class FaultModel {
   /// Adapter usable directly as a Cluster corruption hook. The model
   /// must outlive the returned callable.
   [[nodiscard]] flexray::CorruptionFn as_corruption_fn();
+
+  /// Batched verdicts for the compiled cycle engine: one verdict per
+  /// query, written to `out`. Implemented as a sequential walk over
+  /// corrupted() in query order, so as long as the caller passes the
+  /// queries in exact wire order the resulting verdict stream is
+  /// *identical* to per-frame corrupted() calls — for every model,
+  /// including the stateful Gilbert–Elliott chains. Counters and the
+  /// scheduled BER step advance exactly as in the sequential path.
+  void draw_batch(const flexray::VerdictQuery* queries, std::size_t n,
+                  bool* out);
+
+  /// Adapter usable as a Cluster batch-corruption hook. The model must
+  /// outlive the returned callable.
+  [[nodiscard]] flexray::BatchCorruptionFn as_batch_fn();
 
   /// One-line human-readable description (printed in run headers).
   [[nodiscard]] virtual std::string describe() const = 0;
@@ -120,6 +141,8 @@ class GilbertElliottModel : public FaultModel {
 
  private:
   GilbertElliottParams params_;
+  BerCache good_p_;  ///< failure-probability memo at ber_good
+  BerCache bad_p_;   ///< failure-probability memo at ber_bad
   struct Chain {
     sim::Rng rng;
     bool bad = false;
@@ -136,7 +159,7 @@ class CommonModeModel : public FaultModel {
   CommonModeModel(double ber, double common_fraction, std::uint64_t seed);
 
   [[nodiscard]] std::string describe() const override;
-  [[nodiscard]] double ber() const { return ber_; }
+  [[nodiscard]] double ber() const { return ber_.ber(); }
   [[nodiscard]] double common_fraction() const { return common_fraction_; }
 
  protected:
@@ -145,10 +168,35 @@ class CommonModeModel : public FaultModel {
   void apply_ber_step(double ber) override;
 
  private:
-  double ber_;
+  BerCache ber_;  ///< per-size failure probability memo
   double common_fraction_;
   std::uint64_t seed_;
   std::array<sim::Rng, flexray::kNumChannels> rngs_;
+};
+
+/// Counter-based i.i.d. model: same physics as FaultInjector, but every
+/// verdict is a pure function of (seed, transmission start, frame id,
+/// channel) through Philox4x32 — no sequential stream to replay. The
+/// start time encodes cycle and slot, so the key space matches the
+/// "seed/cycle/slot/channel" contract of the compiled engine and any
+/// subset of verdicts can be drawn in any order (or in parallel)
+/// without perturbing the rest. Statistically equivalent to the iid
+/// model, not stream-identical to it (different generator).
+class CounterIidModel : public FaultModel {
+ public:
+  CounterIidModel(double ber, std::uint64_t seed);
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double ber() const { return ber_.ber(); }
+
+ protected:
+  bool draw_verdict(const flexray::TxRequest& req, flexray::ChannelId channel,
+                    sim::Time start) override;
+  void apply_ber_step(double ber) override;
+
+ private:
+  BerCache ber_;  ///< per-size failure probability memo
+  sim::Philox4x32 philox_;
 };
 
 /// Declarative model selection (experiment configs, CLI flags).

@@ -18,15 +18,15 @@ FaultInjector::FaultInjector(double ber, std::uint64_t seed)
 bool FaultInjector::draw_verdict(const flexray::TxRequest& req,
                                  flexray::ChannelId channel,
                                  sim::Time /*start*/) {
-  const double p = frame_failure_probability(req.payload_bits, ber_);
-  return rngs_[static_cast<std::size_t>(channel)].bernoulli(p);
+  return rngs_[static_cast<std::size_t>(channel)].bernoulli(
+      ber_.p(req.payload_bits));
 }
 
-void FaultInjector::apply_ber_step(double ber) { ber_ = ber; }
+void FaultInjector::apply_ber_step(double ber) { ber_.set_ber(ber); }
 
 std::string FaultInjector::describe() const {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "iid(ber=%g)", ber_);
+  std::snprintf(buf, sizeof buf, "iid(ber=%g)", ber_.ber());
   return buf;
 }
 

@@ -24,7 +24,7 @@ class FaultInjector : public FaultModel {
   FaultInjector(double ber, std::uint64_t seed);
 
   [[nodiscard]] std::string describe() const override;
-  [[nodiscard]] double ber() const { return ber_; }
+  [[nodiscard]] double ber() const { return ber_.ber(); }
 
  protected:
   bool draw_verdict(const flexray::TxRequest& req, flexray::ChannelId channel,
@@ -32,7 +32,7 @@ class FaultInjector : public FaultModel {
   void apply_ber_step(double ber) override;
 
  private:
-  double ber_;
+  BerCache ber_;  ///< per-size failure probability memo
   std::array<sim::Rng, flexray::kNumChannels> rngs_;
 };
 

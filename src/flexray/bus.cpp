@@ -32,6 +32,33 @@ TxOutcome Channel::transmit(const TxRequest& req, sim::Time start,
   return out;
 }
 
+TxOutcome Channel::transmit_with_verdict(const TxRequest& req, sim::Time start,
+                                         sim::Time duration,
+                                         units::CycleIndex cycle,
+                                         units::SlotId slot, Segment segment,
+                                         bool corrupted, bool force_corrupt) {
+  TxOutcome out;
+  out.request = req;
+  out.channel = id_;
+  out.start = start;
+  out.end = start + duration;
+  out.cycle = cycle;
+  out.slot = slot;
+  out.segment = segment;
+  out.corrupted = corrupted || force_corrupt;
+
+  ++stats_.frames;
+  if (out.corrupted) ++stats_.corrupted_frames;
+  if (req.retransmission) ++stats_.retransmission_frames;
+  stats_.payload_bits += req.payload_bits;
+  if (segment == Segment::kStatic) {
+    stats_.busy_static += duration;
+  } else {
+    stats_.busy_dynamic += duration;
+  }
+  return out;
+}
+
 TxOutcome Channel::lose(const TxRequest& req, sim::Time start,
                         sim::Time duration, units::CycleIndex cycle,
                         units::SlotId slot, Segment segment) const {

@@ -76,6 +76,7 @@ void DynamicQueue::push(PendingMessage msg) {
   }
   queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(pos),
                 std::move(msg));
+  ++version_;
   seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
 }
 
@@ -96,6 +97,7 @@ bool DynamicQueue::pop(std::uint64_t instance) {
     if (queue_[i].instance == instance) {
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
       seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++version_;
       return true;
     }
   }
@@ -119,6 +121,7 @@ std::vector<PendingMessage> DynamicQueue::drop_if(
       ++i;
     }
   }
+  if (!dropped.empty()) ++version_;
   return dropped;
 }
 

@@ -97,12 +97,19 @@ class DynamicQueue {
     return queue_;
   }
 
+  /// Monotonic mutation counter: bumped whenever the queued contents
+  /// change. Lets scan results over contents() be memoized exactly (the
+  /// compiled cycle walk's slack peek) — equal versions guarantee equal
+  /// contents.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
  private:
   // Kept sorted by (priority, arrival order). A deque keeps push/pop
   // cheap at the sizes this project uses (tens of messages per node).
   std::deque<PendingMessage> queue_;
   std::uint64_t arrival_seq_ = 0;
   std::deque<std::uint64_t> seqs_;  ///< parallel to queue_
+  std::uint64_t version_ = 0;
 };
 
 /// One ECU node: identity, slot/frame-ID ownership, and its CHI buffers.

@@ -15,10 +15,39 @@
 #include "flexray/fault_domain.hpp"
 #include "flexray/policy.hpp"
 #include "flexray/timing.hpp"
+#include "sim/arena.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace coeff::flexray {
+
+/// How the Cluster walks a cycle. Both engines produce byte-identical
+/// traces, outcomes, and fault-verdict streams (DESIGN.md §12); the
+/// compiled engine is the default and the interpreted one is kept as
+/// the reference for differential testing.
+enum class EngineMode : std::uint8_t {
+  /// Slot-by-slot reference walk: one engine run_until and one policy
+  /// callback round-trip per slot/minislot.
+  kInterpreted,
+  /// Phased walk: static-slot decisions are batched into event-free
+  /// chunks, fault verdicts drawn per chunk (BatchCorruptionFn), idle
+  /// dynamic minislots skipped in one jump, and engine run_until calls
+  /// elided while no event is pending. Requires the policy to report
+  /// compiled_capable(); falls back to the interpreted walk per cycle
+  /// when it does not, or when the structural fault provider reports
+  /// possible wire-level faults in the cycle's window.
+  kCompiled,
+};
+
+[[nodiscard]] constexpr const char* to_string(EngineMode m) {
+  switch (m) {
+    case EngineMode::kInterpreted:
+      return "interpreted";
+    case EngineMode::kCompiled:
+      return "compiled";
+  }
+  return "unknown";
+}
 
 class Cluster {
  public:
@@ -36,6 +65,29 @@ class Cluster {
   }
   [[nodiscard]] const StructuralFaultProvider* fault_provider() const {
     return faults_;
+  }
+
+  /// Select the cycle walk (default: compiled). The interpreted walk is
+  /// the differential-testing reference; both produce identical results.
+  void set_engine_mode(EngineMode mode) { mode_ = mode; }
+  [[nodiscard]] EngineMode engine_mode() const { return mode_; }
+
+  /// Install the batched-verdict hook used by the compiled walk's
+  /// static segment. Must draw from the same underlying model as the
+  /// per-frame CorruptionFn (fault::FaultModel::as_batch_fn does), or
+  /// the two verdict streams desynchronise. Optional: without it the
+  /// compiled walk draws per frame through the CorruptionFn.
+  void set_batch_corruption(BatchCorruptionFn fn) {
+    batch_corruption_ = std::move(fn);
+  }
+
+  /// Cycles executed by the compiled fast path vs. interpreted (either
+  /// by mode, by policy capability, or by structural-fault fallback).
+  [[nodiscard]] std::int64_t compiled_cycles() const {
+    return compiled_cycles_;
+  }
+  [[nodiscard]] std::int64_t interpreted_cycles() const {
+    return next_cycle_.value() - compiled_cycles_;
   }
 
   /// Execute the next `n` communication cycles.
@@ -70,6 +122,17 @@ class Cluster {
   void apply_topology_events(units::CycleIndex cycle, sim::Time at);
   void execute_static_segment(units::CycleIndex cycle);
   void execute_dynamic_segment(units::CycleIndex cycle, ChannelId channel);
+  /// Phased static walk: decide → batched verdicts → commit, chunked at
+  /// pending engine events so arrivals land between the same slots as
+  /// in the interpreted walk.
+  void execute_static_segment_compiled(units::CycleIndex cycle);
+  /// Dynamic walk with run_until elision and idle-minislot skipping.
+  void execute_dynamic_segment_compiled(units::CycleIndex cycle,
+                                        ChannelId channel);
+  /// True when this cycle may run the compiled walk (mode, policy
+  /// capability, structural-fault quiescence over [start, end)).
+  [[nodiscard]] bool compiled_cycle_allowed(sim::Time start,
+                                            sim::Time end) const;
 
   /// Forced-corruption verdict for a frame that did reach the wire:
   /// babbling-idiot collision in its slot or an out-of-sync sender.
@@ -85,6 +148,10 @@ class Cluster {
   sim::Trace* trace_;
   StructuralFaultProvider* faults_ = nullptr;
   units::CycleIndex next_cycle_{0};
+  EngineMode mode_ = EngineMode::kCompiled;
+  BatchCorruptionFn batch_corruption_;
+  sim::Arena arena_;  ///< per-cycle transients (decisions, verdicts)
+  std::int64_t compiled_cycles_ = 0;
 };
 
 }  // namespace coeff::flexray

@@ -80,6 +80,20 @@ class StructuralFaultProvider {
   /// its transmissions miss the action point and are unreceivable.
   [[nodiscard]] virtual bool node_out_of_sync(units::NodeId node,
                                               sim::Time at) const = 0;
+
+  /// May any slot_jammed()/node_out_of_sync() query answer true inside
+  /// [begin, end)? The Cluster's compiled cycle walk runs only through
+  /// cycles where the answer is false (wire-level structural faults are
+  /// per-slot state the phased walk does not model) and falls back to
+  /// the interpreted walk otherwise. The conservative default keeps
+  /// every provider correct; implementations with precomputed windows
+  /// override it with an overlap test.
+  [[nodiscard]] virtual bool wire_faults_possible(sim::Time begin,
+                                                  sim::Time end) const {
+    (void)begin;
+    (void)end;
+    return true;
+  }
 };
 
 }  // namespace coeff::flexray

@@ -6,6 +6,8 @@
 // the FSPEC baseline are implementations of this interface (src/core).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "flexray/bus.hpp"
@@ -14,9 +16,65 @@
 
 namespace coeff::flexray {
 
+/// Sentinel for dynamic_next_frame: the rest of the dynamic segment is
+/// certainly idle on the queried channel.
+inline constexpr std::int64_t kNoDynamicFrame =
+    std::numeric_limits<std::int64_t>::max();
+
 class TransmissionPolicy {
  public:
   virtual ~TransmissionPolicy() = default;
+
+  /// Receives the honoured static-slot requests of decide_static_chunk,
+  /// in the interpreted call order (slot-major, channel A before B).
+  class StaticChunkSink {
+   public:
+    virtual ~StaticChunkSink() = default;
+    virtual void stage(units::SlotId slot, ChannelId channel,
+                       const TxRequest& request) = 0;
+  };
+
+  /// Decide every static slot in [slot_begin, slot_end] (both channels)
+  /// and stage the honoured requests into `sink`. The compiled cycle
+  /// walk calls this once per event-free run of slots; an override may
+  /// batch or memoize its internal lookups, but MUST stage exactly the
+  /// requests the equivalent per-slot static_slot calls would, in the
+  /// same order, with the same side effects. Default: that per-slot
+  /// loop itself.
+  virtual void decide_static_chunk(units::CycleIndex cycle,
+                                   std::int64_t slot_begin,
+                                   std::int64_t slot_end,
+                                   StaticChunkSink& sink) {
+    for (std::int64_t s = slot_begin; s <= slot_end; ++s) {
+      for (const ChannelId channel : {ChannelId::kA, ChannelId::kB}) {
+        if (auto req = static_slot(channel, cycle, units::SlotId{s})) {
+          sink.stage(units::SlotId{s}, channel, *req);
+        }
+      }
+    }
+  }
+
+  /// Opt-in to the Cluster's compiled cycle walk. A policy may return
+  /// true only when its slot decisions never read state written by
+  /// same-cycle on_tx_complete calls (DESIGN.md §12): the compiled walk
+  /// phases a run of static-slot decisions ahead of their outcome
+  /// commits and batches the fault verdicts in between. Default: false
+  /// (the Cluster then uses the interpreted slot-by-slot walk whatever
+  /// the engine mode).
+  [[nodiscard]] virtual bool compiled_capable() const { return false; }
+
+  /// Smallest dynamic frame id >= `min_frame` for which dynamic_slot
+  /// might return a transmission on `channel` this cycle, assuming no
+  /// further arrivals; kNoDynamicFrame when the rest of the segment is
+  /// certainly idle. The compiled walk uses this to skip idle minislots
+  /// in one jump; every skipped call must be side-effect-free and would
+  /// have returned nullopt. The conservative default (min_frame itself)
+  /// disables skipping.
+  [[nodiscard]] virtual std::int64_t dynamic_next_frame(
+      ChannelId channel, std::int64_t min_frame) const {
+    (void)channel;
+    return min_frame;
+  }
 
   /// A topology state change (node crash/restart, channel down/up) was
   /// applied at the boundary of `cycle`. Delivered after on_cycle_start

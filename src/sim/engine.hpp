@@ -39,6 +39,14 @@ class Engine {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::size_t events_fired() const { return fired_; }
 
+  /// Timestamp of the earliest pending event, or `fallback` when the
+  /// queue is empty. Lets callers skip `run_until` calls that would
+  /// only advance the clock (the compiled cycle walk elides per-slot
+  /// run_until when no event fires inside the slot).
+  [[nodiscard]] Time next_event_time(Time fallback = Time::max()) const {
+    return queue_.empty() ? fallback : queue_.next_time();
+  }
+
  private:
   EventQueue queue_;
   Time now_ = Time::zero();

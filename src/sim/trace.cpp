@@ -44,6 +44,8 @@ const char* to_string(TraceKind k) {
       return "failover";
     case TraceKind::kVoteResolved:
       return "vote_resolved";
+    case TraceKind::kTemplateRebuild:
+      return "template_rebuild";
     case TraceKind::kInfo:
       return "info";
   }

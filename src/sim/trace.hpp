@@ -40,6 +40,8 @@ enum class TraceKind : std::uint8_t {
                   ///< b=slot, c=carrying channel, d=payload bits
   kVoteResolved,  ///< replica vote settled; a=message, b=accepted(0/1),
                   ///< c=clean replicas, d=replica count k
+  kTemplateRebuild,  ///< compiled cycle template rebuilt; a=cycle,
+                     ///< b=template version, c=trigger (see TemplateRebuildWhy)
   kInfo,
 };
 

@@ -317,6 +317,72 @@ TEST(TraceLintTest, ConsistentVotesAreClean) {
   EXPECT_FALSE(f.lint().has_rule("trace.vote-consistency"));
 }
 
+// --- engine.template-invalidation --------------------------------------
+
+TEST(TraceLintTest, StaleTemplateTransmissionIsFlagged) {
+  Fixture f;
+  // A rebuild marker arms the rule; a later plan swap is then followed
+  // by a transmission with no second rebuild — the stale-template bug.
+  f.trace.emit(sim::Time::zero(), TraceKind::kTemplateRebuild, 0, 1, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kPlanSwap, 1, 4, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kTxSuccess, 0, 1, 0, 64);
+  EXPECT_TRUE(f.lint().has_rule("engine.template-invalidation"));
+}
+
+TEST(TraceLintTest, MembershipEventWithoutRebuildIsFlagged) {
+  Fixture f;
+  f.trace.emit(sim::Time::zero(), TraceKind::kTemplateRebuild, 0, 1, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kNodeCrash, 2, 1);
+  f.trace.emit(sim::millis(1) + sim::micros(50), TraceKind::kTxSuccess, 0, 2,
+               0, 64);
+  EXPECT_TRUE(f.lint().has_rule("engine.template-invalidation"));
+}
+
+TEST(TraceLintTest, RebuildBeforeNextTxIsClean) {
+  Fixture f;
+  f.trace.emit(sim::Time::zero(), TraceKind::kTemplateRebuild, 0, 1, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kPlanSwap, 1, 4, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kTemplateRebuild, 1, 2, 1);
+  f.trace.emit(sim::millis(1), TraceKind::kTxSuccess, 0, 1, 0, 64);
+  f.trace.emit(sim::millis(2), TraceKind::kChannelDown, 0, 2);
+  f.trace.emit(sim::millis(2), TraceKind::kTemplateRebuild, 2, 3, 3);
+  f.trace.emit(sim::millis(2), TraceKind::kTxSuccess, 0, 1, 1, 64);
+  EXPECT_FALSE(f.lint().has_rule("engine.template-invalidation"));
+}
+
+TEST(TraceLintTest, TracesWithoutRebuildMarkersAreExempt) {
+  Fixture f;
+  // Pre-template trace (or an interpreted-only policy): plan swap then
+  // tx, no markers anywhere — the rule must stay silent.
+  f.trace.emit(sim::millis(1), TraceKind::kPlanSwap, 1, 4, 0);
+  f.trace.emit(sim::millis(1), TraceKind::kTxSuccess, 0, 1, 0, 64);
+  EXPECT_FALSE(f.lint().has_rule("engine.template-invalidation"));
+}
+
+TEST(TraceLintTest, RecordedStructuralRunPassesTemplateInvalidation) {
+  // A real run with crashes, blackouts and a monitor re-plan: the
+  // scheduler's own rebuild discipline must satisfy the rule.
+  core::ExperimentConfig config;
+  config.cluster = core::paper_cluster_apps(25);
+  config.statics = net::brake_by_wire();
+  config.batch_window = sim::millis(100);
+  config.structural.blackouts.push_back(
+      {flexray::ChannelId::kA, sim::millis(5), sim::millis(20)});
+  config.structural.crashes.push_back(
+      {units::NodeId{1}, sim::millis(10), sim::millis(30)});
+  sim::Trace trace;
+  config.trace = &trace;
+  (void)core::run_experiment(config, core::SchemeKind::kCoEfficient);
+  ASSERT_GT(trace.count(TraceKind::kTemplateRebuild), 0u);
+
+  TraceLintInput input;
+  input.trace = &trace;
+  input.cluster = &config.cluster;
+  const Report report = lint_trace(input);
+  EXPECT_FALSE(report.has_rule("engine.template-invalidation"))
+      << report.render_text();
+}
+
 TEST(TraceLintTest, FloodedRuleIsCapped) {
   Fixture f;
   for (int i = 0; i < 20; ++i) {

@@ -1,0 +1,127 @@
+// CycleTemplate: the flattened schedule must agree with the
+// StaticScheduleTable it compiles at every (slot, cycle) — including
+// warm-up cycles before a placement's base cycle, which are idle in the
+// table and must stay idle in the template even though the steady-state
+// pattern is baked per cycle-in-period.
+#include "core/cycle_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/message.hpp"
+#include "sched/schedule_table.hpp"
+
+namespace coeff::core {
+namespace {
+
+net::MessageSet four_statics() {
+  net::MessageSet set;
+  for (int i = 1; i <= 4; ++i) {
+    net::Message m;
+    m.id = i;
+    m.node = i + 10;
+    m.kind = net::MessageKind::kStatic;
+    m.period = sim::millis(1);
+    m.deadline = sim::millis(1);
+    m.size_bits = 100 * i;
+    set.add(m);
+  }
+  return set;
+}
+
+/// Three slots: slot 1 owned every cycle; slot 2 cycle-multiplexed
+/// between two phases of repetition 2; slot 3 owned every cycle but
+/// only from cycle 3 on (offset warm-up: base >= table period, the
+/// regression that once baked FSPEC exclusive slots permanently idle).
+sched::StaticScheduleTable make_table() {
+  std::vector<sched::SlotAssignment> assignments;
+  assignments.push_back({1, units::SlotId{1}, units::CycleIndex{0}, 1, {}});
+  assignments.push_back({2, units::SlotId{2}, units::CycleIndex{1}, 2, {}});
+  assignments.push_back({3, units::SlotId{2}, units::CycleIndex{2}, 2, {}});
+  assignments.push_back({4, units::SlotId{3}, units::CycleIndex{3}, 1, {}});
+  return sched::StaticScheduleTable::from_assignments(std::move(assignments),
+                                                      /*num_slots=*/3);
+}
+
+TEST(CycleTemplateTest, AgreesWithTableEverywhereIncludingWarmUp) {
+  const auto statics = four_statics();
+  const auto table = make_table();
+  CycleTemplate tpl;
+  tpl.rebuild(table, statics, nullptr, /*num_slots=*/3);
+  EXPECT_EQ(tpl.period_cycles(), table.table_period_cycles());
+  EXPECT_FALSE(tpl.empty());
+
+  for (std::int64_t cycle = 0; cycle < 16; ++cycle) {
+    for (std::int64_t slot = 1; slot <= 3; ++slot) {
+      const units::SlotId s{slot};
+      const units::CycleIndex c{cycle};
+      SCOPED_TRACE("slot=" + std::to_string(slot) +
+                   " cycle=" + std::to_string(cycle));
+      const auto expected = table.message_at(s, c);
+      if (expected.has_value()) {
+        const net::Message* m = tpl.message_at(s, c);
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->id, *expected);
+        EXPECT_EQ(tpl.message_id_at(s, c), *expected);
+        EXPECT_EQ(tpl.node_at(s, c), m->node);
+        EXPECT_EQ(tpl.payload_bits_at(s, c), m->size_bits);
+      } else {
+        EXPECT_EQ(tpl.message_at(s, c), nullptr);
+        EXPECT_EQ(tpl.message_id_at(s, c), -1);
+        EXPECT_EQ(tpl.node_at(s, c), -1);
+        EXPECT_EQ(tpl.payload_bits_at(s, c), 0);
+      }
+    }
+  }
+  // The warm-up shape itself, spelled out: slot 3 idle before cycle 3.
+  EXPECT_EQ(tpl.message_at(units::SlotId{3}, units::CycleIndex{0}), nullptr);
+  EXPECT_EQ(tpl.message_at(units::SlotId{3}, units::CycleIndex{2}), nullptr);
+  ASSERT_NE(tpl.message_at(units::SlotId{3}, units::CycleIndex{3}), nullptr);
+  EXPECT_EQ(tpl.message_id_at(units::SlotId{3}, units::CycleIndex{9}), 4);
+}
+
+TEST(CycleTemplateTest, BudgetColumnFollowsThePlanAndGatesOnWarmUp) {
+  const auto statics = four_statics();
+  const auto table = make_table();
+  const std::unordered_map<int, int> budget = {{1, 3}, {4, 2}};
+  CycleTemplate tpl;
+  tpl.rebuild(table, statics, &budget, 3);
+  EXPECT_EQ(tpl.budget_at(units::SlotId{1}, units::CycleIndex{0}), 3);
+  // Unbudgeted occupant -> 0.
+  EXPECT_EQ(tpl.budget_at(units::SlotId{2}, units::CycleIndex{1}), 0);
+  // Budgeted occupant still warming up -> 0, active -> its k_z.
+  EXPECT_EQ(tpl.budget_at(units::SlotId{3}, units::CycleIndex{1}), 0);
+  EXPECT_EQ(tpl.budget_at(units::SlotId{3}, units::CycleIndex{4}), 2);
+}
+
+TEST(CycleTemplateTest, IdsOutsideTheMessageSetStayIdle) {
+  net::MessageSet statics = four_statics();
+  std::vector<sched::SlotAssignment> assignments;
+  assignments.push_back({1, units::SlotId{1}, units::CycleIndex{0}, 1, {}});
+  // A pre-planned clone id (99) with no Message behind it: the template
+  // must leave the occurrence idle for the subclass to resolve.
+  assignments.push_back({99, units::SlotId{2}, units::CycleIndex{0}, 1, {}});
+  const auto table = sched::StaticScheduleTable::from_assignments(
+      std::move(assignments), 2);
+  CycleTemplate tpl;
+  tpl.rebuild(table, statics, nullptr, 2);
+  EXPECT_NE(tpl.message_at(units::SlotId{1}, units::CycleIndex{0}), nullptr);
+  EXPECT_EQ(tpl.message_at(units::SlotId{2}, units::CycleIndex{0}), nullptr);
+}
+
+TEST(CycleTemplateTest, VersionAdvancesPerRebuild) {
+  const auto statics = four_statics();
+  const auto table = make_table();
+  CycleTemplate tpl;
+  EXPECT_EQ(tpl.version(), 0);
+  EXPECT_TRUE(tpl.empty());
+  tpl.rebuild(table, statics, nullptr, 3);
+  EXPECT_EQ(tpl.version(), 1);
+  tpl.rebuild(table, statics, nullptr, 3);
+  EXPECT_EQ(tpl.version(), 2);
+}
+
+}  // namespace
+}  // namespace coeff::core

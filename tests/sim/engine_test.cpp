@@ -111,6 +111,30 @@ TEST(EngineTest, EventsFiredCounterAccumulates) {
   EXPECT_EQ(e.events_fired(), 2u);
 }
 
+TEST(EngineTest, NextEventTimeTracksQueueHead) {
+  Engine e;
+  EXPECT_EQ(e.next_event_time(), Time::max());
+  EXPECT_EQ(e.next_event_time(millis(5)), millis(5));  // explicit fallback
+  e.schedule_at(micros(30), [] {});
+  e.schedule_at(micros(10), [] {});
+  EXPECT_EQ(e.next_event_time(), micros(10));
+  e.run_until(micros(20));
+  EXPECT_EQ(e.next_event_time(), micros(30));
+  e.run_until(micros(40));
+  EXPECT_EQ(e.next_event_time(), Time::max());
+}
+
+// The compiled walk elides run_until whenever next_event_time lies past
+// the chunk; that is only sound if a queue-empty engine reports a time
+// no event can beat and scheduling from inside a callback updates the
+// head immediately.
+TEST(EngineTest, NextEventTimeSeesEventsScheduledFromCallbacks) {
+  Engine e;
+  e.schedule_at(micros(10), [&] { e.schedule_at(micros(25), [] {}); });
+  e.run_until(micros(15));
+  EXPECT_EQ(e.next_event_time(), micros(25));
+}
+
 TEST(EngineTest, ClockNeverMovesBackwards) {
   Engine e;
   std::vector<Time> stamps;
