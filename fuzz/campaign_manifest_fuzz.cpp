@@ -1,0 +1,53 @@
+// libFuzzer harness for the campaign durability parsers.
+//
+// Contract under test: parse_manifest, parse_checkpoint and parse_row
+// never throw and never trip a sanitizer on ANY byte sequence — they
+// are fed files that a kill -9 may have torn at an arbitrary byte, or
+// that a sick disk may have scrambled outright. Acceptance has its own
+// invariant: anything parse_manifest accepts must render back to bytes
+// it accepts again (the manifest rewrite on campaign completion depends
+// on that), and an accepted result row must round-trip through
+// render_row/parse_row.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const auto manifest = coeff::campaign::parse_manifest(bytes);
+  if (manifest.ok) {
+    const std::string rendered =
+        coeff::campaign::render_manifest(manifest.manifest);
+    if (!coeff::campaign::parse_manifest(rendered).ok) {
+      __builtin_trap();  // accepted manifest must re-render acceptably
+    }
+  }
+
+  const auto checkpoint = coeff::campaign::parse_checkpoint(bytes);
+  (void)checkpoint;
+
+  // Result rows are single lines; feed each line of the input.
+  std::size_t start = 0;
+  while (start <= bytes.size()) {
+    auto newline = bytes.find('\n', start);
+    if (newline == std::string_view::npos) newline = bytes.size();
+    const auto row =
+        coeff::campaign::parse_row(bytes.substr(start, newline - start));
+    if (row.has_value()) {
+      const auto again =
+          coeff::campaign::parse_row(coeff::campaign::render_row(*row));
+      if (!again.has_value()) {
+        __builtin_trap();  // accepted row must round-trip
+      }
+    }
+    if (newline == bytes.size()) break;
+    start = newline + 1;
+  }
+  return 0;
+}

@@ -135,6 +135,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"engine.template-invalidation", Severity::kError,
        "transmission while the compiled cycle template was stale (plan "
        "swap / membership / channel event without a rebuild marker)"},
+      // --- CampaignLint ---------------------------------------------------
+      {"campaign.manifest-consistency", Severity::kError,
+       "campaign manifest, shard checkpoints and result rows disagree "
+       "(corruption, identity mismatch, or unaccounted cells)"},
   };
   return kCatalog;
 }

@@ -1,0 +1,23 @@
+// Campaign directory consistency lint (rule campaign.manifest-consistency).
+//
+// Cross-checks the three durable artifacts a campaign leaves behind —
+// manifest, per-shard checkpoints, per-shard result files — against
+// each other. Expected kill -9 residue (torn tails, rows without a
+// done record yet) lints as warnings; anything that should be
+// impossible under the write ordering (done without a durable row,
+// checkpoint identity disagreeing with the manifest, a "complete"
+// campaign with unaccounted cells, mid-file corruption) is an error.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+
+namespace coeff::campaign {
+
+/// Lint the campaign directory `dir`. All diagnostics use the
+/// `campaign.manifest-consistency` rule; `Location::record` carries the
+/// cell number where one is implicated.
+[[nodiscard]] analysis::Report lint_campaign(const std::string& dir);
+
+}  // namespace coeff::campaign

@@ -1,0 +1,298 @@
+#include "campaign/manifest.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "campaign/checkpoint.hpp"
+
+namespace coeff::campaign {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+/// Strict double parse (whole field must be consumed, finite result).
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+bool parse_u64_field(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_i64_field(const std::string& text, std::int64_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64_field(text, wide) || wide > INT64_MAX) return false;
+  out = static_cast<std::int64_t>(wide);
+  return true;
+}
+
+bool parse_int_field(const std::string& text, int& out) {
+  std::int64_t wide = 0;
+  if (!parse_i64_field(text, wide) || wide > INT32_MAX) return false;
+  out = static_cast<int>(wide);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Isolation isolation) {
+  return isolation == Isolation::kProcess ? "process" : "thread";
+}
+
+void CampaignManifest::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("campaign: ") + what);
+  };
+  require(cells > 0, "campaign needs at least one cell");
+  require(shards >= 1 && shards <= 4096, "shards must be in [1, 4096]");
+  require(watchdog_ms > 0, "watchdog must be positive");
+  require(max_attempts >= 1 && max_attempts <= 16,
+          "max attempts must be in [1, 16]");
+  require(backoff_base_ms >= 0, "backoff base must be non-negative");
+  require(status == "running" || status == "complete" || status == "degraded",
+          "unknown campaign status");
+  distribution.validate();
+}
+
+std::string render_manifest(const CampaignManifest& manifest) {
+  std::string body = "coeffcamp-manifest v1\n";
+  auto kv = [&body](const char* key, const std::string& value) {
+    body += key;
+    body += '=';
+    body += value;
+    body += '\n';
+  };
+  kv("name", manifest.name);
+  kv("seed", std::to_string(manifest.seed));
+  kv("cells", std::to_string(manifest.cells));
+  kv("shards", std::to_string(manifest.shards));
+  kv("isolation", to_string(manifest.isolation));
+  kv("watchdog_ms", std::to_string(manifest.watchdog_ms));
+  kv("max_attempts", std::to_string(manifest.max_attempts));
+  kv("backoff_base_ms", std::to_string(manifest.backoff_base_ms));
+  const ScenarioDistribution& d = manifest.distribution;
+  kv("min_nodes", std::to_string(d.min_nodes));
+  kv("max_nodes", std::to_string(d.max_nodes));
+  kv("min_statics", std::to_string(d.min_statics));
+  kv("max_statics", std::to_string(d.max_statics));
+  kv("max_dynamics", std::to_string(d.max_dynamics));
+  kv("min_util", format_double(d.min_util));
+  kv("max_util", format_double(d.max_util));
+  kv("min_log10_ber", format_double(d.min_log10_ber));
+  kv("max_log10_ber", format_double(d.max_log10_ber));
+  std::string schemes;
+  for (const core::SchemeKind scheme : d.schemes) {
+    if (!schemes.empty()) schemes += ',';
+    schemes += scheme_tag(scheme);
+  }
+  kv("schemes", schemes);
+  kv("window_ms", std::to_string(d.window_ms));
+  kv("status", manifest.status);
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof crc_line, "#crc32=%08" PRIX32, crc32(body));
+  return body + crc_line + "\n";
+}
+
+ManifestLoad parse_manifest(std::string_view bytes) {
+  ManifestLoad load;
+  // Split off the CRC trailer first: the last non-empty line must be
+  // "#crc32=XXXXXXXX" and must match everything before it.
+  const auto trailer_at = bytes.rfind("#crc32=");
+  if (trailer_at == std::string_view::npos) {
+    load.error = "manifest: missing crc trailer";
+    return load;
+  }
+  const std::string_view body = bytes.substr(0, trailer_at);
+  std::string_view trailer = bytes.substr(trailer_at);
+  if (!trailer.empty() && trailer.back() == '\n') trailer.remove_suffix(1);
+  if (trailer.size() != 15) {
+    load.error = "manifest: malformed crc trailer";
+    return load;
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = 7; i < trailer.size(); ++i) {
+    const char c = trailer[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A') + 10;
+    } else {
+      load.error = "manifest: malformed crc trailer";
+      return load;
+    }
+    stored = (stored << 4) | digit;
+  }
+  if (crc32(body) != stored) {
+    load.error = "manifest: crc mismatch (torn or corrupt)";
+    return load;
+  }
+
+  CampaignManifest& m = load.manifest;
+  bool saw_magic = false;
+  std::size_t start = 0;
+  while (start < body.size()) {
+    auto newline = body.find('\n', start);
+    if (newline == std::string_view::npos) newline = body.size();
+    const std::string line(body.substr(start, newline - start));
+    start = newline + 1;
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != "coeffcamp-manifest v1") {
+        load.error = "manifest: unsupported version or bad magic";
+        return load;
+      }
+      saw_magic = true;
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      load.error = "manifest: malformed line '" + line + "'";
+      return load;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    ScenarioDistribution& d = m.distribution;
+    bool ok = true;
+    if (key == "name") {
+      m.name = value;
+    } else if (key == "seed") {
+      ok = parse_u64_field(value, m.seed);
+    } else if (key == "cells") {
+      ok = parse_i64_field(value, m.cells);
+    } else if (key == "shards") {
+      ok = parse_int_field(value, m.shards);
+    } else if (key == "isolation") {
+      if (value == "process") {
+        m.isolation = Isolation::kProcess;
+      } else if (value == "thread") {
+        m.isolation = Isolation::kThread;
+      } else {
+        ok = false;
+      }
+    } else if (key == "watchdog_ms") {
+      ok = parse_i64_field(value, m.watchdog_ms);
+    } else if (key == "max_attempts") {
+      ok = parse_int_field(value, m.max_attempts);
+    } else if (key == "backoff_base_ms") {
+      ok = parse_i64_field(value, m.backoff_base_ms);
+    } else if (key == "min_nodes") {
+      ok = parse_int_field(value, d.min_nodes);
+    } else if (key == "max_nodes") {
+      ok = parse_int_field(value, d.max_nodes);
+    } else if (key == "min_statics") {
+      ok = parse_int_field(value, d.min_statics);
+    } else if (key == "max_statics") {
+      ok = parse_int_field(value, d.max_statics);
+    } else if (key == "max_dynamics") {
+      ok = parse_int_field(value, d.max_dynamics);
+    } else if (key == "min_util") {
+      ok = parse_double(value, d.min_util);
+    } else if (key == "max_util") {
+      ok = parse_double(value, d.max_util);
+    } else if (key == "min_log10_ber") {
+      ok = parse_double(value, d.min_log10_ber);
+    } else if (key == "max_log10_ber") {
+      ok = parse_double(value, d.max_log10_ber);
+    } else if (key == "schemes") {
+      d.schemes.clear();
+      std::size_t at = 0;
+      while (at <= value.size()) {
+        auto comma = value.find(',', at);
+        if (comma == std::string::npos) comma = value.size();
+        const auto scheme = parse_scheme_tag(
+            std::string_view(value).substr(at, comma - at));
+        if (!scheme.has_value()) {
+          ok = false;
+          break;
+        }
+        d.schemes.push_back(*scheme);
+        if (comma == value.size()) break;
+        at = comma + 1;
+      }
+      ok = ok && !d.schemes.empty();
+    } else if (key == "window_ms") {
+      ok = parse_i64_field(value, d.window_ms);
+    } else if (key == "status") {
+      m.status = value;
+    } else {
+      // Unknown keys are an error: a manifest is not a place for
+      // silent drift between writer and reader versions.
+      ok = false;
+    }
+    if (!ok) {
+      load.error = "manifest: bad field '" + key + "'";
+      return load;
+    }
+  }
+  if (!saw_magic) {
+    load.error = "manifest: empty";
+    return load;
+  }
+  try {
+    m.validate();
+  } catch (const std::exception& e) {
+    load.error = std::string("manifest: ") + e.what();
+    return load;
+  }
+  load.ok = true;
+  return load;
+}
+
+ManifestLoad load_manifest(const std::string& path) {
+  const auto bytes = read_file(path);
+  if (!bytes.has_value()) {
+    ManifestLoad load;
+    load.error = "cannot read " + path;
+    return load;
+  }
+  return parse_manifest(*bytes);
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.coeffcamp";
+}
+
+std::string lock_path(const std::string& dir) { return dir + "/.lock"; }
+
+std::string shard_checkpoint_path(const std::string& dir, int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/shard-%04d.ckpt", shard);
+  return dir + buf;
+}
+
+std::string shard_results_path(const std::string& dir, int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/shard-%04d.jsonl", shard);
+  return dir + buf;
+}
+
+bool write_manifest(const std::string& dir, const CampaignManifest& manifest,
+                    std::string* error) {
+  return atomic_write_file(manifest_path(dir), render_manifest(manifest),
+                           error);
+}
+
+}  // namespace coeff::campaign

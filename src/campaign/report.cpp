@@ -1,0 +1,507 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "campaign/checkpoint.hpp"
+
+namespace coeff::campaign {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }  // control characters are dropped: tags never contain them
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+/// Extract the raw value text of `"key":` in a flat JSON object.
+/// Handles string values (returns unescaped content) and bare scalar
+/// tokens; nullopt when absent or malformed.
+std::optional<std::string> json_field(std::string_view line,
+                                      std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    std::string out;
+    for (++i; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        if (i + 1 >= line.size()) return std::nullopt;
+        out += line[++i];
+      } else if (line[i] == '"') {
+        return out;
+      } else {
+        out += line[i];
+      }
+    }
+    return std::nullopt;  // unterminated string
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ' ') {
+    ++end;
+  }
+  if (end == i) return std::nullopt;
+  return std::string(line.substr(i, end - i));
+}
+
+bool to_i64(const std::optional<std::string>& text, std::int64_t& out) {
+  if (!text.has_value() || text->empty() || text->size() > 20) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text->c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool to_u64(const std::optional<std::string>& text, std::uint64_t& out) {
+  if (!text.has_value() || text->empty() || text->size() > 20 ||
+      (*text)[0] == '-') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text->c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool to_double(const std::optional<std::string>& text, double& out) {
+  if (!text.has_value() || text->empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+bool to_int(const std::optional<std::string>& text, int& out) {
+  std::int64_t wide = 0;
+  if (!to_i64(text, wide) || wide < INT32_MIN || wide > INT32_MAX) {
+    return false;
+  }
+  out = static_cast<int>(wide);
+  return true;
+}
+
+void fold_group(std::map<std::string, GroupStat>& groups,
+                const std::string& key, const ResultRow& row) {
+  GroupStat& stat = groups[key];
+  ++stat.cells;
+  stat.released += row.released;
+  stat.missed += row.missed;
+  stat.miss_ratio_sum += row.miss_ratio;
+}
+
+void render_groups(std::string& out, const char* title,
+                   const std::map<std::string, GroupStat>& groups) {
+  if (groups.empty()) return;
+  out += title;
+  out += ":\n";
+  for (const auto& [key, stat] : groups) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-24s cells=%-6" PRId64 " released=%-9" PRId64
+                  " missed=%-7" PRId64 " mean_miss=%s\n",
+                  key.c_str(), stat.cells, stat.released, stat.missed,
+                  format_double(stat.cells > 0
+                                    ? stat.miss_ratio_sum /
+                                          static_cast<double>(stat.cells)
+                                    : 0.0)
+                      .c_str());
+    out += buf;
+  }
+}
+
+void render_groups_json(std::string& out, const char* key,
+                        const std::map<std::string, GroupStat>& groups) {
+  out += "\"";
+  out += key;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [name, stat] : groups) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"cells\":" + std::to_string(stat.cells);
+    out += ",\"released\":" + std::to_string(stat.released);
+    out += ",\"missed\":" + std::to_string(stat.missed);
+    out += ",\"mean_miss\":" +
+           format_double(stat.cells > 0 ? stat.miss_ratio_sum /
+                                              static_cast<double>(stat.cells)
+                                        : 0.0);
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+ResultRow make_row(const ScenarioSpec& spec,
+                   const core::ExperimentResult& result) {
+  ResultRow row;
+  row.cell = spec.cell;
+  row.seed = spec.seed;
+  row.status = "ok";
+  row.scheme = scheme_tag(spec.scheme);
+  row.fault = fault::to_string(spec.fault_model.kind);
+  row.structural = to_string(spec.structural);
+  row.nodes = spec.nodes;
+  row.statics = spec.num_statics;
+  row.dynamics = spec.num_dynamics;
+  row.util = spec.utilization;
+  row.ber = spec.fault_model.ber;
+  const core::RunStats& run = result.run;
+  row.released = run.statics.released + run.dynamics.released;
+  row.delivered = run.statics.delivered + run.dynamics.delivered;
+  row.missed = run.statics.missed + run.dynamics.missed;
+  row.source_lost = run.statics.source_lost + run.dynamics.source_lost;
+  row.copies_sent = run.statics.copies_sent + run.dynamics.copies_sent;
+  row.cycles = result.cycles_run;
+  row.miss_ratio = run.overall_miss_ratio();
+  row.degraded = run.plan_degraded;
+  row.plan_swaps = run.plan_swaps;
+  row.failovers = run.failovers;
+  row.frames_lost = run.frames_lost;
+  return row;
+}
+
+ResultRow make_failed_row(const ScenarioSpec& spec, int attempts,
+                          const std::string& reason) {
+  ResultRow row;
+  row.cell = spec.cell;
+  row.seed = spec.seed;
+  row.status = "failed";
+  row.scheme = scheme_tag(spec.scheme);
+  row.fault = fault::to_string(spec.fault_model.kind);
+  row.structural = to_string(spec.structural);
+  row.nodes = spec.nodes;
+  row.statics = spec.num_statics;
+  row.dynamics = spec.num_dynamics;
+  row.util = spec.utilization;
+  row.ber = spec.fault_model.ber;
+  row.attempts = attempts;
+  row.reason = reason;
+  return row;
+}
+
+ResultRow make_shed_row(const ScenarioSpec& spec) {
+  ResultRow row;
+  row.cell = spec.cell;
+  row.seed = spec.seed;
+  row.status = "shed";
+  return row;
+}
+
+std::string render_row(const ResultRow& row) {
+  std::string out = "{\"cell\":" + std::to_string(row.cell);
+  out += ",\"seed\":" + std::to_string(row.seed);
+  out += ",\"status\":\"" + json_escape(row.status) + "\"";
+  if (row.status == "shed") {
+    // Degraded-path minimal row: identity only, never lies about detail.
+    out += '}';
+    return out;
+  }
+  out += ",\"scheme\":\"" + json_escape(row.scheme) + "\"";
+  out += ",\"fault\":\"" + json_escape(row.fault) + "\"";
+  out += ",\"structural\":\"" + json_escape(row.structural) + "\"";
+  out += ",\"nodes\":" + std::to_string(row.nodes);
+  out += ",\"statics\":" + std::to_string(row.statics);
+  out += ",\"dynamics\":" + std::to_string(row.dynamics);
+  out += ",\"util\":" + format_double(row.util);
+  out += ",\"ber\":" + format_double(row.ber);
+  if (row.status == "failed") {
+    out += ",\"attempts\":" + std::to_string(row.attempts);
+    out += ",\"reason\":\"" + json_escape(row.reason) + "\"";
+    out += '}';
+    return out;
+  }
+  out += ",\"released\":" + std::to_string(row.released);
+  out += ",\"delivered\":" + std::to_string(row.delivered);
+  out += ",\"missed\":" + std::to_string(row.missed);
+  out += ",\"source_lost\":" + std::to_string(row.source_lost);
+  out += ",\"copies_sent\":" + std::to_string(row.copies_sent);
+  out += ",\"cycles\":" + std::to_string(row.cycles);
+  out += ",\"miss_ratio\":" + format_double(row.miss_ratio);
+  out += ",\"degraded\":" + std::string(row.degraded ? "true" : "false");
+  out += ",\"plan_swaps\":" + std::to_string(row.plan_swaps);
+  out += ",\"failovers\":" + std::to_string(row.failovers);
+  out += ",\"frames_lost\":" + std::to_string(row.frames_lost);
+  out += '}';
+  return out;
+}
+
+std::optional<ResultRow> parse_row(std::string_view line) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;
+  }
+  ResultRow row;
+  if (!to_i64(json_field(line, "cell"), row.cell) || row.cell < 0) {
+    return std::nullopt;
+  }
+  if (!to_u64(json_field(line, "seed"), row.seed)) return std::nullopt;
+  const auto status = json_field(line, "status");
+  if (!status.has_value() ||
+      (*status != "ok" && *status != "failed" && *status != "shed")) {
+    return std::nullopt;
+  }
+  row.status = *status;
+  if (row.status == "shed") return row;
+
+  const auto scheme = json_field(line, "scheme");
+  const auto fault = json_field(line, "fault");
+  const auto structural = json_field(line, "structural");
+  if (!scheme.has_value() || !fault.has_value() || !structural.has_value()) {
+    return std::nullopt;
+  }
+  row.scheme = *scheme;
+  row.fault = *fault;
+  row.structural = *structural;
+  if (!to_int(json_field(line, "nodes"), row.nodes) ||
+      !to_int(json_field(line, "statics"), row.statics) ||
+      !to_int(json_field(line, "dynamics"), row.dynamics) ||
+      !to_double(json_field(line, "util"), row.util) ||
+      !to_double(json_field(line, "ber"), row.ber)) {
+    return std::nullopt;
+  }
+  if (row.status == "failed") {
+    const auto reason = json_field(line, "reason");
+    if (!to_int(json_field(line, "attempts"), row.attempts) ||
+        !reason.has_value()) {
+      return std::nullopt;
+    }
+    row.reason = *reason;
+    return row;
+  }
+  const auto degraded = json_field(line, "degraded");
+  if (!to_i64(json_field(line, "released"), row.released) ||
+      !to_i64(json_field(line, "delivered"), row.delivered) ||
+      !to_i64(json_field(line, "missed"), row.missed) ||
+      !to_i64(json_field(line, "source_lost"), row.source_lost) ||
+      !to_i64(json_field(line, "copies_sent"), row.copies_sent) ||
+      !to_i64(json_field(line, "cycles"), row.cycles) ||
+      !to_double(json_field(line, "miss_ratio"), row.miss_ratio) ||
+      !degraded.has_value() ||
+      (*degraded != "true" && *degraded != "false") ||
+      !to_i64(json_field(line, "plan_swaps"), row.plan_swaps) ||
+      !to_i64(json_field(line, "failovers"), row.failovers) ||
+      !to_i64(json_field(line, "frames_lost"), row.frames_lost)) {
+    return std::nullopt;
+  }
+  row.degraded = *degraded == "true";
+  return row;
+}
+
+ResultScan scan_results(const std::string& dir,
+                        const CampaignManifest& manifest) {
+  ResultScan scan;
+  std::unordered_map<std::int64_t, std::size_t> by_cell;
+  for (int shard = 0; shard < manifest.shards; ++shard) {
+    const std::string path = shard_results_path(dir, shard);
+    const auto bytes = read_file(path);
+    if (!bytes.has_value()) continue;  // shard not started yet
+    std::size_t start = 0;
+    while (start < bytes->size()) {
+      const auto newline = bytes->find('\n', start);
+      if (newline == std::string::npos) {
+        ++scan.torn_tail_lines;
+        break;
+      }
+      const std::string_view line =
+          std::string_view(*bytes).substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      auto row = parse_row(line);
+      if (!row.has_value()) {
+        // A complete-but-unparseable line mid-file is garbage worth
+        // counting; the lint rule turns it into a diagnostic.
+        ++scan.unparsed_lines;
+        continue;
+      }
+      const auto it = by_cell.find(row->cell);
+      if (it != by_cell.end()) {
+        ++scan.duplicate_rows;
+        scan.rows[it->second] = std::move(*row);  // keep-last
+      } else {
+        by_cell.emplace(row->cell, scan.rows.size());
+        scan.rows.push_back(std::move(*row));
+      }
+    }
+  }
+  std::sort(scan.rows.begin(), scan.rows.end(),
+            [](const ResultRow& a, const ResultRow& b) {
+              return a.cell < b.cell;
+            });
+  return scan;
+}
+
+CampaignAggregate aggregate_rows(const std::vector<ResultRow>& rows,
+                                 std::int64_t expected_cells) {
+  CampaignAggregate agg;
+  agg.expected = expected_cells;
+  std::vector<bool> seen(
+      expected_cells > 0 ? static_cast<std::size_t>(expected_cells) : 0,
+      false);
+  for (const ResultRow& row : rows) {
+    if (row.cell >= 0 && row.cell < expected_cells) {
+      seen[static_cast<std::size_t>(row.cell)] = true;
+    }
+    if (row.status == "failed") {
+      ++agg.failed;
+      agg.quarantined.push_back(row);
+      continue;
+    }
+    if (row.status == "shed") {
+      ++agg.shed;
+      continue;
+    }
+    ++agg.ok;
+    agg.released += row.released;
+    agg.delivered += row.delivered;
+    agg.missed += row.missed;
+    agg.source_lost += row.source_lost;
+    agg.copies_sent += row.copies_sent;
+    agg.cycles += row.cycles;
+    agg.plan_swaps += row.plan_swaps;
+    agg.failovers += row.failovers;
+    if (row.degraded) ++agg.degraded_plans;
+    agg.miss_ratio_mean += row.miss_ratio;
+    agg.miss_ratio_max = std::max(agg.miss_ratio_max, row.miss_ratio);
+    fold_group(agg.by_scheme, row.scheme, row);
+    fold_group(agg.by_fault, row.fault, row);
+    fold_group(agg.by_structural, row.structural, row);
+  }
+  if (agg.ok > 0) agg.miss_ratio_mean /= static_cast<double>(agg.ok);
+  for (std::int64_t cell = 0; cell < expected_cells; ++cell) {
+    if (!seen[static_cast<std::size_t>(cell)]) {
+      ++agg.missing;
+      if (agg.missing_cells.size() < 16) agg.missing_cells.push_back(cell);
+    }
+  }
+  return agg;
+}
+
+std::string render_report_text(const CampaignAggregate& agg,
+                               const CampaignManifest& manifest) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "campaign  : %s seed=%" PRIu64 " cells=%" PRId64
+                " shards=%d isolation=%s\n",
+                manifest.name.c_str(), manifest.seed, manifest.cells,
+                manifest.shards, to_string(manifest.isolation));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "cells     : ok=%" PRId64 " failed=%" PRId64 " shed=%" PRId64
+                " missing=%" PRId64 " / %" PRId64 "\n",
+                agg.ok, agg.failed, agg.shed, agg.missing, agg.expected);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "instances : released=%" PRId64 " delivered=%" PRId64
+                " missed=%" PRId64 " source_lost=%" PRId64 "\n",
+                agg.released, agg.delivered, agg.missed, agg.source_lost);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "miss      : mean=%s max=%s | degraded_plans=%" PRId64
+                " plan_swaps=%" PRId64 " failovers=%" PRId64 "\n",
+                format_double(agg.miss_ratio_mean).c_str(),
+                format_double(agg.miss_ratio_max).c_str(), agg.degraded_plans,
+                agg.plan_swaps, agg.failovers);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "wire      : copies_sent=%" PRId64 " cycles=%" PRId64 "\n",
+                agg.copies_sent, agg.cycles);
+  out += buf;
+  render_groups(out, "by scheme", agg.by_scheme);
+  render_groups(out, "by fault model", agg.by_fault);
+  render_groups(out, "by structural fault", agg.by_structural);
+  if (!agg.quarantined.empty()) {
+    out += "quarantined cells (rerun with the repro seed):\n";
+    for (const ResultRow& row : agg.quarantined) {
+      std::snprintf(buf, sizeof buf,
+                    "  cell=%" PRId64 " seed=%" PRIu64
+                    " attempts=%d reason=%s scheme=%s fault=%s+%s\n",
+                    row.cell, row.seed, row.attempts, row.reason.c_str(),
+                    row.scheme.c_str(), row.fault.c_str(),
+                    row.structural.c_str());
+      out += buf;
+    }
+  }
+  if (!agg.missing_cells.empty()) {
+    out += "missing cells:";
+    for (const std::int64_t cell : agg.missing_cells) {
+      out += ' ';
+      out += std::to_string(cell);
+    }
+    if (agg.missing > static_cast<std::int64_t>(agg.missing_cells.size())) {
+      out += " ...";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_report_json(const CampaignAggregate& agg,
+                               const CampaignManifest& manifest) {
+  std::string out = "{\"campaign\":\"" + json_escape(manifest.name) + "\"";
+  out += ",\"seed\":" + std::to_string(manifest.seed);
+  out += ",\"cells\":" + std::to_string(manifest.cells);
+  out += ",\"ok\":" + std::to_string(agg.ok);
+  out += ",\"failed\":" + std::to_string(agg.failed);
+  out += ",\"shed\":" + std::to_string(agg.shed);
+  out += ",\"missing\":" + std::to_string(agg.missing);
+  out += ",\"released\":" + std::to_string(agg.released);
+  out += ",\"delivered\":" + std::to_string(agg.delivered);
+  out += ",\"missed\":" + std::to_string(agg.missed);
+  out += ",\"source_lost\":" + std::to_string(agg.source_lost);
+  out += ",\"copies_sent\":" + std::to_string(agg.copies_sent);
+  out += ",\"cycles\":" + std::to_string(agg.cycles);
+  out += ",\"degraded_plans\":" + std::to_string(agg.degraded_plans);
+  out += ",\"plan_swaps\":" + std::to_string(agg.plan_swaps);
+  out += ",\"failovers\":" + std::to_string(agg.failovers);
+  out += ",\"miss_ratio_mean\":" + format_double(agg.miss_ratio_mean);
+  out += ",\"miss_ratio_max\":" + format_double(agg.miss_ratio_max);
+  out += ',';
+  render_groups_json(out, "by_scheme", agg.by_scheme);
+  out += ',';
+  render_groups_json(out, "by_fault", agg.by_fault);
+  out += ',';
+  render_groups_json(out, "by_structural", agg.by_structural);
+  out += ",\"quarantined\":[";
+  bool first = true;
+  for (const ResultRow& row : agg.quarantined) {
+    if (!first) out += ',';
+    first = false;
+    out += render_row(row);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace coeff::campaign

@@ -1,0 +1,126 @@
+// The headline acceptance test: a 1000-cell sharded campaign is
+// SIGKILLed mid-run (supervisor and workers die together), resumed from
+// the manifest + checkpoints alone, and the final aggregate report must
+// be byte-identical to an uninterrupted run with the same seed and
+// shard count.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/lint.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+
+namespace coeff::campaign {
+namespace {
+
+constexpr std::int64_t kCells = 1000;
+constexpr int kShards = 4;
+
+CampaignManifest big_manifest() {
+  CampaignManifest manifest;
+  manifest.name = "killtest";
+  manifest.seed = 20260809;
+  manifest.cells = kCells;
+  manifest.shards = kShards;
+  manifest.backoff_base_ms = 20;
+  manifest.distribution.max_nodes = 12;
+  manifest.distribution.window_ms = 25;
+  manifest.distribution.schemes = {core::SchemeKind::kCoEfficient,
+                                   core::SchemeKind::kFspec,
+                                   core::SchemeKind::kHosa};
+  return manifest;
+}
+
+CampaignOptions options_for(const std::string& dir) {
+  CampaignOptions options;
+  options.dir = dir;
+  options.manifest = big_manifest();
+  options.durable = false;  // a SIGKILL never outlives the page cache
+  options.poll_ms = 5;
+  return options;
+}
+
+std::string fresh_dir(const char* tag) {
+  const std::string dir = std::string("campaign_killresume_") + tag;
+  const std::string cmd = "rm -rf " + dir;
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+std::string report_json(const std::string& dir) {
+  const ManifestLoad load = load_manifest(manifest_path(dir));
+  EXPECT_TRUE(load.ok) << load.error;
+  const ResultScan scan = scan_results(dir, load.manifest);
+  return render_report_json(aggregate_rows(scan.rows, load.manifest.cells),
+                            load.manifest);
+}
+
+std::int64_t rows_on_disk(const std::string& dir) {
+  std::int64_t rows = 0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    const auto bytes = read_file(shard_results_path(dir, shard));
+    if (!bytes.has_value()) continue;
+    for (const char c : *bytes) rows += c == '\n';
+  }
+  return rows;
+}
+
+TEST(KillResume, ResumedCampaignReportIsByteIdenticalToUninterrupted) {
+  // 1) Uninterrupted reference run.
+  const std::string ref_dir = fresh_dir("ref");
+  const CampaignOutcome ref = CampaignRunner::run(options_for(ref_dir));
+  ASSERT_TRUE(ref.ok) << ref.error;
+  ASSERT_EQ(ref.completed, kCells);
+  const std::string ref_report = report_json(ref_dir);
+
+  // 2) Same campaign, but the whole supervisor process tree is
+  //    SIGKILLed once roughly half the rows are on disk.
+  const std::string kill_dir = fresh_dir("kill");
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const CampaignOutcome outcome = CampaignRunner::run(options_for(kill_dir));
+    _exit(outcome.ok ? 0 : 1);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  std::int64_t rows = 0;
+  while ((rows = rows_on_disk(kill_dir)) < kCells / 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "campaign never reached the kill point (" << rows << " rows)";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  // The mid-campaign state must be readable but incomplete.
+  ASSERT_LT(rows, kCells);
+
+  // 3) Give the PDEATHSIG-killed workers a beat to disappear, then
+  //    resume in this process. Every finished cell is skipped; the
+  //    in-flight ones re-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  CampaignOptions overrides;
+  overrides.durable = false;
+  overrides.poll_ms = 5;
+  const CampaignOutcome resumed = CampaignRunner::resume(kill_dir, overrides);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.completed, kCells);
+  EXPECT_EQ(resumed.quarantined, 0);
+
+  // 4) The acceptance bar: byte-identical aggregate reports, and a
+  //    clean consistency lint over the resumed directory.
+  EXPECT_EQ(report_json(kill_dir), ref_report);
+  EXPECT_FALSE(lint_campaign(kill_dir).has_errors());
+}
+
+}  // namespace
+}  // namespace coeff::campaign

@@ -1,0 +1,155 @@
+// Result-row and aggregation tests: JSONL roundtrip, dedup-by-cell
+// (keep-last), torn-tail tolerance in the scanner, and deterministic
+// report rendering.
+#include "campaign/report.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace coeff::campaign {
+namespace {
+
+ResultRow ok_row(std::int64_t cell) {
+  ResultRow row;
+  row.cell = cell;
+  row.seed = 1000 + static_cast<std::uint64_t>(cell);
+  row.status = "ok";
+  row.scheme = "coefficient";
+  row.fault = "iid";
+  row.structural = "none";
+  row.nodes = 8;
+  row.statics = 20;
+  row.dynamics = 6;
+  row.util = 0.31;
+  row.ber = 1e-6;
+  row.released = 100;
+  row.delivered = 98;
+  row.missed = 2;
+  row.copies_sent = 140;
+  row.cycles = 20;
+  row.miss_ratio = 0.02;
+  return row;
+}
+
+TEST(ResultRow, RendersAndParsesRoundTrip) {
+  const ResultRow row = ok_row(7);
+  const auto parsed = parse_row(render_row(row));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, row.cell);
+  EXPECT_EQ(parsed->seed, row.seed);
+  EXPECT_EQ(parsed->status, row.status);
+  EXPECT_EQ(parsed->scheme, row.scheme);
+  EXPECT_EQ(parsed->fault, row.fault);
+  EXPECT_EQ(parsed->released, row.released);
+  EXPECT_EQ(parsed->missed, row.missed);
+  EXPECT_DOUBLE_EQ(parsed->miss_ratio, row.miss_ratio);
+  // Canonical: render(parse(render(x))) == render(x).
+  EXPECT_EQ(render_row(*parsed), render_row(row));
+}
+
+TEST(ResultRow, FailedRowCarriesReproHandle) {
+  ResultRow row;
+  row.cell = 3;
+  row.seed = 777;
+  row.status = "failed";
+  row.scheme = "hosa";
+  row.fault = "gilbert-elliott";
+  row.structural = "crash";
+  row.attempts = 2;
+  row.reason = "watchdog-timeout";
+  const auto parsed = parse_row(render_row(row));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, "failed");
+  EXPECT_EQ(parsed->seed, 777u);
+  EXPECT_EQ(parsed->attempts, 2);
+  EXPECT_EQ(parsed->reason, "watchdog-timeout");
+}
+
+TEST(ResultRow, GarbageNeverParses) {
+  EXPECT_FALSE(parse_row("").has_value());
+  EXPECT_FALSE(parse_row("not json").has_value());
+  EXPECT_FALSE(parse_row("{\"cell\":}").has_value());
+  EXPECT_FALSE(parse_row(std::string(512, '{')).has_value());
+}
+
+class ScanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("scan_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    (void)::mkdir(dir_.c_str(), 0755);
+    manifest_.cells = 8;
+    manifest_.shards = 2;
+  }
+  void TearDown() override {
+    for (int shard = 0; shard < manifest_.shards; ++shard) {
+      (void)::remove(shard_results_path(dir_, shard).c_str());
+    }
+    (void)::rmdir(dir_.c_str());
+  }
+  void write_shard(int shard, const std::string& contents) {
+    std::ofstream out(shard_results_path(dir_, shard), std::ios::binary);
+    out << contents;
+  }
+  std::string dir_;
+  CampaignManifest manifest_;
+};
+
+TEST_F(ScanFixture, DedupsByCellKeepingLast) {
+  ResultRow stale = ok_row(2);
+  stale.released = 1;  // superseded by the re-run after a resume
+  write_shard(0, render_row(ok_row(0)) + "\n" + render_row(stale) + "\n" +
+                     render_row(ok_row(2)) + "\n");
+  write_shard(1, render_row(ok_row(1)) + "\n");
+  const ResultScan scan = scan_results(dir_, manifest_);
+  EXPECT_TRUE(scan.errors.empty());
+  EXPECT_EQ(scan.duplicate_rows, 1);
+  ASSERT_EQ(scan.rows.size(), 3u);
+  EXPECT_EQ(scan.rows[0].cell, 0);
+  EXPECT_EQ(scan.rows[1].cell, 1);
+  EXPECT_EQ(scan.rows[2].cell, 2);
+  EXPECT_EQ(scan.rows[2].released, 100);  // the later row won
+}
+
+TEST_F(ScanFixture, ToleratesTornTailAndCountsGarbage) {
+  const std::string full = render_row(ok_row(0)) + "\n";
+  write_shard(0, full + full.substr(0, full.size() / 2));  // torn tail
+  write_shard(1, "mid-file garbage line\n" + render_row(ok_row(1)) + "\n");
+  const ResultScan scan = scan_results(dir_, manifest_);
+  EXPECT_EQ(scan.torn_tail_lines, 1);
+  EXPECT_EQ(scan.unparsed_lines, 1);
+  ASSERT_EQ(scan.rows.size(), 2u);
+}
+
+TEST(Aggregate, FoldsAndRendersDeterministically) {
+  std::vector<ResultRow> rows;
+  for (std::int64_t cell = 0; cell < 6; ++cell) rows.push_back(ok_row(cell));
+  rows[3].status = "failed";
+  rows[3].reason = "crash";
+  rows[4].status = "shed";
+  const CampaignAggregate aggregate = aggregate_rows(rows, 8);
+  EXPECT_EQ(aggregate.expected, 8);
+  EXPECT_EQ(aggregate.ok, 4);
+  EXPECT_EQ(aggregate.failed, 1);
+  EXPECT_EQ(aggregate.shed, 1);
+  EXPECT_EQ(aggregate.missing, 2);
+  EXPECT_EQ(aggregate.released, 4 * 100);
+  ASSERT_EQ(aggregate.quarantined.size(), 1u);
+  EXPECT_EQ(aggregate.quarantined[0].cell, 3);
+  ASSERT_EQ(aggregate.missing_cells.size(), 2u);
+
+  CampaignManifest manifest;
+  manifest.cells = 8;
+  const std::string once = render_report_json(aggregate, manifest);
+  const std::string twice =
+      render_report_json(aggregate_rows(rows, 8), manifest);
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("\"ok\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coeff::campaign

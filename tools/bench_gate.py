@@ -42,10 +42,33 @@ DEFAULT_MIN_GATED_RATIO = 1.5
 
 
 def load_report(path):
-    with open(path, encoding="utf-8") as f:
-        report = json.loads(f.read())
-    if report.get("bench") != "micro_cycle":
-        raise SystemExit(f"{path}: not a micro_cycle report")
+    """Load one micro_cycle JSON report, dying with an actionable
+    message (never a traceback) on a missing or malformed file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.loads(f.read())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"bench_gate: baseline report '{path}' not found.\n"
+            "  Generate one with:\n"
+            "    build/bench/micro_cycle --json bench/BENCH_cycle.json\n"
+            "  and commit it, or point --baseline/--fresh at an "
+            "existing report.")
+    except json.JSONDecodeError as err:
+        raise SystemExit(
+            f"bench_gate: '{path}' is not valid JSON ({err}).\n"
+            "  Regenerate it with: build/bench/micro_cycle --json " + path)
+    if not isinstance(report, dict) or report.get("bench") != "micro_cycle":
+        raise SystemExit(
+            f"bench_gate: '{path}' is not a micro_cycle report "
+            "(missing \"bench\": \"micro_cycle\"). Regenerate it with: "
+            "build/bench/micro_cycle --json " + path)
+    for field in ("results", "repetitions", "window_ms"):
+        if field not in report:
+            raise SystemExit(
+                f"bench_gate: '{path}' lacks the '{field}' field — it was "
+                "written by an incompatible micro_cycle version. "
+                "Regenerate it with the current binary.")
     return report
 
 
@@ -79,10 +102,29 @@ def main():
                          "the 1x floor (default %(default)s)")
     ap.add_argument("--fresh", default="",
                     help="reuse this report instead of re-running the bench")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="validate the baseline (and --fresh report, if "
+                         "given) and print the gated cells without running "
+                         "the bench")
     args = ap.parse_args()
 
     baseline = load_report(args.baseline)
     base_ratios = ratios(baseline)
+
+    if args.dry_run:
+        print(f"bench_gate: baseline '{args.baseline}' ok — "
+              f"{len(base_ratios)} cell(s), reps={baseline['repetitions']}, "
+              f"window={baseline['window_ms']}ms")
+        for (suite, scheme), ratio in sorted(base_ratios.items()):
+            gated = ratio >= args.min_gated_ratio
+            print(f"  {suite:<10} {scheme:<12} {ratio:>6.2f}x "
+                  f"{'gated' if gated else 'floor-only'}")
+        if args.fresh:
+            fresh_ratios = ratios(load_report(args.fresh))
+            print(f"bench_gate: fresh '{args.fresh}' ok — "
+                  f"{len(fresh_ratios)} cell(s)")
+        print("bench_gate: dry run, no bench executed")
+        return 0
 
     if args.fresh:
         fresh = load_report(args.fresh)

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Offline aggregator for campaign result directories.
+
+Reads a campaign directory produced by `coeffctl campaign run` — the
+write-ahead manifest plus the per-shard `shard-NNNN.jsonl` streams —
+and prints an aggregate report without needing the coeffctl binary
+(e.g. on a laptop that only has the artifacts). Mirrors the dedup
+semantics of the in-tree aggregator: rows are deduped by cell keeping
+the *last* occurrence (a resumed campaign re-appends re-run cells),
+torn tail lines a kill -9 left behind are tolerated and counted.
+
+Usage:
+  tools/campaign_report.py DIR [--json] [--quarantined-only]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import zlib
+
+
+def load_manifest(path):
+    """Parse the key=value manifest, verifying its CRC trailer."""
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as err:
+        raise SystemExit(f"campaign_report: cannot read '{path}': {err}")
+    trailer_at = raw.rfind(b"#crc32=")
+    if trailer_at < 0:
+        raise SystemExit(f"campaign_report: '{path}' has no CRC trailer "
+                         "(torn or not a campaign manifest)")
+    body, trailer = raw[:trailer_at], raw[trailer_at:].rstrip(b"\n")
+    try:
+        stored = int(trailer[len(b"#crc32="):], 16)
+    except ValueError:
+        raise SystemExit(f"campaign_report: '{path}' has a malformed "
+                         "CRC trailer")
+    if zlib.crc32(body) & 0xFFFFFFFF != stored:
+        raise SystemExit(f"campaign_report: '{path}' fails its CRC "
+                         "(torn or corrupt manifest)")
+    lines = body.decode("utf-8", "replace").splitlines()
+    if not lines or lines[0] != "coeffcamp-manifest v1":
+        raise SystemExit(f"campaign_report: '{path}' is not a v1 manifest")
+    manifest = {}
+    for line in lines[1:]:
+        if "=" in line:
+            key, _, value = line.partition("=")
+            manifest[key] = value
+    return manifest
+
+
+def scan_rows(directory):
+    """All shard rows, deduped by cell keeping the last occurrence."""
+    rows, torn, unparsed, duplicates = {}, 0, 0, 0
+    for path in sorted(glob.glob(os.path.join(directory, "shard-*.jsonl"))):
+        with open(path, "rb") as f:
+            data = f.read()
+        if data and not data.endswith(b"\n"):
+            torn += 1  # kill residue: drop the unterminated tail line
+            data = data[:data.rfind(b"\n") + 1] if b"\n" in data else b""
+        for line in data.splitlines():
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+                cell = int(row["cell"])
+            except (ValueError, KeyError, TypeError):
+                unparsed += 1
+                continue
+            if cell in rows:
+                duplicates += 1
+            rows[cell] = row
+    return ([rows[cell] for cell in sorted(rows)], torn, unparsed, duplicates)
+
+
+def aggregate(rows, expected):
+    agg = {"expected": expected, "ok": 0, "failed": 0, "shed": 0,
+           "released": 0, "delivered": 0, "missed": 0, "copies_sent": 0,
+           "miss_ratio_max": 0.0, "by_scheme": {}, "quarantined": []}
+    miss_sum = 0.0
+    seen = set()
+    for row in rows:
+        seen.add(row["cell"])
+        status = row.get("status", "")
+        if status == "failed":
+            agg["failed"] += 1
+            agg["quarantined"].append(row)
+            continue
+        if status == "shed":
+            agg["shed"] += 1
+            continue
+        agg["ok"] += 1
+        for field in ("released", "delivered", "missed", "copies_sent"):
+            agg[field] += int(row.get(field, 0))
+        ratio = float(row.get("miss_ratio", 0.0))
+        miss_sum += ratio
+        agg["miss_ratio_max"] = max(agg["miss_ratio_max"], ratio)
+        group = agg["by_scheme"].setdefault(
+            row.get("scheme", "?"), {"cells": 0, "released": 0, "missed": 0})
+        group["cells"] += 1
+        group["released"] += int(row.get("released", 0))
+        group["missed"] += int(row.get("missed", 0))
+    agg["miss_ratio_mean"] = miss_sum / agg["ok"] if agg["ok"] else 0.0
+    agg["missing"] = sum(1 for cell in range(expected) if cell not in seen)
+    return agg
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("directory", help="campaign directory")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable aggregate")
+    ap.add_argument("--quarantined-only", action="store_true",
+                    help="print only the quarantined cells with repro seeds")
+    args = ap.parse_args()
+
+    manifest = load_manifest(
+        os.path.join(args.directory, "manifest.coeffcamp"))
+    expected = int(manifest.get("cells", "0"))
+    rows, torn, unparsed, duplicates = scan_rows(args.directory)
+    agg = aggregate(rows, expected)
+
+    if args.quarantined_only:
+        for row in agg["quarantined"]:
+            print(f"cell={row['cell']} seed={row.get('seed')} "
+                  f"attempts={row.get('attempts')} "
+                  f"reason={row.get('reason')}")
+        return 1 if agg["quarantined"] else 0
+    if args.json:
+        agg["manifest"] = manifest
+        agg["torn_tail_lines"] = torn
+        agg["unparsed_lines"] = unparsed
+        agg["duplicate_rows"] = duplicates
+        print(json.dumps(agg, sort_keys=True))
+        return 0
+    print(f"campaign  : {manifest.get('name', '?')} "
+          f"seed={manifest.get('seed')} cells={expected} "
+          f"status={manifest.get('status')}")
+    print(f"cells     : ok={agg['ok']} failed={agg['failed']} "
+          f"shed={agg['shed']} missing={agg['missing']} / {expected}")
+    print(f"instances : released={agg['released']} "
+          f"delivered={agg['delivered']} missed={agg['missed']}")
+    print(f"miss      : mean={agg['miss_ratio_mean']:.10g} "
+          f"max={agg['miss_ratio_max']:.10g}")
+    if torn or unparsed or duplicates:
+        print(f"recovered : torn={torn} unparsed={unparsed} "
+              f"duplicates={duplicates} (kill/resume residue)")
+    for scheme in sorted(agg["by_scheme"]):
+        group = agg["by_scheme"][scheme]
+        print(f"  {scheme:<24} cells={group['cells']:<6} "
+              f"released={group['released']:<9} missed={group['missed']}")
+    for row in agg["quarantined"]:
+        print(f"quarantined: cell={row['cell']} seed={row.get('seed')} "
+              f"attempts={row.get('attempts')} reason={row.get('reason')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@
 #include "analysis/schedule_lint.hpp"
 #include "analysis/trace_lint.hpp"
 #include "bench_common.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/lint.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "net/csv.hpp"
@@ -129,7 +134,53 @@ void usage() {
       "  --trace                           also run one batch and lint the trace\n"
       "  --sarif PATH                      write a SARIF 2.1.0 report ('-' = stdout)\n"
       "  --list-rules                      print the rule catalog and exit\n"
-      "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error");
+      "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error\n"
+      "\n"
+      "coeffctl campaign run|resume|status|report — crash-safe scenario sweeps\n"
+      "  (see coeffctl campaign --help)");
+}
+
+/// The single usage line every bad-invocation path prints (exit 2).
+void usage_hint() {
+  std::fputs(
+      "usage: coeffctl [options] | coeffctl lint [options] | "
+      "coeffctl campaign run|resume|status|report [options] "
+      "(try --help)\n",
+      stderr);
+}
+
+void campaign_usage() {
+  std::puts(
+      "coeffctl campaign — crash-safe sharded scenario campaigns (DESIGN.md §13)\n"
+      "\n"
+      "  coeffctl campaign run --dir DIR [options]   start a fresh campaign\n"
+      "  coeffctl campaign resume --dir DIR          continue after a crash/kill\n"
+      "  coeffctl campaign status --dir DIR          progress + consistency lint\n"
+      "  coeffctl campaign report --dir DIR [--json] aggregate the result rows\n"
+      "\n"
+      "run options:\n"
+      "  --cells N               scenario cells to generate (default: 256)\n"
+      "  --seed N                campaign seed; cell seeds derive from it (42)\n"
+      "  --shards N              worker shards (default: 4)\n"
+      "  --isolation process|thread\n"
+      "                          process = forked workers, kill-based watchdog\n"
+      "                          (default); thread = in-process pool\n"
+      "  --name S                campaign name recorded in the manifest\n"
+      "  --watchdog-ms N         per-cell budget before the shard is killed\n"
+      "                          and the cell retried (default: 30000)\n"
+      "  --max-attempts N        attempts before a cell is quarantined (2)\n"
+      "  --backoff-ms N          respawn backoff base, doubles per failure (200)\n"
+      "  --window-ms N           batch window per cell (default: 100)\n"
+      "  --schemes a,b,c         scheme mix: coefficient,fspec,hosa (all)\n"
+      "  --min-nodes/--max-nodes N    cluster size range (2..64)\n"
+      "  --min-util/--max-util X      static utilization range (0.15..0.70)\n"
+      "  --no-fsync              skip per-record fsync (tests only)\n"
+      "\n"
+      "report options:\n"
+      "  --json                  machine-readable aggregate\n"
+      "  --out PATH              write the report to PATH instead of stdout\n"
+      "\n"
+      "exit status: 0 ok, 1 campaign/lint failure, 2 usage error");
 }
 
 /// Split a colon-separated fault spec ("1:10:30" or "A:5:20").
@@ -437,7 +488,7 @@ bool parse_scheme(const CliOptions& opt, core::SchemeKind& scheme) {
 int lint_main(int argc, char** argv) {
   CliOptions opt;
   if (!parse(argc, argv, opt)) {
-    usage();
+    usage_hint();
     return 2;
   }
   if (opt.list_rules) {
@@ -537,15 +588,264 @@ int lint_main(int argc, char** argv) {
   }
 }
 
+// --- campaign subcommand -------------------------------------------------
+
+struct CampaignCli {
+  std::string verb;
+  std::string dir;
+  std::string out_path;
+  bool json = false;
+  bool durable = true;
+  campaign::CampaignManifest manifest;
+};
+
+/// Parse the `campaign <verb>` flags. Returns false (after printing the
+/// offending flag) on any usage error; --help prints and exits 0.
+bool parse_campaign(int argc, char** argv, CampaignCli& cli) {
+  campaign::CampaignManifest& m = cli.manifest;
+  campaign::ScenarioDistribution& d = m.distribution;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "coeffctl: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      campaign_usage();
+      std::exit(0);
+    } else if (cli.verb.empty() && !arg.empty() && arg[0] != '-') {
+      if (arg != "run" && arg != "resume" && arg != "status" &&
+          arg != "report") {
+        std::fprintf(stderr, "coeffctl: unknown campaign verb '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+      cli.verb = arg;
+    } else if (arg == "--dir") {
+      cli.dir = next("--dir");
+    } else if (arg == "--cells") {
+      m.cells = std::atoll(next("--cells"));
+    } else if (arg == "--seed") {
+      m.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--shards") {
+      m.shards = std::atoi(next("--shards"));
+    } else if (arg == "--name") {
+      m.name = next("--name");
+    } else if (arg == "--isolation") {
+      const std::string name = next("--isolation");
+      if (name == "process") {
+        m.isolation = campaign::Isolation::kProcess;
+      } else if (name == "thread") {
+        m.isolation = campaign::Isolation::kThread;
+      } else {
+        std::fprintf(stderr, "coeffctl: unknown isolation '%s'\n",
+                     name.c_str());
+        return false;
+      }
+    } else if (arg == "--watchdog-ms") {
+      m.watchdog_ms = std::atoll(next("--watchdog-ms"));
+    } else if (arg == "--max-attempts") {
+      m.max_attempts = std::atoi(next("--max-attempts"));
+    } else if (arg == "--backoff-ms") {
+      m.backoff_base_ms = std::atoll(next("--backoff-ms"));
+    } else if (arg == "--window-ms") {
+      d.window_ms = std::atoll(next("--window-ms"));
+    } else if (arg == "--schemes") {
+      d.schemes.clear();
+      const std::string list = next("--schemes");
+      std::size_t at = 0;
+      while (at <= list.size()) {
+        auto comma = list.find(',', at);
+        if (comma == std::string::npos) comma = list.size();
+        const auto scheme = campaign::parse_scheme_tag(
+            std::string_view(list).substr(at, comma - at));
+        if (!scheme.has_value()) {
+          std::fprintf(stderr, "coeffctl: unknown scheme in --schemes '%s'\n",
+                       list.c_str());
+          return false;
+        }
+        d.schemes.push_back(*scheme);
+        if (comma == list.size()) break;
+        at = comma + 1;
+      }
+    } else if (arg == "--min-nodes") {
+      d.min_nodes = std::atoi(next("--min-nodes"));
+    } else if (arg == "--max-nodes") {
+      d.max_nodes = std::atoi(next("--max-nodes"));
+    } else if (arg == "--min-util") {
+      d.min_util = std::atof(next("--min-util"));
+    } else if (arg == "--max-util") {
+      d.max_util = std::atof(next("--max-util"));
+    } else if (arg == "--no-fsync") {
+      cli.durable = false;
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--out") {
+      cli.out_path = next("--out");
+    } else {
+      std::fprintf(stderr, "coeffctl: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cli.verb.empty()) {
+    std::fprintf(stderr,
+                 "coeffctl: campaign needs a verb (run|resume|status|report)\n");
+    return false;
+  }
+  if (cli.dir.empty()) {
+    std::fprintf(stderr, "coeffctl: campaign %s needs --dir\n",
+                 cli.verb.c_str());
+    return false;
+  }
+  return true;
+}
+
+campaign::CampaignOptions campaign_options(const CampaignCli& cli) {
+  campaign::CampaignOptions options;
+  options.dir = cli.dir;
+  options.manifest = cli.manifest;
+  options.durable = cli.durable;
+  options.log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  // Deterministic failure-injection hooks for tests and the CI smoke.
+  options.hang_cells = campaign::CampaignRunner::parse_cell_list(
+      std::getenv("COEFF_CAMPAIGN_HANG_CELLS"));
+  options.crash_cells = campaign::CampaignRunner::parse_cell_list(
+      std::getenv("COEFF_CAMPAIGN_CRASH_CELLS"));
+  return options;
+}
+
+int campaign_outcome_main(const campaign::CampaignOutcome& outcome) {
+  if (!outcome.ok) {
+    std::fprintf(stderr, "coeffctl: campaign failed: %s\n",
+                 outcome.error.c_str());
+    return 1;
+  }
+  std::printf("campaign: %lld/%lld cells done, %lld quarantined, "
+              "%lld respawns%s\n",
+              static_cast<long long>(outcome.completed),
+              static_cast<long long>(outcome.total_cells),
+              static_cast<long long>(outcome.quarantined),
+              static_cast<long long>(outcome.respawns),
+              outcome.degraded ? " (degraded: result detail shed)" : "");
+  return 0;
+}
+
+int campaign_status_main(const CampaignCli& cli) {
+  const auto load =
+      campaign::load_manifest(campaign::manifest_path(cli.dir));
+  if (!load.ok) {
+    std::fprintf(stderr, "coeffctl: %s\n", load.error.c_str());
+    return 1;
+  }
+  const campaign::CampaignManifest& m = load.manifest;
+  std::int64_t done = 0;
+  std::int64_t quarantined = 0;
+  for (int shard = 0; shard < m.shards; ++shard) {
+    const auto ckpt = campaign::load_checkpoint(
+        campaign::shard_checkpoint_path(cli.dir, shard));
+    if (!ckpt.ok) continue;
+    for (const auto& record : ckpt.records) {
+      if (record.kind == campaign::CheckpointRecordKind::kDone) ++done;
+      if (record.kind == campaign::CheckpointRecordKind::kQuarantine) {
+        ++quarantined;
+      }
+    }
+  }
+  std::printf("campaign : %s\nstatus   : %s\nprogress : %lld/%lld cells "
+              "(%lld quarantined)\nshards   : %d (%s isolation)\nseed     "
+              ": %llu\n",
+              m.name.empty() ? "(unnamed)" : m.name.c_str(),
+              m.status.c_str(), static_cast<long long>(done + quarantined),
+              static_cast<long long>(m.cells),
+              static_cast<long long>(quarantined), m.shards,
+              campaign::to_string(m.isolation),
+              static_cast<unsigned long long>(m.seed));
+  const analysis::Report report = campaign::lint_campaign(cli.dir);
+  std::printf("%s", report.render_text().c_str());
+  std::printf("consistency: %zu error(s), %zu warning(s)\n",
+              report.count(analysis::Severity::kError),
+              report.count(analysis::Severity::kWarning));
+  return report.has_errors() ? 1 : 0;
+}
+
+int campaign_report_main(const CampaignCli& cli) {
+  const auto load =
+      campaign::load_manifest(campaign::manifest_path(cli.dir));
+  if (!load.ok) {
+    std::fprintf(stderr, "coeffctl: %s\n", load.error.c_str());
+    return 1;
+  }
+  const campaign::ResultScan scan =
+      campaign::scan_results(cli.dir, load.manifest);
+  for (const std::string& error : scan.errors) {
+    std::fprintf(stderr, "coeffctl: %s\n", error.c_str());
+  }
+  const campaign::CampaignAggregate aggregate =
+      campaign::aggregate_rows(scan.rows, load.manifest.cells);
+  const std::string text =
+      cli.json ? campaign::render_report_json(aggregate, load.manifest)
+               : campaign::render_report_text(aggregate, load.manifest);
+  if (cli.out_path.empty()) {
+    std::printf("%s", text.c_str());
+    return 0;
+  }
+  std::ofstream out(cli.out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "coeffctl: cannot write '%s'\n",
+                 cli.out_path.c_str());
+    return 1;
+  }
+  out << text;
+  return 0;
+}
+
+int campaign_main(int argc, char** argv) {
+  CampaignCli cli;
+  // CLI defaults tuned for interactive sweeps: a modest population with
+  // the full scheme mix and short windows (the library defaults target
+  // single-scheme overnight campaigns).
+  cli.manifest.cells = 256;
+  cli.manifest.distribution.window_ms = 100;
+  cli.manifest.distribution.schemes = {core::SchemeKind::kCoEfficient,
+                                       core::SchemeKind::kFspec,
+                                       core::SchemeKind::kHosa};
+  if (!parse_campaign(argc, argv, cli)) {
+    usage_hint();
+    return 2;
+  }
+  if (cli.verb == "status") return campaign_status_main(cli);
+  if (cli.verb == "report") return campaign_report_main(cli);
+  if (cli.verb == "run") {
+    return campaign_outcome_main(
+        campaign::CampaignRunner::run(campaign_options(cli)));
+  }
+  campaign::CampaignOptions overrides = campaign_options(cli);
+  return campaign_outcome_main(
+      campaign::CampaignRunner::resume(cli.dir, overrides));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
     return lint_main(argc - 1, argv + 1);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
+    return campaign_main(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && argv[1][0] != '-') {
+    std::fprintf(stderr, "coeffctl: unknown subcommand '%s'\n", argv[1]);
+    usage_hint();
+    return 2;
+  }
   CliOptions opt;
   if (!parse(argc, argv, opt)) {
-    usage();
+    usage_hint();
     return 2;
   }
 
