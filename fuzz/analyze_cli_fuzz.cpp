@@ -1,0 +1,45 @@
+// libFuzzer harness for the `coeffctl analyze` flag parser.
+//
+// Contract under test: parse_prob_cli is a total function over argv
+// tokens — any byte soup tokenized into arguments yields either ok()
+// with range-validated options or a one-line error, without throwing,
+// reading out of bounds, or leaving the options in an invalid state.
+// Accepted parses must satisfy the documented invariants (quantum and
+// bin bounds, help/error exclusivity), since coeffctl feeds the result
+// straight into Pmf construction.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/prob_cli.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // Tokenize on NUL and newline — both "argv straight from bytes" and
+  // "one flag per line" corpus layouts mutate well.
+  std::vector<std::string> args;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= bytes.size(); ++i) {
+    if (i == bytes.size() || bytes[i] == '\0' || bytes[i] == '\n') {
+      if (i > start) args.emplace_back(bytes.substr(start, i - start));
+      start = i + 1;
+      if (args.size() > 64) break;  // keep each input cheap
+    }
+  }
+
+  const auto parse = coeff::analysis::parse_prob_cli(args);
+  if (parse.ok()) {
+    const auto& o = parse.options;
+    if (o.quantum_us < 1 || o.quantum_us > 1'000'000) __builtin_trap();
+    if (o.max_bins < 16 || o.max_bins > 1'048'576) __builtin_trap();
+    // Without --prob the only valid outcomes are --help or an error.
+    if (!o.prob && !o.help) __builtin_trap();
+  } else if (parse.error.empty()) {
+    __builtin_trap();  // !ok() must carry a printable message
+  }
+  return 0;
+}

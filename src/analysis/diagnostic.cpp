@@ -139,6 +139,17 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"campaign.manifest-consistency", Severity::kError,
        "campaign manifest, shard checkpoints and result rows disagree "
        "(corruption, identity mismatch, or unaccounted cells)"},
+      // --- ProbWcrt (analysis::analyze_prob_wcrt, DESIGN.md §14) ----------
+      {"analysis.prob-miss-exceeds-target", Severity::kError,
+       "analytic P(deadline miss) puts the set's reliability below the "
+       "configured target while the plan claims the target is met"},
+      {"analysis.kz-contradiction", Severity::kError,
+       "analytic response-time distribution contradicts the Theorem-1 k_z "
+       "choice (a planned copy cannot land in time, or burst-correlated "
+       "loss defeats the memoryless sizing)"},
+      {"analysis.prob-vs-campaign-divergence", Severity::kError,
+       "measured campaign miss ratio falls outside the analytic P(miss) "
+       "confidence envelope (modeling or implementation bug)"},
   };
   return kCatalog;
 }

@@ -1,0 +1,40 @@
+// Flag parsing for `coeffctl analyze` — factored out of the tool so the
+// parser is a pure function over argv tokens: it never exits, prints,
+// or throws, which is exactly the contract the libFuzzer harness
+// (fuzz/analyze_cli_fuzz.cpp) drives millions of mutated inputs
+// through. coeffctl consumes the same entry point, so the fuzzed code
+// IS the shipped code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coeff::analysis {
+
+struct ProbCliOptions {
+  bool prob = false;   ///< --prob: run the probabilistic WCRT analysis
+  bool json = false;   ///< --json: machine-readable result
+  bool help = false;   ///< --help/-h
+  std::string sarif_path;    ///< --sarif PATH ('-' = stdout), empty = none
+  std::string campaign_dir;  ///< --campaign DIR: cross-check a report
+  std::int64_t quantum_us = 50;   ///< --quantum-us (1..1000000)
+  std::int64_t max_bins = 4096;   ///< --max-bins (16..1048576)
+};
+
+struct ProbCliParse {
+  ProbCliOptions options;
+  /// Tokens the analyze layer does not own (workload/cluster/fault
+  /// flags), forwarded verbatim to the base experiment parser.
+  std::vector<std::string> passthrough;
+  std::string error;  ///< non-empty = usage error (the message to print)
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parse analyze-subcommand tokens (argv[1..] of `coeffctl analyze`).
+/// Total function: any input yields either ok() with validated options
+/// or a one-line error; never exits, throws, or touches global state.
+[[nodiscard]] ProbCliParse parse_prob_cli(const std::vector<std::string>& args);
+
+}  // namespace coeff::analysis

@@ -1,0 +1,128 @@
+#include "campaign/cross_check.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "analysis/diagnostic.hpp"
+#include "campaign/scenario.hpp"
+#include "fault/iec61508.hpp"
+#include "fault/reliability.hpp"
+
+namespace coeff::campaign {
+
+std::unique_ptr<ProbSetup> make_prob_setup(
+    const core::ExperimentConfig& config, core::SchemeKind scheme,
+    const analysis::ProbWcrtOptions& options) {
+  auto setup = std::make_unique<ProbSetup>();
+  setup->config = config;
+  setup->config.trace = nullptr;  // the analytic pass never records
+
+  const double rho = setup->config.rho > 0.0
+                         ? setup->config.rho
+                         : fault::reliability_goal(setup->config.sil,
+                                                   setup->config.u);
+  fault::SolverOptions solver;
+  solver.ber = setup->config.ber;
+  solver.rho = rho;
+  solver.u = setup->config.u;
+  solver.max_copies_per_message = setup->config.max_copies;
+
+  analysis::ProbWcrtInput& in = setup->input;
+  in.cluster = &setup->config.cluster;
+  in.statics = &setup->config.statics;
+  in.fault_model = setup->config.fault_model;
+  in.fault_model.ber = setup->config.ber;  // single-knob rule (experiment.cpp)
+  in.rho = rho;
+  in.u = setup->config.u;
+  in.options = options;
+
+  sched::TableBuildOptions table_options;
+  switch (scheme) {
+    case core::SchemeKind::kCoEfficient:
+      setup->plan = fault::solve_differentiated(setup->config.statics, solver);
+      in.plan = &setup->plan;
+      in.discipline = analysis::ProbRetxModel::kPlannedSerial;
+      break;
+    case core::SchemeKind::kFspec:
+      setup->rounds =
+          fault::solve_uniform_rounds(setup->config.statics, solver, 2);
+      in.rounds = setup->rounds;
+      in.discipline = analysis::ProbRetxModel::kMirroredRounds;
+      table_options.exclusive_slots = true;
+      break;
+    case core::SchemeKind::kHosa:
+      in.discipline = analysis::ProbRetxModel::kMirroredSingle;
+      break;
+  }
+  try {
+    setup->table = sched::StaticScheduleTable::build(
+        setup->config.statics, setup->config.cluster, table_options);
+    in.table = &*setup->table;
+  } catch (const std::exception&) {
+    // Unschedulable under these options: keep the one-cycle r0 bound.
+    // lint_schedule owns reporting that failure; here it only costs the
+    // envelope some tightness.
+    in.table = nullptr;
+  }
+  return setup;
+}
+
+std::pair<double, double> envelope_miss_ratio(
+    const analysis::ProbWcrtResult& result) {
+  double weight = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  for (const analysis::MessageProb& mp : result.messages) {
+    if (mp.period <= sim::Time::zero()) continue;
+    const double w = 1.0 / static_cast<double>(mp.period.ns());
+    weight += w;
+    lower += w * mp.p_miss_lower;
+    upper += w * mp.p_miss_upper;
+  }
+  if (weight <= 0.0) return {0.0, 0.0};
+  return {lower / weight, upper / weight};
+}
+
+CrossCheckSummary cross_check_prob(const CampaignManifest& manifest,
+                                   const std::vector<ResultRow>& rows,
+                                   const CrossCheckOptions& options,
+                                   analysis::Report& report) {
+  CrossCheckSummary summary;
+  const ScenarioGenerator generator(manifest.seed, manifest.distribution);
+  std::vector<analysis::DivergenceSample> samples;
+  for (const ResultRow& row : rows) {
+    // The analytic model speaks about channel loss on a healthy
+    // cluster: structural-fault cells and pre-schema rows (s_released
+    // missing, parsed as 0) are out of scope.
+    if (row.status != "ok" || row.structural != "none" ||
+        row.s_released <= 0) {
+      continue;
+    }
+    ++summary.eligible;
+    if (samples.size() >= options.max_cells) continue;
+    const ScenarioSpec spec = generator.spec(row.cell);
+    const auto setup =
+        make_prob_setup(generator.config(spec), spec.scheme, options.prob);
+    const analysis::ProbWcrtResult result =
+        analysis::analyze_prob_wcrt(setup->input);
+    const auto [lower, upper] = envelope_miss_ratio(result);
+    analysis::DivergenceSample sample;
+    sample.label = analysis::strformat(
+        "cell %" PRId64 " (%s, %s, seed=%" PRIu64 ")", row.cell,
+        row.scheme.c_str(), row.fault.c_str(), row.seed);
+    sample.released = row.s_released;
+    sample.missed = row.s_missed;
+    sample.p_lower = lower;
+    sample.p_upper = upper;
+    samples.push_back(std::move(sample));
+  }
+  summary.checked = samples.size();
+  const std::size_t before =
+      report.count_rule("analysis.prob-vs-campaign-divergence");
+  analysis::check_divergence(samples, report);
+  summary.diverged =
+      report.count_rule("analysis.prob-vs-campaign-divergence") - before;
+  return summary;
+}
+
+}  // namespace coeff::campaign

@@ -1,0 +1,72 @@
+// Analytic-vs-simulated cross-validation (`coeffctl campaign report
+// --analyze` and `coeffctl analyze --campaign DIR`).
+//
+// A finished campaign is a population of measured miss ratios; the
+// probabilistic WCRT verifier (analysis::ProbWcrt) predicts an envelope
+// for each of those cells from the manifest alone — the scenarios are
+// regenerated statelessly from (seed, cell), exactly like a resume. A
+// measured static-segment miss ratio outside its cell's analytic
+// envelope (plus sampling slack) is rule
+// analysis.prob-vs-campaign-divergence: either the model or the
+// simulator is wrong, and both claims carry the cell's repro seed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/prob_wcrt.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
+#include "core/experiment.hpp"
+#include "sched/schedule_table.hpp"
+
+namespace coeff::campaign {
+
+/// Everything analysis::ProbWcrtInput points at, owned in one place so
+/// the pointers stay valid for the caller's lifetime of the setup.
+/// Heap-allocate (make_prob_setup does) — the input wires into members.
+struct ProbSetup {
+  core::ExperimentConfig config;  ///< owns cluster + message sets
+  std::optional<sched::StaticScheduleTable> table;
+  fault::RetransmissionPlan plan;
+  int rounds = 1;
+  analysis::ProbWcrtInput input;
+};
+
+/// Wire an analytic input for `config` under `scheme`: CoEfficient gets
+/// its differentiated plan + slack-stolen serial copies, FSPEC its
+/// exclusive-slot mirrored rounds, HOSA a single mirrored shot. Never
+/// throws on an unschedulable table — the input just loses its r0
+/// refinement (table = nullptr, one-cycle bound).
+[[nodiscard]] std::unique_ptr<ProbSetup> make_prob_setup(
+    const core::ExperimentConfig& config, core::SchemeKind scheme,
+    const analysis::ProbWcrtOptions& options);
+
+/// Set-level expected static miss ratio envelope [lower, upper]:
+/// per-message P(miss) edges weighted by release rate (1/T_z), i.e. the
+/// expected fraction of static-segment instances that miss.
+[[nodiscard]] std::pair<double, double> envelope_miss_ratio(
+    const analysis::ProbWcrtResult& result);
+
+struct CrossCheckOptions {
+  std::size_t max_cells = 16;  ///< analytic runs are per-cell; cap them
+  analysis::ProbWcrtOptions prob;
+};
+
+struct CrossCheckSummary {
+  std::size_t eligible = 0;  ///< ok, structural=none, s_released > 0
+  std::size_t checked = 0;   ///< analytic envelope actually computed
+  std::size_t diverged = 0;  ///< cells outside their envelope
+};
+
+/// Re-derive the analytic envelope for up to `max_cells` eligible rows
+/// (ok status, no structural fault — the analytic model speaks only
+/// about channel loss — and a recorded static-segment population) and
+/// append analysis.prob-vs-campaign-divergence findings to `report`.
+[[nodiscard]] CrossCheckSummary cross_check_prob(
+    const CampaignManifest& manifest, const std::vector<ResultRow>& rows,
+    const CrossCheckOptions& options, analysis::Report& report);
+
+}  // namespace coeff::campaign

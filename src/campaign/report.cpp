@@ -189,6 +189,8 @@ ResultRow make_row(const ScenarioSpec& spec,
   row.plan_swaps = run.plan_swaps;
   row.failovers = run.failovers;
   row.frames_lost = run.frames_lost;
+  row.s_released = run.statics.released;
+  row.s_missed = run.statics.missed;
   return row;
 }
 
@@ -253,6 +255,8 @@ std::string render_row(const ResultRow& row) {
   out += ",\"plan_swaps\":" + std::to_string(row.plan_swaps);
   out += ",\"failovers\":" + std::to_string(row.failovers);
   out += ",\"frames_lost\":" + std::to_string(row.frames_lost);
+  out += ",\"s_released\":" + std::to_string(row.s_released);
+  out += ",\"s_missed\":" + std::to_string(row.s_missed);
   out += '}';
   return out;
 }
@@ -315,6 +319,16 @@ std::optional<ResultRow> parse_row(std::string_view line) {
     return std::nullopt;
   }
   row.degraded = *degraded == "true";
+  // Static-segment counts arrived in a later schema revision: absent on
+  // old rows (default 0), rejected only when present-but-garbled.
+  const auto s_released = json_field(line, "s_released");
+  if (s_released.has_value() && !to_i64(s_released, row.s_released)) {
+    return std::nullopt;
+  }
+  const auto s_missed = json_field(line, "s_missed");
+  if (s_missed.has_value() && !to_i64(s_missed, row.s_missed)) {
+    return std::nullopt;
+  }
   return row;
 }
 

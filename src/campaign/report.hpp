@@ -50,6 +50,10 @@ struct ResultRow {
   std::int64_t plan_swaps = 0;
   std::int64_t failovers = 0;
   std::int64_t frames_lost = 0;
+  /// Static-segment-only instance counts (the population the analytic
+  /// ProbWcrt envelope speaks about). 0 on rows from older campaigns.
+  std::int64_t s_released = 0;
+  std::int64_t s_missed = 0;
 };
 
 [[nodiscard]] ResultRow make_row(const ScenarioSpec& spec,

@@ -237,4 +237,100 @@ std::unique_ptr<FaultModel> make_fault_model(const FaultModelConfig& config,
   throw std::invalid_argument("make_fault_model: unknown kind");
 }
 
+// --- Analytic failure queries -------------------------------------------
+
+AnalyticFailure::AnalyticFailure(const FaultModelConfig& config)
+    : config_(config),
+      base_(config.ber),
+      good_(config.gilbert_elliott.ber_good),
+      bad_(config.gilbert_elliott.ber_bad) {
+  check_probability("ber", config.ber);
+  if (config.kind == FaultModelKind::kGilbertElliott) {
+    const GilbertElliottParams& ge = config.gilbert_elliott;
+    check_probability("gilbert_elliott.p_good_to_bad", ge.p_good_to_bad);
+    check_probability("gilbert_elliott.p_bad_to_good", ge.p_bad_to_good);
+    check_probability("gilbert_elliott.ber_good", ge.ber_good);
+    check_probability("gilbert_elliott.ber_bad", ge.ber_bad);
+    const double denom = ge.p_good_to_bad + ge.p_bad_to_good;
+    // A frozen chain (both transition probabilities 0) never leaves its
+    // start state, and every chain starts good.
+    pi_bad_ = denom > 0.0 ? ge.p_good_to_bad / denom : 0.0;
+  } else if (config.kind == FaultModelKind::kCommonMode) {
+    check_probability("common_fraction", config.common_fraction);
+  }
+}
+
+double AnalyticFailure::attempt(std::int64_t bits) {
+  if (config_.kind == FaultModelKind::kGilbertElliott) {
+    return (1.0 - pi_bad_) * good_.p(bits) + pi_bad_ * bad_.p(bits);
+  }
+  // The common-mode marginal is p on either branch: the common stream
+  // draws at the same per-frame failure probability as the independent
+  // one, it only correlates the two channels.
+  return base_.p(bits);
+}
+
+double AnalyticFailure::mirrored_pair(std::int64_t bits) {
+  if (config_.kind == FaultModelKind::kCommonMode) {
+    const double p = base_.p(bits);
+    const double f = config_.common_fraction;
+    return f * p + (1.0 - f) * p * p;
+  }
+  // iid / iid-counter: independent channel streams. Gilbert–Elliott:
+  // independent per-channel chains, each at its stationary marginal.
+  const double p = attempt(bits);
+  return p * p;
+}
+
+double AnalyticFailure::consecutive_failures(std::int64_t bits, int n) {
+  if (n <= 0) return 1.0;
+  if (config_.kind != FaultModelKind::kGilbertElliott) {
+    return independent_failures(bits, n);
+  }
+  const GilbertElliottParams& ge = config_.gilbert_elliott;
+  const double fg = good_.p(bits);
+  const double fb = bad_.p(bits);
+  // v_s = P(first k attempts failed, chain in state s after attempt k).
+  // Per verdict the chain transitions first, then draws at the new
+  // state (draw_verdict order). Adjacent attempts maximize burst
+  // correlation, so this is the pessimistic chaining.
+  double v_good = 1.0 - pi_bad_;
+  double v_bad = pi_bad_;
+  for (int k = 0; k < n; ++k) {
+    const double to_good =
+        v_good * (1.0 - ge.p_good_to_bad) + v_bad * ge.p_bad_to_good;
+    const double to_bad =
+        v_good * ge.p_good_to_bad + v_bad * (1.0 - ge.p_bad_to_good);
+    v_good = to_good * fg;
+    v_bad = to_bad * fb;
+  }
+  return v_good + v_bad;
+}
+
+double AnalyticFailure::consecutive_pair_failures(std::int64_t bits, int n) {
+  if (n <= 0) return 1.0;
+  if (config_.kind == FaultModelKind::kGilbertElliott) {
+    // The two channels run independent chains; each must fail all n.
+    const double one = consecutive_failures(bits, n);
+    return one * one;
+  }
+  return independent_pair_failures(bits, n);
+}
+
+double AnalyticFailure::independent_failures(std::int64_t bits, int n) {
+  if (n <= 0) return 1.0;
+  double out = 1.0;
+  const double p = attempt(bits);
+  for (int k = 0; k < n; ++k) out *= p;
+  return out;
+}
+
+double AnalyticFailure::independent_pair_failures(std::int64_t bits, int n) {
+  if (n <= 0) return 1.0;
+  double out = 1.0;
+  const double p = mirrored_pair(bits);
+  for (int k = 0; k < n; ++k) out *= p;
+  return out;
+}
+
 }  // namespace coeff::fault

@@ -213,4 +213,57 @@ struct FaultModelConfig {
 [[nodiscard]] std::unique_ptr<FaultModel> make_fault_model(
     const FaultModelConfig& config, std::uint64_t seed);
 
+/// Analytic (stationary, seed-free) failure-probability queries for a
+/// fault-model configuration — the design-time mirror of the sampled
+/// verdict streams above, consumed by analysis::ProbWcrt. Every query
+/// is a closed form over the model parameters, memoized per frame size
+/// through BerCache:
+///
+///  * iid / iid-counter: attempts are independent at p = 1-(1-BER)^W.
+///  * gilbert-elliott: the per-channel chain is treated at its
+///    stationary distribution pi = (p_bg, p_gb) / (p_gb + p_bg);
+///    consecutive_* chains attempts through the exact two-state Markov
+///    recursion (adjacent transitions — the maximally-bursty, i.e.
+///    pessimistic, spacing of a message's retransmissions).
+///  * common-mode: the marginal per-copy failure is p regardless of the
+///    branch taken; a mirrored pair fails with f*p + (1-f)*p^2.
+///
+/// Methods are non-const only because BerCache memoizes lazily.
+class AnalyticFailure {
+ public:
+  explicit AnalyticFailure(const FaultModelConfig& config);
+
+  /// Marginal failure probability of a single attempt of `bits` bits.
+  [[nodiscard]] double attempt(std::int64_t bits);
+
+  /// Both channels of one mirrored slot occurrence fail.
+  [[nodiscard]] double mirrored_pair(std::int64_t bits);
+
+  /// `n` consecutive single-channel attempts all fail (exact Markov
+  /// chaining for Gilbert–Elliott; p^n for the memoryless models).
+  [[nodiscard]] double consecutive_failures(std::int64_t bits, int n);
+
+  /// `n` consecutive mirrored rounds all fail (per-channel chains are
+  /// independent under Gilbert–Elliott, correlated under common-mode).
+  [[nodiscard]] double consecutive_pair_failures(std::int64_t bits, int n);
+
+  /// Optimistic (independence) counterparts: attempt()^n and
+  /// mirrored_pair()^n — the lower edge of the analytic envelope.
+  [[nodiscard]] double independent_failures(std::int64_t bits, int n);
+  [[nodiscard]] double independent_pair_failures(std::int64_t bits, int n);
+
+  /// Stationary probability of the Gilbert–Elliott bad state (0 for the
+  /// memoryless models).
+  [[nodiscard]] double stationary_bad() const { return pi_bad_; }
+
+  [[nodiscard]] const FaultModelConfig& config() const { return config_; }
+
+ private:
+  FaultModelConfig config_;
+  BerCache base_;  ///< iid / iid-counter / common-mode at config.ber
+  BerCache good_;  ///< Gilbert–Elliott good-state memo
+  BerCache bad_;   ///< Gilbert–Elliott bad-state memo
+  double pi_bad_ = 0.0;
+};
+
 }  // namespace coeff::fault

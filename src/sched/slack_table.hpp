@@ -65,6 +65,20 @@ class SlackTable {
   [[nodiscard]] sim::Time idle_between(std::size_t level, sim::Time a,
                                        sim::Time b) const;
 
+  // --- Analytic queries (design-time consumers: analysis::ProbWcrt) ----
+
+  /// Floor of the merged stealable-slack curve min_i S_i(t) over the
+  /// steady-state window [H, 2H): the slack guaranteed to be grantable
+  /// at *any* runtime instant. Time::max() when no level is constrained
+  /// by a future deadline.
+  [[nodiscard]] sim::Time min_slack() const;
+
+  /// Guaranteed full-schedule idle (no level runs) inside ANY window of
+  /// length `window`: min over start instants a of idle in [a, a+window)
+  /// under periodic extension. The lower bound on the service a
+  /// backlogged top-priority stealer receives per `window` of waiting.
+  [[nodiscard]] sim::Time min_idle_in_window(sim::Time window) const;
+
  private:
   struct LevelCurve {
     // Breakpoints of the cumulative idle function over [0, 3H):

@@ -1,0 +1,151 @@
+// Numeric edge cases of the convolution core (DESIGN.md §14): the
+// degenerate zero-BER channel, p -> 1 saturation, truncation /
+// renormalization error bounds, and quantization-step invariance of the
+// upper-bound guarantee.
+#include "analysis/pmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_model.hpp"
+
+namespace coeff::analysis {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+Pmf bernoulli(double p, sim::Time work, sim::Time quantum,
+              std::size_t bins) {
+  Pmf pmf(quantum, bins);
+  pmf.add_mass(sim::Time::zero(), 1.0 - p);
+  pmf.add_mass(work, p);
+  return pmf;
+}
+
+TEST(PmfEdge, ZeroBerChannelIsDegenerateAtZero) {
+  fault::FaultModelConfig config;
+  config.kind = fault::FaultModelKind::kIid;
+  config.ber = 0.0;
+  fault::AnalyticFailure af(config);
+  EXPECT_EQ(af.attempt(1000), 0.0);
+  EXPECT_EQ(af.consecutive_failures(1000, 4), 0.0);
+  EXPECT_EQ(af.independent_failures(1000, 4), 0.0);
+
+  // The interference convolution collapses to a point mass at zero.
+  Pmf acc(sim::micros(50), 64);
+  acc.add_mass(sim::Time::zero(), 1.0);
+  for (int i = 0; i < 10; ++i) {
+    acc = acc.convolve(
+        bernoulli(af.attempt(1000), sim::micros(50), sim::micros(50), 64));
+  }
+  EXPECT_NEAR(acc.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(acc.tail_above(sim::Time::zero()), 0.0, kTol);
+  EXPECT_EQ(acc.quantile(0.999), sim::Time::zero());
+}
+
+TEST(PmfEdge, SaturatedChannelPushesAllMassToFailure) {
+  // A frame so large at so high a BER that every attempt fails.
+  fault::FaultModelConfig config;
+  config.kind = fault::FaultModelKind::kIid;
+  config.ber = 0.5;
+  fault::AnalyticFailure af(config);
+  const double p = af.attempt(1 << 20);
+  EXPECT_GT(p, 1.0 - 1e-12);
+  EXPECT_NEAR(af.consecutive_failures(1 << 20, 3), 1.0, 1e-9);
+
+  // Response construction mirror: no attempt ever succeeds, so the
+  // whole unit mass ends in the overflow ("never lands") bucket and the
+  // deadline-miss tail saturates at 1 for every deadline.
+  Pmf response(sim::micros(50), 64);
+  double f_prev = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    const double f_next = af.consecutive_failures(1 << 20, i + 1);
+    response.add_mass(sim::millis(1) * (i + 1),
+                      std::max(0.0, f_prev - f_next));
+    f_prev = f_next;
+  }
+  response.add_overflow(f_prev);
+  EXPECT_NEAR(response.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(response.tail_above(sim::seconds(3600)), 1.0, 1e-9);
+  EXPECT_EQ(response.quantile(0.999), sim::Time::max());
+}
+
+TEST(PmfEdge, TruncationMovesMassToOverflowNeverDropsIt) {
+  // 4 bins of 50us cover delays up to 150us; everything later must be
+  // absorbed by the overflow bucket, not silently dropped.
+  Pmf tiny(sim::micros(50), 4);
+  tiny.add_mass(sim::micros(100), 0.25);
+  tiny.add_mass(sim::micros(150), 0.25);
+  tiny.add_mass(sim::micros(200), 0.25);  // beyond the grid
+  tiny.add_mass(sim::seconds(10), 0.25);  // far beyond the grid
+  EXPECT_NEAR(tiny.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(tiny.overflow(), 0.5, kTol);
+  // The overflow bucket counts toward every tail: the bound stays an
+  // upper bound no matter how coarse the grid.
+  EXPECT_NEAR(tiny.tail_above(sim::micros(150)), 0.5, kTol);
+  EXPECT_NEAR(tiny.tail_above(sim::micros(100)), 0.75, kTol);
+  EXPECT_NEAR(tiny.tail_above(sim::micros(50)), 1.0, kTol);
+}
+
+TEST(PmfEdge, RepeatedConvolutionConservesMassWithinFloatTolerance) {
+  Pmf acc(sim::micros(50), 32);  // deliberately narrow: forces overflow
+  acc.add_mass(sim::Time::zero(), 1.0);
+  for (int i = 0; i < 200; ++i) {
+    acc = acc.convolve(
+        bernoulli(0.3, sim::micros(150), sim::micros(50), 32));
+  }
+  // 200 convolutions drift the total by at most ~200 ulps-scale error.
+  EXPECT_NEAR(acc.total_mass(), 1.0, 1e-9);
+  EXPECT_GT(acc.overflow(), 0.9);  // mean 200*45us blew past the grid
+
+  const double factor = acc.normalize();
+  EXPECT_NEAR(acc.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(factor, 1.0, 1e-9);
+}
+
+TEST(PmfEdge, CoarserQuantumOnlyRaisesTheTailBound) {
+  // Quantization rounds up, so refining the step can only tighten (never
+  // invalidate) a deadline-miss bound: tail_coarse >= tail_fine >= exact.
+  const sim::Time deadline = sim::micros(180);
+  const auto build = [](sim::Time quantum) {
+    Pmf pmf(quantum, 4096);
+    pmf.add_mass(sim::micros(33), 0.5);    // lands before D either way
+    pmf.add_mass(sim::micros(170), 0.3);   // rounds past D only at 50us
+    pmf.add_mass(sim::micros(400), 0.2);   // past D either way
+    return pmf;
+  };
+  const double coarse = build(sim::micros(50)).tail_above(deadline);
+  const double fine = build(sim::micros(10)).tail_above(deadline);
+  const double exact = 0.2;
+  EXPECT_GE(coarse, fine - kTol);
+  EXPECT_GE(fine, exact - kTol);
+  EXPECT_NEAR(coarse, 0.5, kTol);  // 170 -> bin 200 > 180
+  EXPECT_NEAR(fine, 0.2, kTol);    // 170 -> bin 170 <= 180
+}
+
+TEST(PmfEdge, QuantumInvarianceOfDegenerateAndSaturatedMasses) {
+  // Grid-aligned point masses are step-invariant: the same distribution
+  // quantized at 10us and 50us answers every grid-aligned query alike.
+  for (const sim::Time q : {sim::micros(10), sim::micros(50)}) {
+    Pmf pmf(q, 4096);
+    pmf.add_mass(sim::Time::zero(), 0.25);
+    pmf.add_mass(sim::micros(100), 0.5);
+    pmf.add_mass(sim::micros(600), 0.25);
+    EXPECT_NEAR(pmf.tail_above(sim::micros(100)), 0.25, kTol);
+    EXPECT_NEAR(pmf.tail_above(sim::Time::zero()), 0.75, kTol);
+    EXPECT_EQ(pmf.quantile(0.75), sim::micros(100));
+  }
+}
+
+TEST(PmfEdge, ConvolveAndAccumulateRejectQuantumMismatch) {
+  Pmf a(sim::micros(50), 8);
+  Pmf b(sim::micros(10), 8);
+  a.add_mass(sim::Time::zero(), 1.0);
+  b.add_mass(sim::Time::zero(), 1.0);
+  EXPECT_THROW((void)a.convolve(b), std::invalid_argument);
+  EXPECT_THROW(a.accumulate(b, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coeff::analysis

@@ -1,0 +1,101 @@
+// Campaign-side plumbing of the analytic cross-check: the static-
+// segment counters ride the JSONL row schema (with tolerant parsing of
+// pre-schema rows), and cross_check_prob filters the eligible
+// population before re-deriving envelopes.
+#include "campaign/cross_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+#include "campaign/report.hpp"
+
+namespace coeff::campaign {
+namespace {
+
+ResultRow ok_row(std::int64_t cell) {
+  ResultRow row;
+  row.cell = cell;
+  row.seed = 7;
+  row.status = "ok";
+  row.scheme = "coefficient";
+  row.fault = "iid";
+  row.structural = "none";
+  row.nodes = 4;
+  row.statics = 8;
+  row.released = 1200;
+  row.delivered = 1100;
+  row.missed = 100;
+  row.s_released = 1000;
+  row.s_missed = 80;
+  return row;
+}
+
+TEST(CrossCheck, RowRoundTripCarriesStaticSegmentCounters) {
+  const ResultRow row = ok_row(3);
+  const std::string line = render_row(row);
+  EXPECT_NE(line.find("\"s_released\":1000"), std::string::npos);
+  EXPECT_NE(line.find("\"s_missed\":80"), std::string::npos);
+  const auto parsed = parse_row(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->s_released, 1000);
+  EXPECT_EQ(parsed->s_missed, 80);
+}
+
+TEST(CrossCheck, LegacyRowsWithoutStaticCountersParseToZero) {
+  // A pre-schema row (older campaign): absent keys default to 0 and the
+  // row stays usable — it just drops out of the analytic population.
+  const std::string legacy =
+      "{\"cell\":1,\"seed\":9,\"status\":\"ok\",\"scheme\":\"hosa\","
+      "\"fault\":\"iid\",\"structural\":\"none\",\"nodes\":2,\"statics\":8,"
+      "\"dynamics\":0,\"util\":0.2,\"ber\":1e-06,\"released\":10,"
+      "\"delivered\":10,\"missed\":0,\"source_lost\":0,\"copies_sent\":0,"
+      "\"cycles\":5,\"miss_ratio\":0,\"degraded\":false,\"plan_swaps\":0,"
+      "\"failovers\":0,\"frames_lost\":0}";
+  const auto parsed = parse_row(legacy);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->s_released, 0);
+  EXPECT_EQ(parsed->s_missed, 0);
+}
+
+TEST(CrossCheck, GarbledStaticCountersRejectTheRow) {
+  std::string line = render_row(ok_row(0));
+  const auto pos = line.find("\"s_released\":1000");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, 17, "\"s_released\":zzzz");
+  EXPECT_FALSE(parse_row(line).has_value());
+}
+
+TEST(CrossCheck, FiltersIneligibleRowsAndHonorsCellCap) {
+  CampaignManifest manifest;
+  manifest.seed = 20260809;
+  manifest.cells = 8;
+
+  std::vector<ResultRow> rows;
+  rows.push_back(ok_row(0));
+  rows.push_back(ok_row(1));
+  rows.push_back(ok_row(2));
+  ResultRow failed = ok_row(3);
+  failed.status = "failed";
+  rows.push_back(failed);
+  ResultRow structural = ok_row(4);
+  structural.structural = "babble";  // model speaks only about channel loss
+  rows.push_back(structural);
+  ResultRow legacy = ok_row(5);
+  legacy.s_released = 0;  // pre-schema row: no static population recorded
+  rows.push_back(legacy);
+
+  CrossCheckOptions options;
+  options.max_cells = 2;
+  analysis::Report report;
+  const CrossCheckSummary summary =
+      cross_check_prob(manifest, rows, options, report);
+  EXPECT_EQ(summary.eligible, 3u);
+  EXPECT_EQ(summary.checked, 2u);
+  EXPECT_EQ(summary.diverged,
+            report.count_rule("analysis.prob-vs-campaign-divergence"));
+}
+
+}  // namespace
+}  // namespace coeff::campaign

@@ -1,0 +1,129 @@
+// Cross-validation acceptance suite (DESIGN.md §14): for the full
+// scheme x fault-model cross (3 x 4 = 12 seeded cells), the simulated
+// static-segment miss ratio must fall inside the analytic P(miss)
+// envelope [lower - slack, upper + slack]. A divergence here means the
+// verifier or the simulator drifted — exactly what rule
+// analysis.prob-vs-campaign-divergence exists to catch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/prob_wcrt.hpp"
+#include "campaign/cross_check.hpp"
+#include "campaign/scenario.hpp"
+#include "core/experiment.hpp"
+#include "net/workloads.hpp"
+
+namespace coeff::campaign {
+namespace {
+
+struct Cell {
+  core::SchemeKind scheme;
+  fault::FaultModelKind fault;
+  std::uint64_t seed;
+};
+
+ScenarioSpec make_spec(const Cell& cell, std::int64_t index) {
+  ScenarioSpec spec;
+  spec.cell = index;
+  spec.seed = cell.seed;
+  spec.scheme = cell.scheme;
+  spec.nodes = 8;
+  spec.num_statics = 12;
+  spec.num_dynamics = 0;
+  spec.utilization = 0.35;
+  spec.window_ms = 200;
+  spec.fault_model.kind = cell.fault;
+  spec.fault_model.ber = 1e-6;
+  spec.structural = StructuralKind::kNone;
+  return spec;
+}
+
+TEST(CrossValidation, SimulatedMissRatioInsideAnalyticEnvelope) {
+  const std::vector<core::SchemeKind> schemes = {
+      core::SchemeKind::kCoEfficient, core::SchemeKind::kFspec,
+      core::SchemeKind::kHosa};
+  const std::vector<fault::FaultModelKind> faults = {
+      fault::FaultModelKind::kIid, fault::FaultModelKind::kIidCounter,
+      fault::FaultModelKind::kGilbertElliott,
+      fault::FaultModelKind::kCommonMode};
+
+  const ScenarioGenerator generator(20260809, ScenarioDistribution{});
+  std::vector<analysis::DivergenceSample> samples;
+  std::int64_t index = 0;
+  for (const core::SchemeKind scheme : schemes) {
+    for (const fault::FaultModelKind fault : faults) {
+      const Cell cell{scheme, fault,
+                      0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                  index + 1)};
+      const ScenarioSpec spec = make_spec(cell, index);
+      const core::ExperimentConfig config = generator.config(spec);
+      const core::ExperimentResult measured =
+          core::run_experiment(config, spec.scheme);
+      ASSERT_GT(measured.run.statics.released, 0)
+          << scheme_tag(scheme) << "/" << fault::to_string(fault);
+
+      const auto setup =
+          make_prob_setup(config, spec.scheme, analysis::ProbWcrtOptions{});
+      const analysis::ProbWcrtResult analytic =
+          analysis::analyze_prob_wcrt(setup->input);
+      const auto [lower, upper] = envelope_miss_ratio(analytic);
+
+      analysis::DivergenceSample sample;
+      sample.label = std::string(scheme_tag(scheme)) + "/" +
+                     fault::to_string(fault);
+      sample.released = measured.run.statics.released;
+      sample.missed = measured.run.statics.missed;
+      sample.p_lower = lower;
+      sample.p_upper = upper;
+      samples.push_back(std::move(sample));
+      ++index;
+    }
+  }
+  ASSERT_EQ(samples.size(), 12u);
+
+  analysis::Report report;
+  analysis::check_divergence(samples, report);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+// The envelope claim must hold on the shipped paper workloads too —
+// including bbw, whose boundary-crossing class-A placements make the
+// simulator lose instances deterministically (the analytic upper edge
+// accounts for exactly that).
+TEST(CrossValidation, PaperWorkloadsInsideEnvelope) {
+  std::vector<analysis::DivergenceSample> samples;
+  for (const char* workload : {"bbw", "acc"}) {
+    core::ExperimentConfig config;
+    config.cluster = core::paper_cluster_apps(25);
+    config.statics = std::string(workload) == "bbw" ? net::brake_by_wire()
+                                                    : net::adaptive_cruise();
+    config.batch_window = sim::millis(200);
+    config.ber = 1e-7;
+    config.fault_model.ber = 1e-7;
+    const core::ExperimentResult measured =
+        core::run_experiment(config, core::SchemeKind::kCoEfficient);
+    ASSERT_GT(measured.run.statics.released, 0) << workload;
+
+    const auto setup = make_prob_setup(config, core::SchemeKind::kCoEfficient,
+                                       analysis::ProbWcrtOptions{});
+    const analysis::ProbWcrtResult analytic =
+        analysis::analyze_prob_wcrt(setup->input);
+    const auto [lower, upper] = envelope_miss_ratio(analytic);
+    analysis::DivergenceSample sample;
+    sample.label = workload;
+    sample.released = measured.run.statics.released;
+    sample.missed = measured.run.statics.missed;
+    sample.p_lower = lower;
+    sample.p_upper = upper;
+    samples.push_back(std::move(sample));
+  }
+  analysis::Report report;
+  analysis::check_divergence(samples, report);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+}  // namespace
+}  // namespace coeff::campaign

@@ -21,10 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/prob_cli.hpp"
+#include "analysis/prob_wcrt.hpp"
 #include "analysis/schedule_lint.hpp"
 #include "analysis/trace_lint.hpp"
 #include "bench_common.hpp"
 #include "campaign/checkpoint.hpp"
+#include "campaign/cross_check.hpp"
 #include "campaign/lint.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/report.hpp"
@@ -136,14 +139,40 @@ void usage() {
       "  --list-rules                      print the rule catalog and exit\n"
       "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error\n"
       "\n"
+      "coeffctl analyze --prob [options] — probabilistic WCRT verification\n"
+      "  (see coeffctl analyze --help)\n"
+      "\n"
       "coeffctl campaign run|resume|status|report — crash-safe scenario sweeps\n"
       "  (see coeffctl campaign --help)");
+}
+
+void analyze_usage() {
+  std::puts(
+      "coeffctl analyze --prob — analytic P(deadline miss) verification "
+      "(DESIGN.md §14)\n"
+      "\n"
+      "Builds each static message's response-time distribution under the\n"
+      "configured fault model (retransmission-count convolution through\n"
+      "slack-stealing interference) and reports the per-message / per-SAE-\n"
+      "class P(miss) envelope plus the analysis.* lint rules.\n"
+      "\n"
+      "  accepts the workload/cluster/fault-model options of a plain run\n"
+      "  (--scheme, --workload, --ber, --fault-model, --sil, ...), plus:\n"
+      "  --prob                  run the probabilistic pass (required)\n"
+      "  --json                  machine-readable result instead of text\n"
+      "  --sarif PATH            write lint findings as SARIF 2.1.0 ('-' = stdout)\n"
+      "  --campaign DIR          cross-check a finished campaign's measured\n"
+      "                          miss ratios against the analytic envelope\n"
+      "  --quantum-us N          Pmf quantization step (default: 50)\n"
+      "  --max-bins N            Pmf grid size (default: 4096)\n"
+      "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error");
 }
 
 /// The single usage line every bad-invocation path prints (exit 2).
 void usage_hint() {
   std::fputs(
       "usage: coeffctl [options] | coeffctl lint [options] | "
+      "coeffctl analyze --prob [options] | "
       "coeffctl campaign run|resume|status|report [options] "
       "(try --help)\n",
       stderr);
@@ -179,6 +208,8 @@ void campaign_usage() {
       "report options:\n"
       "  --json                  machine-readable aggregate\n"
       "  --out PATH              write the report to PATH instead of stdout\n"
+      "  --analyze               cross-check measured miss ratios against the\n"
+      "                          analytic P(miss) envelope (coeffctl analyze)\n"
       "\n"
       "exit status: 0 ok, 1 campaign/lint failure, 2 usage error");
 }
@@ -588,6 +619,108 @@ int lint_main(int argc, char** argv) {
   }
 }
 
+// --- analyze subcommand --------------------------------------------------
+
+/// `coeffctl analyze --prob`: the design-time probabilistic WCRT
+/// verifier. Exit status mirrors lint: 0 clean, 1 error diagnostics,
+/// 2 usage.
+int analyze_main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const analysis::ProbCliParse cli = analysis::parse_prob_cli(args);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "coeffctl: %s\n", cli.error.c_str());
+    usage_hint();
+    return 2;
+  }
+  if (cli.options.help) {
+    analyze_usage();
+    return 0;
+  }
+
+  // Forward the workload/cluster/fault tokens to the base parser.
+  std::vector<char*> base_argv;
+  base_argv.push_back(argv[0]);  // program name slot (parse skips it)
+  std::vector<std::string> passthrough = cli.passthrough;
+  for (std::string& token : passthrough) base_argv.push_back(token.data());
+  CliOptions opt;
+  if (!parse(static_cast<int>(base_argv.size()), base_argv.data(), opt)) {
+    usage_hint();
+    return 2;
+  }
+
+  try {
+    core::ExperimentConfig config;
+    core::SchemeKind scheme;
+    if (!build_config(opt, config) || !parse_scheme(opt, scheme)) return 2;
+
+    analysis::ProbWcrtOptions prob_options;
+    prob_options.quantum = sim::micros(cli.options.quantum_us);
+    prob_options.max_bins =
+        static_cast<std::size_t>(cli.options.max_bins);
+    const auto setup =
+        campaign::make_prob_setup(config, scheme, prob_options);
+    const analysis::ProbWcrtResult result =
+        analysis::analyze_prob_wcrt(setup->input);
+
+    if (cli.options.json) {
+      std::printf("%s\n",
+                  analysis::render_prob_json(setup->input, result).c_str());
+    } else {
+      std::printf("%s",
+                  analysis::render_prob_text(setup->input, result).c_str());
+    }
+
+    analysis::Report report = analysis::lint_prob(setup->input, result);
+
+    if (!cli.options.campaign_dir.empty()) {
+      const auto load = campaign::load_manifest(
+          campaign::manifest_path(cli.options.campaign_dir));
+      if (!load.ok) {
+        std::fprintf(stderr, "coeffctl: %s\n", load.error.c_str());
+        return 2;
+      }
+      const campaign::ResultScan scan =
+          campaign::scan_results(cli.options.campaign_dir, load.manifest);
+      campaign::CrossCheckOptions cross;
+      cross.prob = prob_options;
+      const campaign::CrossCheckSummary summary = campaign::cross_check_prob(
+          load.manifest, scan.rows, cross, report);
+      std::printf("cross-check: %zu/%zu eligible cell(s) checked, "
+                  "%zu diverged\n",
+                  summary.checked, summary.eligible, summary.diverged);
+    }
+
+    if (!cli.options.json) {
+      std::printf("%s", report.render_text().c_str());
+      std::printf("coeff-analyze: %zu error(s), %zu warning(s), %zu note(s) "
+                  "[%s, %zu static messages]\n",
+                  report.count(analysis::Severity::kError),
+                  report.count(analysis::Severity::kWarning),
+                  report.count(analysis::Severity::kNote),
+                  analysis::to_string(setup->input.discipline),
+                  config.statics.size());
+    }
+    if (!cli.options.sarif_path.empty()) {
+      const std::string sarif = report.render_sarif();
+      if (cli.options.sarif_path == "-") {
+        std::printf("%s\n", sarif.c_str());
+      } else {
+        std::ofstream out(cli.options.sarif_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "coeffctl: cannot write '%s'\n",
+                       cli.options.sarif_path.c_str());
+          return 2;
+        }
+        out << sarif;
+      }
+    }
+    return report.has_errors() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "coeffctl: %s\n", e.what());
+    return 2;
+  }
+}
+
 // --- campaign subcommand -------------------------------------------------
 
 struct CampaignCli {
@@ -596,6 +729,7 @@ struct CampaignCli {
   std::string out_path;
   bool json = false;
   bool durable = true;
+  bool analyze = false;  // report: cross-check vs the analytic envelope
   campaign::CampaignManifest manifest;
 };
 
@@ -683,6 +817,8 @@ bool parse_campaign(int argc, char** argv, CampaignCli& cli) {
       cli.durable = false;
     } else if (arg == "--json") {
       cli.json = true;
+    } else if (arg == "--analyze") {
+      cli.analyze = true;
     } else if (arg == "--out") {
       cli.out_path = next("--out");
     } else {
@@ -792,15 +928,25 @@ int campaign_report_main(const CampaignCli& cli) {
                : campaign::render_report_text(aggregate, load.manifest);
   if (cli.out_path.empty()) {
     std::printf("%s", text.c_str());
-    return 0;
+  } else {
+    std::ofstream out(cli.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "coeffctl: cannot write '%s'\n",
+                   cli.out_path.c_str());
+      return 1;
+    }
+    out << text;
   }
-  std::ofstream out(cli.out_path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "coeffctl: cannot write '%s'\n",
-                 cli.out_path.c_str());
-    return 1;
+  if (cli.analyze) {
+    analysis::Report report;
+    const campaign::CrossCheckSummary summary = campaign::cross_check_prob(
+        load.manifest, scan.rows, campaign::CrossCheckOptions{}, report);
+    std::printf("cross-check: %zu/%zu eligible cell(s) checked, "
+                "%zu diverged\n",
+                summary.checked, summary.eligible, summary.diverged);
+    std::printf("%s", report.render_text().c_str());
+    if (report.has_errors()) return 1;
   }
-  out << text;
   return 0;
 }
 
@@ -834,6 +980,9 @@ int campaign_main(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
     return lint_main(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0) {
+    return analyze_main(argc - 1, argv + 1);
   }
   if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
     return campaign_main(argc - 1, argv + 1);

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Structural validator for SARIF 2.1.0 files, stdlib only.
+
+CI runs this over every SARIF artifact coeffctl emits (lint and
+analyze). It is not a full JSON-Schema engine; it checks the subset of
+the SARIF 2.1.0 spec that downstream consumers (GitHub code scanning,
+IDE importers) actually require to ingest a log:
+
+  * top-level object with version == "2.1.0" and a runs array
+  * each run carries tool.driver.name (string)
+  * declared rules have string ids and shortDescription.text
+  * each result has a string ruleId, a level from the spec's closed
+    vocabulary, and message.text
+  * every result.ruleId is declared in the driver's rules (when the
+    driver declares any rules at all)
+  * locations, when present, nest artifactLocation.uri as strings
+
+Usage: sarif_check.py FILE [FILE...]   exits 0 iff every file passes.
+"""
+
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+class Errors:
+    def __init__(self, path):
+        self.path = path
+        self.items = []
+
+    def add(self, where, msg):
+        self.items.append(f"{self.path}: {where}: {msg}")
+
+
+def expect(errors, where, obj, key, kind, required=True):
+    """Return obj[key] if it exists with the right type, else None."""
+    if not isinstance(obj, dict):
+        errors.add(where, f"expected object, got {type(obj).__name__}")
+        return None
+    if key not in obj:
+        if required:
+            errors.add(where, f"missing required property '{key}'")
+        return None
+    value = obj[key]
+    if not isinstance(value, kind):
+        errors.add(
+            where,
+            f"property '{key}' must be {kind.__name__},"
+            f" got {type(value).__name__}",
+        )
+        return None
+    return value
+
+
+def check_rule(errors, where, rule):
+    rule_id = expect(errors, where, rule, "id", str)
+    short = expect(errors, where, rule, "shortDescription", dict)
+    if short is not None:
+        expect(errors, f"{where}.shortDescription", short, "text", str)
+    return rule_id
+
+
+def check_location(errors, where, location):
+    if not isinstance(location, dict):
+        errors.add(where, "location must be an object")
+        return
+    physical = location.get("physicalLocation")
+    if physical is None:
+        return  # logicalLocations-only results are legal
+    artifact = expect(
+        errors, f"{where}.physicalLocation", physical, "artifactLocation",
+        dict, required=False)
+    if artifact is not None:
+        expect(errors, f"{where}.physicalLocation.artifactLocation",
+               artifact, "uri", str)
+
+
+def check_result(errors, where, result, declared_rules):
+    rule_id = expect(errors, where, result, "ruleId", str)
+    if rule_id is not None and declared_rules is not None \
+            and rule_id not in declared_rules:
+        errors.add(where, f"ruleId '{rule_id}' is not declared in"
+                          " tool.driver.rules")
+    level = expect(errors, where, result, "level", str, required=False)
+    if level is not None and level not in LEVELS:
+        errors.add(where, f"level '{level}' not in {sorted(LEVELS)}")
+    message = expect(errors, where, result, "message", dict)
+    if message is not None:
+        expect(errors, f"{where}.message", message, "text", str)
+    locations = result.get("locations")
+    if locations is not None:
+        if not isinstance(locations, list):
+            errors.add(where, "locations must be an array")
+        else:
+            for i, loc in enumerate(locations):
+                check_location(errors, f"{where}.locations[{i}]", loc)
+
+
+def check_run(errors, where, run):
+    tool = expect(errors, where, run, "tool", dict)
+    declared = None
+    if tool is not None:
+        driver = expect(errors, f"{where}.tool", tool, "driver", dict)
+        if driver is not None:
+            expect(errors, f"{where}.tool.driver", driver, "name", str)
+            rules = driver.get("rules")
+            if rules is not None:
+                if not isinstance(rules, list):
+                    errors.add(f"{where}.tool.driver",
+                               "rules must be an array")
+                else:
+                    declared = set()
+                    for i, rule in enumerate(rules):
+                        rule_id = check_rule(
+                            errors, f"{where}.tool.driver.rules[{i}]", rule)
+                        if rule_id is not None:
+                            if rule_id in declared:
+                                errors.add(
+                                    f"{where}.tool.driver.rules[{i}]",
+                                    f"duplicate rule id '{rule_id}'")
+                            declared.add(rule_id)
+    results = expect(errors, where, run, "results", list, required=False)
+    if results is not None:
+        for i, result in enumerate(results):
+            check_result(errors, f"{where}.results[{i}]", result, declared)
+
+
+def check_file(path):
+    errors = Errors(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        errors.add("(file)", f"not readable as JSON: {exc}")
+        return errors.items
+    if not isinstance(doc, dict):
+        errors.add("$", "top level must be an object")
+        return errors.items
+    version = expect(errors, "$", doc, "version", str)
+    if version is not None and version != "2.1.0":
+        errors.add("$", f"version must be '2.1.0', got '{version}'")
+    schema = doc.get("$schema")
+    if schema is not None and not isinstance(schema, str):
+        errors.add("$", "$schema must be a string when present")
+    runs = expect(errors, "$", doc, "runs", list)
+    if runs is not None:
+        if not runs:
+            errors.add("$", "runs must contain at least one run")
+        for i, run in enumerate(runs):
+            check_run(errors, f"$.runs[{i}]", run)
+    return errors.items
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} FILE [FILE...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{path}: OK (SARIF 2.1.0 structural checks)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
