@@ -36,6 +36,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     const auto& o = parse.options;
     if (o.quantum_us < 1 || o.quantum_us > 1'000'000) __builtin_trap();
     if (o.max_bins < 16 || o.max_bins > 1'048'576) __builtin_trap();
+    if (o.dyn_max_slips < 1 || o.dyn_max_slips > 1'024) __builtin_trap();
     // Without --prob the only valid outcomes are --help or an error.
     if (!o.prob && !o.help) __builtin_trap();
   } else if (parse.error.empty()) {

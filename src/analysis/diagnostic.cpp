@@ -57,99 +57,157 @@ const char* sarif_level(Severity s) {
 
 }  // namespace
 
+namespace {
+
+// Help URIs: the design-doc section that defines each rule family
+// (GitHub-style heading anchors; surfaced in --list-rules and as the
+// SARIF rule helpUri).
+constexpr const char* kHelpSchedule = "DESIGN.md#9-static-analysis-srcanalysis";
+constexpr const char* kHelpTrace = "DESIGN.md#9-static-analysis-srcanalysis";
+constexpr const char* kHelpEngine =
+    "DESIGN.md#12-compiled-cycle-engine-flexraycluster-corecycle_template";
+constexpr const char* kHelpCampaign =
+    "DESIGN.md#13-crash-safe-campaign-engine-srccampaign";
+constexpr const char* kHelpProb =
+    "DESIGN.md#14-analytic-probabilistic-wcrt-verifier-analysisprob_wcrt-"
+    "analysispmf";
+constexpr const char* kHelpDyn =
+    "DESIGN.md#15-dynamic-segment-probabilistic-verifier-analysisdyn_wcrt";
+
+}  // namespace
+
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> kCatalog = {
       // --- ScheduleLint ---------------------------------------------------
       {"schedule.config-valid", Severity::kError,
-       "cluster configuration violates a FlexRay parameter constraint"},
+       "cluster configuration violates a FlexRay parameter constraint",
+       kHelpSchedule},
       {"schedule.message-set-valid", Severity::kError,
-       "message set fails structural validation"},
+       "message set fails structural validation", kHelpSchedule},
       {"schedule.deadline-period", Severity::kError,
-       "message deadline must lie in (0, period]"},
+       "message deadline must lie in (0, period]", kHelpSchedule},
       {"schedule.frame-id-unique", Severity::kError,
-       "two frames claim the same (slot, cycle) on one channel"},
+       "two frames claim the same (slot, cycle) on one channel",
+       kHelpSchedule},
       {"schedule.slot-bounds", Severity::kError,
        "slot assignment outside [1, gNumberOfStaticSlots] or an illegal "
-       "base-cycle/repetition"},
+       "base-cycle/repetition",
+       kHelpSchedule},
       {"schedule.slot-capacity", Severity::kError,
-       "static payload exceeds what one static slot carries"},
+       "static payload exceeds what one static slot carries", kHelpSchedule},
       {"schedule.period-cycle", Severity::kError,
        "static message period is not a whole multiple of the communication "
-       "cycle"},
+       "cycle",
+       kHelpSchedule},
       {"schedule.minislot-budget", Severity::kError,
        "dynamic frame can never fit the dynamic segment (minislots or "
-       "pLatestTx)"},
+       "pLatestTx)",
+       kHelpSchedule},
       {"schedule.minislot-load", Severity::kWarning,
        "expected dynamic-segment demand exceeds the per-cycle minislot "
-       "budget"},
+       "budget",
+       kHelpSchedule},
       {"schedule.unplaced", Severity::kError,
-       "static message could not be placed in any slot phase"},
+       "static message could not be placed in any slot phase", kHelpSchedule},
       {"schedule.deadline-risk", Severity::kWarning,
        "placement latency exceeds the message deadline (TDMA cannot do "
-       "better)"},
+       "better)",
+       kHelpSchedule},
       {"schedule.hyperperiod-overflow", Severity::kError,
-       "hyperperiod of the set overflows the supported horizon"},
+       "hyperperiod of the set overflows the supported horizon",
+       kHelpSchedule},
       {"schedule.macrotick-roundtrip", Severity::kWarning,
        "configured macrotick lengths do not round-trip through the units "
-       "layer's time conversions"},
+       "layer's time conversions",
+       kHelpSchedule},
       {"schedule.theorem1-recheck", Severity::kError,
-       "closed-form Theorem-1 recheck of the retransmission plan failed"},
+       "closed-form Theorem-1 recheck of the retransmission plan failed",
+       kHelpSchedule},
       {"schedule.plan-degraded", Severity::kWarning,
        "retransmission plan is degraded: rho unreachable within the copy "
-       "bound"},
+       "bound",
+       kHelpSchedule},
       {"schedule.slack-nonnegative", Severity::kError,
-       "slack table reports negative stealable slack"},
+       "slack table reports negative stealable slack", kHelpSchedule},
       {"schedule.slack-monotone", Severity::kError,
-       "cumulative idle curve is not non-decreasing"},
+       "cumulative idle curve is not non-decreasing", kHelpSchedule},
       {"schedule.slack-infeasible", Severity::kWarning,
-       "offline periodic schedule of the static set misses a deadline"},
+       "offline periodic schedule of the static set misses a deadline",
+       kHelpSchedule},
       {"schedule.rta-deadline", Severity::kWarning,
        "worst-case response time exceeds the deadline (sufficient RTA "
-       "test)"},
+       "test)",
+       kHelpSchedule},
       // --- TraceLint ------------------------------------------------------
       {"trace.kind-valid", Severity::kError,
-       "trace record carries an out-of-range enum tag"},
+       "trace record carries an out-of-range enum tag", kHelpTrace},
       {"trace.monotonic-time", Severity::kError,
-       "cycle-start timestamps do not advance"},
+       "cycle-start timestamps do not advance", kHelpTrace},
       {"trace.cycle-boundary", Severity::kError,
-       "cycle-start record off the cycle grid"},
+       "cycle-start record off the cycle grid", kHelpTrace},
       {"trace.tx-overlap", Severity::kError,
-       "two transmissions overlap on one channel"},
+       "two transmissions overlap on one channel", kHelpTrace},
       {"trace.retx-causality", Severity::kError,
-       "retransmission transmitted without a justifying cause"},
+       "retransmission transmitted without a justifying cause", kHelpTrace},
       {"trace.plan-swap-boundary", Severity::kError,
-       "plan swap not aligned to a cycle boundary"},
+       "plan swap not aligned to a cycle boundary", kHelpTrace},
       {"trace.load-shed-degraded", Severity::kError,
-       "load shed while the scheduler was not degraded"},
+       "load shed while the scheduler was not degraded", kHelpTrace},
       {"trace.structural-boundary", Severity::kError,
-       "structural transition (crash/restart/blackout) off the cycle grid"},
+       "structural transition (crash/restart/blackout) off the cycle grid",
+       kHelpTrace},
       {"trace.structural-causality", Severity::kError,
        "structural transition without a matching prior state (restart "
-       "without crash, channel-up without channel-down, double-down)"},
+       "without crash, channel-up without channel-down, double-down)",
+       kHelpTrace},
       {"trace.failover-causality", Severity::kError,
-       "failover copy without a dark home channel, or on a dark wire"},
+       "failover copy without a dark home channel, or on a dark wire",
+       kHelpTrace},
       {"trace.dead-channel-tx", Severity::kError,
-       "transmission recorded on a channel currently blacked out"},
+       "transmission recorded on a channel currently blacked out",
+       kHelpTrace},
       {"trace.vote-consistency", Severity::kError,
-       "replica-vote verdict inconsistent with its clean-copy count"},
+       "replica-vote verdict inconsistent with its clean-copy count",
+       kHelpTrace},
       {"engine.template-invalidation", Severity::kError,
        "transmission while the compiled cycle template was stale (plan "
-       "swap / membership / channel event without a rebuild marker)"},
+       "swap / membership / channel event without a rebuild marker)",
+       kHelpEngine},
       // --- CampaignLint ---------------------------------------------------
       {"campaign.manifest-consistency", Severity::kError,
        "campaign manifest, shard checkpoints and result rows disagree "
-       "(corruption, identity mismatch, or unaccounted cells)"},
+       "(corruption, identity mismatch, or unaccounted cells)",
+       kHelpCampaign},
       // --- ProbWcrt (analysis::analyze_prob_wcrt, DESIGN.md §14) ----------
       {"analysis.prob-miss-exceeds-target", Severity::kError,
        "analytic P(deadline miss) puts the set's reliability below the "
-       "configured target while the plan claims the target is met"},
+       "configured target while the plan claims the target is met",
+       kHelpProb},
       {"analysis.kz-contradiction", Severity::kError,
        "analytic response-time distribution contradicts the Theorem-1 k_z "
        "choice (a planned copy cannot land in time, or burst-correlated "
-       "loss defeats the memoryless sizing)"},
+       "loss defeats the memoryless sizing)",
+       kHelpProb},
       {"analysis.prob-vs-campaign-divergence", Severity::kError,
        "measured campaign miss ratio falls outside the analytic P(miss) "
-       "confidence envelope (modeling or implementation bug)"},
+       "confidence envelope (modeling or implementation bug)",
+       kHelpProb},
+      // --- DynWcrt (analysis::analyze_dyn_wcrt, DESIGN.md §15) ------------
+      {"analysis.dyn-miss-exceeds-target", Severity::kError,
+       "analytic dynamic-segment P(deadline miss) puts the set's "
+       "reliability below the configured target while the plan claims the "
+       "target is met",
+       kHelpDyn},
+      {"analysis.dyn-starvation", Severity::kError,
+       "dynamic frame's miss-envelope upper edge is 1: load-shed by a "
+       "degraded plan, geometrically unable to start (minislot walk past "
+       "the pLatestTx cutoff), or saturated by worst-case contention",
+       kHelpDyn},
+      {"analysis.dyn-vs-campaign-divergence", Severity::kError,
+       "measured dynamic-segment campaign miss ratio falls outside the "
+       "analytic P(miss) confidence envelope (modeling or implementation "
+       "bug)",
+       kHelpDyn},
   };
   return kCatalog;
 }
@@ -159,6 +217,15 @@ const RuleInfo* find_rule(std::string_view id) {
     if (id == r.id) return &r;
   }
   return nullptr;
+}
+
+std::string render_rule_list() {
+  std::string out;
+  for (const RuleInfo& rule : rule_catalog()) {
+    out += strformat("%-40s %-8s %s [%s]\n", rule.id, to_string(rule.severity),
+                     rule.summary, rule.help_uri);
+  }
+  return out;
 }
 
 std::string strformat(const char* fmt, ...) {
@@ -247,7 +314,9 @@ std::string Report::render_sarif() const {
     out += json_escape(r.id);
     out += "\",\"shortDescription\":{\"text\":\"";
     out += json_escape(r.summary);
-    out += "\"}}";
+    out += "\"},\"helpUri\":\"";
+    out += json_escape(r.help_uri);
+    out += "\"}";
   }
   out += "]}},\"results\":[";
   first = true;

@@ -54,17 +54,26 @@ struct Diagnostic {
   Location loc;
 };
 
-/// One rule's catalog entry: id, default severity, one-line summary.
-/// The catalog backs `coeffctl lint --list-rules` and the SARIF rule
-/// metadata; every rule a linter can emit must be registered here.
+/// One rule's catalog entry: id, default severity, one-line summary and
+/// a help URI (the design-doc section that defines the rule). The
+/// catalog backs `coeffctl lint --list-rules` and the SARIF rule
+/// metadata; every rule a linter can emit must be registered here, with
+/// a non-empty summary and help URI (enforced by the catalog-integrity
+/// unit test).
 struct RuleInfo {
   const char* id;
   Severity severity;
   const char* summary;
+  const char* help_uri;
 };
 
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
 [[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+/// The `coeffctl lint --list-rules` listing: one line per catalog rule
+/// (id, severity, summary, help URI). Unit-tested to cover every
+/// registered rule, so the CLI listing can never silently drop one.
+[[nodiscard]] std::string render_rule_list();
 
 /// printf-style std::string builder for diagnostic messages.
 [[nodiscard, gnu::format(printf, 1, 2)]] std::string strformat(

@@ -135,4 +135,32 @@ double Pmf::total_mass() const {
   return total;
 }
 
+Pmf with_cycle_slips(const Pmf& first_opportunity, double p_slip,
+                     sim::Time cycle, int max_slips) {
+  if (!(p_slip >= 0.0) || p_slip > 1.0) {
+    throw std::invalid_argument("with_cycle_slips: p_slip outside [0, 1]");
+  }
+  if (max_slips < 0) {
+    throw std::invalid_argument("with_cycle_slips: negative max_slips");
+  }
+  if (cycle < sim::Time::zero()) {
+    throw std::invalid_argument("with_cycle_slips: negative cycle");
+  }
+  Pmf out(first_opportunity.quantum(), first_opportunity.max_bins());
+  // p_pow tracks p_slip^j; the leftover after the truncated geometric sum
+  // is exactly p_slip^(max_slips+1), routed to the overflow bucket so the
+  // composition conserves mass.
+  double p_pow = 1.0;
+  for (int j = 0; j <= max_slips; ++j) {
+    const double weight = (1.0 - p_slip) * p_pow;
+    if (weight > 0.0) {
+      out.accumulate(first_opportunity.shifted(cycle * j), weight);
+    }
+    p_pow *= p_slip;
+    if (p_pow == 0.0 && j < max_slips) break;
+  }
+  out.add_overflow(p_pow * first_opportunity.total_mass());
+  return out;
+}
+
 }  // namespace coeff::analysis

@@ -78,4 +78,19 @@ class Pmf {
   double overflow_ = 0.0;
 };
 
+/// Geometric cycle-slip composition (DESIGN.md §15): a transmission that
+/// misses its dynamic-segment opportunity slips a whole communication
+/// cycle and retries. Given the first-opportunity delay distribution and
+/// a per-cycle slip probability, returns
+///
+///   sum_{j=0..max_slips} (1-p_slip) * p_slip^j * first.shifted(j*cycle)
+///   + p_slip^(max_slips+1) * total_mass(first)  -> overflow bucket
+///
+/// The truncated geometric tail goes to the overflow bucket, never
+/// dropped, so total mass is conserved and every tail query stays an
+/// upper bound. Throws std::invalid_argument when p_slip is outside
+/// [0, 1], max_slips is negative, or cycle is negative.
+[[nodiscard]] Pmf with_cycle_slips(const Pmf& first_opportunity, double p_slip,
+                                   sim::Time cycle, int max_slips);
+
 }  // namespace coeff::analysis

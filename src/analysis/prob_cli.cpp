@@ -72,6 +72,16 @@ ProbCliParse parse_prob_cli(const std::vector<std::string>& args) {
         parse.error = "--max-bins must be an integer in [16, 1048576]";
         return parse;
       }
+    } else if (arg == "--no-dyn") {
+      opt.no_dyn = true;
+    } else if (arg == "--dyn-max-slips") {
+      const std::string* v = next("--dyn-max-slips");
+      if (v == nullptr) return parse;
+      if (!parse_int(*v, opt.dyn_max_slips) || opt.dyn_max_slips < 1 ||
+          opt.dyn_max_slips > 1'024) {
+        parse.error = "--dyn-max-slips must be an integer in [1, 1024]";
+        return parse;
+      }
     } else {
       // Not ours: forward to the base experiment parser. Value-taking
       // base flags keep their value adjacent because both tokens pass

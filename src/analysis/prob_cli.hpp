@@ -16,10 +16,12 @@ struct ProbCliOptions {
   bool prob = false;   ///< --prob: run the probabilistic WCRT analysis
   bool json = false;   ///< --json: machine-readable result
   bool help = false;   ///< --help/-h
+  bool no_dyn = false;  ///< --no-dyn: skip the dynamic-segment analysis
   std::string sarif_path;    ///< --sarif PATH ('-' = stdout), empty = none
   std::string campaign_dir;  ///< --campaign DIR: cross-check a report
   std::int64_t quantum_us = 50;   ///< --quantum-us (1..1000000)
   std::int64_t max_bins = 4096;   ///< --max-bins (16..1048576)
+  std::int64_t dyn_max_slips = 64;  ///< --dyn-max-slips (1..1024)
 };
 
 struct ProbCliParse {

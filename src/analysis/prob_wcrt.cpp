@@ -503,7 +503,7 @@ Report lint_prob(const ProbWcrtInput& input, const ProbWcrtResult& result) {
 }
 
 void check_divergence(const std::vector<DivergenceSample>& samples,
-                      Report& report) {
+                      Report& report, const char* rule) {
   CappedReport out(report);
   for (const DivergenceSample& s : samples) {
     if (s.released <= 0) continue;
@@ -514,14 +514,14 @@ void check_divergence(const std::vector<DivergenceSample>& samples,
       return 5.0 * std::sqrt(var / n) + 2.0 / n;
     };
     if (measured > s.p_upper + slack(s.p_upper)) {
-      out.add("analysis.prob-vs-campaign-divergence",
+      out.add(rule,
               strformat("%s: measured miss ratio %.4g (%lld/%lld) exceeds "
                         "the analytic upper envelope %.4g",
                         s.label.c_str(), measured,
                         static_cast<long long>(s.missed),
                         static_cast<long long>(s.released), s.p_upper));
     } else if (measured < s.p_lower - slack(s.p_lower)) {
-      out.add("analysis.prob-vs-campaign-divergence",
+      out.add(rule,
               strformat("%s: measured miss ratio %.4g (%lld/%lld) falls "
                         "below the analytic lower envelope %.4g",
                         s.label.c_str(), measured,

@@ -149,12 +149,14 @@ struct DivergenceSample {
   double p_lower = 0.0;
 };
 
-/// Rule analysis.prob-vs-campaign-divergence: flags samples whose
-/// measured miss ratio falls outside [p_lower - slack, p_upper + slack],
-/// slack = 5 binomial sigma at the nearer envelope edge + 2/n (finite-
-/// sample guard). Appends to `report` under the per-rule cap.
+/// Rule analysis.prob-vs-campaign-divergence (or `rule`, e.g. the
+/// dynamic-segment variant): flags samples whose measured miss ratio
+/// falls outside [p_lower - slack, p_upper + slack], slack = 5 binomial
+/// sigma at the nearer envelope edge + 2/n (finite-sample guard).
+/// Appends to `report` under the per-rule cap.
 void check_divergence(const std::vector<DivergenceSample>& samples,
-                      Report& report);
+                      Report& report,
+                      const char* rule = "analysis.prob-vs-campaign-divergence");
 
 /// Human-readable and machine-readable renderings for `coeffctl analyze`.
 [[nodiscard]] std::string render_prob_text(const ProbWcrtInput& input,

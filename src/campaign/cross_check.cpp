@@ -64,6 +64,18 @@ std::unique_ptr<ProbSetup> make_prob_setup(
     // envelope some tightness.
     in.table = nullptr;
   }
+  if (!setup->config.dynamics.messages().empty()) {
+    setup->has_dynamics = true;
+    analysis::DynWcrtInput& dyn = setup->dyn_input;
+    dyn.cluster = &setup->config.cluster;
+    dyn.dynamics = &setup->config.dynamics;
+    dyn.discipline = in.discipline;
+    dyn.plan = in.plan;
+    dyn.fault_model = in.fault_model;
+    dyn.rho = rho;
+    dyn.u = setup->config.u;
+    dyn.options = options;
+  }
   return setup;
 }
 
@@ -83,6 +95,22 @@ std::pair<double, double> envelope_miss_ratio(
   return {lower / weight, upper / weight};
 }
 
+std::pair<double, double> dyn_envelope_miss_ratio(
+    const analysis::DynWcrtResult& result) {
+  double weight = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  for (const analysis::DynMessageProb& mp : result.messages) {
+    if (mp.period <= sim::Time::zero()) continue;
+    const double w = 1.0 / static_cast<double>(mp.period.ns());
+    weight += w;
+    lower += w * mp.p_miss_lower;
+    upper += w * mp.p_miss_upper;
+  }
+  if (weight <= 0.0) return {0.0, 0.0};
+  return {lower / weight, upper / weight};
+}
+
 CrossCheckSummary cross_check_prob(const CampaignManifest& manifest,
                                    const std::vector<ResultRow>& rows,
                                    const CrossCheckOptions& options,
@@ -90,31 +118,51 @@ CrossCheckSummary cross_check_prob(const CampaignManifest& manifest,
   CrossCheckSummary summary;
   const ScenarioGenerator generator(manifest.seed, manifest.distribution);
   std::vector<analysis::DivergenceSample> samples;
+  std::vector<analysis::DivergenceSample> dyn_samples;
   for (const ResultRow& row : rows) {
     // The analytic model speaks about channel loss on a healthy
-    // cluster: structural-fault cells and pre-schema rows (s_released
-    // missing, parsed as 0) are out of scope.
-    if (row.status != "ok" || row.structural != "none" ||
-        row.s_released <= 0) {
-      continue;
-    }
-    ++summary.eligible;
-    if (samples.size() >= options.max_cells) continue;
+    // cluster: structural-fault cells and pre-schema rows (s_released /
+    // d_released missing, parsed as 0) are out of scope.
+    if (row.status != "ok" || row.structural != "none") continue;
+    const bool want_static = row.s_released > 0;
+    const bool want_dyn = row.d_released > 0;
+    if (want_static) ++summary.eligible;
+    if (want_dyn) ++summary.dyn_eligible;
+    const bool take_static =
+        want_static && samples.size() < options.max_cells;
+    const bool take_dyn =
+        want_dyn && dyn_samples.size() < options.max_cells;
+    if (!take_static && !take_dyn) continue;
     const ScenarioSpec spec = generator.spec(row.cell);
     const auto setup =
         make_prob_setup(generator.config(spec), spec.scheme, options.prob);
-    const analysis::ProbWcrtResult result =
-        analysis::analyze_prob_wcrt(setup->input);
-    const auto [lower, upper] = envelope_miss_ratio(result);
-    analysis::DivergenceSample sample;
-    sample.label = analysis::strformat(
+    const std::string label = analysis::strformat(
         "cell %" PRId64 " (%s, %s, seed=%" PRIu64 ")", row.cell,
         row.scheme.c_str(), row.fault.c_str(), row.seed);
-    sample.released = row.s_released;
-    sample.missed = row.s_missed;
-    sample.p_lower = lower;
-    sample.p_upper = upper;
-    samples.push_back(std::move(sample));
+    if (take_static) {
+      const analysis::ProbWcrtResult result =
+          analysis::analyze_prob_wcrt(setup->input);
+      const auto [lower, upper] = envelope_miss_ratio(result);
+      analysis::DivergenceSample sample;
+      sample.label = label;
+      sample.released = row.s_released;
+      sample.missed = row.s_missed;
+      sample.p_lower = lower;
+      sample.p_upper = upper;
+      samples.push_back(std::move(sample));
+    }
+    if (take_dyn && setup->has_dynamics) {
+      const analysis::DynWcrtResult result =
+          analysis::analyze_dyn_wcrt(setup->dyn_input);
+      const auto [lower, upper] = dyn_envelope_miss_ratio(result);
+      analysis::DivergenceSample sample;
+      sample.label = label;
+      sample.released = row.d_released;
+      sample.missed = row.d_missed;
+      sample.p_lower = lower;
+      sample.p_upper = upper;
+      dyn_samples.push_back(std::move(sample));
+    }
   }
   summary.checked = samples.size();
   const std::size_t before =
@@ -122,6 +170,13 @@ CrossCheckSummary cross_check_prob(const CampaignManifest& manifest,
   analysis::check_divergence(samples, report);
   summary.diverged =
       report.count_rule("analysis.prob-vs-campaign-divergence") - before;
+  summary.dyn_checked = dyn_samples.size();
+  const std::size_t dyn_before =
+      report.count_rule("analysis.dyn-vs-campaign-divergence");
+  analysis::check_divergence(dyn_samples, report,
+                             "analysis.dyn-vs-campaign-divergence");
+  summary.dyn_diverged =
+      report.count_rule("analysis.dyn-vs-campaign-divergence") - dyn_before;
   return summary;
 }
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/dyn_wcrt.hpp"
 #include "analysis/prob_wcrt.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/report.hpp"
@@ -33,6 +34,10 @@ struct ProbSetup {
   fault::RetransmissionPlan plan;
   int rounds = 1;
   analysis::ProbWcrtInput input;
+  /// Dynamic-segment counterpart, wired whenever config.dynamics is
+  /// non-empty (has_dynamics); shares plan/fault model with `input`.
+  bool has_dynamics = false;
+  analysis::DynWcrtInput dyn_input;
 };
 
 /// Wire an analytic input for `config` under `scheme`: CoEfficient gets
@@ -50,6 +55,11 @@ struct ProbSetup {
 [[nodiscard]] std::pair<double, double> envelope_miss_ratio(
     const analysis::ProbWcrtResult& result);
 
+/// Dynamic-segment analogue: expected fraction of dynamic releases that
+/// miss, rate-weighted over the analyzed dynamic messages.
+[[nodiscard]] std::pair<double, double> dyn_envelope_miss_ratio(
+    const analysis::DynWcrtResult& result);
+
 struct CrossCheckOptions {
   std::size_t max_cells = 16;  ///< analytic runs are per-cell; cap them
   analysis::ProbWcrtOptions prob;
@@ -59,6 +69,11 @@ struct CrossCheckSummary {
   std::size_t eligible = 0;  ///< ok, structural=none, s_released > 0
   std::size_t checked = 0;   ///< analytic envelope actually computed
   std::size_t diverged = 0;  ///< cells outside their envelope
+  /// Dynamic-segment pass (rows with d_released > 0; legacy rows parse
+  /// those counters as 0 and are skipped, never miscounted as clean).
+  std::size_t dyn_eligible = 0;
+  std::size_t dyn_checked = 0;
+  std::size_t dyn_diverged = 0;  ///< analysis.dyn-vs-campaign-divergence
 };
 
 /// Re-derive the analytic envelope for up to `max_cells` eligible rows

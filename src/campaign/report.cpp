@@ -191,6 +191,8 @@ ResultRow make_row(const ScenarioSpec& spec,
   row.frames_lost = run.frames_lost;
   row.s_released = run.statics.released;
   row.s_missed = run.statics.missed;
+  row.d_released = run.dynamics.released;
+  row.d_missed = run.dynamics.missed;
   return row;
 }
 
@@ -257,6 +259,8 @@ std::string render_row(const ResultRow& row) {
   out += ",\"frames_lost\":" + std::to_string(row.frames_lost);
   out += ",\"s_released\":" + std::to_string(row.s_released);
   out += ",\"s_missed\":" + std::to_string(row.s_missed);
+  out += ",\"d_released\":" + std::to_string(row.d_released);
+  out += ",\"d_missed\":" + std::to_string(row.d_missed);
   out += '}';
   return out;
 }
@@ -327,6 +331,17 @@ std::optional<ResultRow> parse_row(std::string_view line) {
   }
   const auto s_missed = json_field(line, "s_missed");
   if (s_missed.has_value() && !to_i64(s_missed, row.s_missed)) {
+    return std::nullopt;
+  }
+  // Dynamic-segment counts arrived with the DynWcrt cross-check: same
+  // tolerant treatment (absent = 0, the dynamic cross-check skips rows
+  // with d_released == 0 rather than miscounting them).
+  const auto d_released = json_field(line, "d_released");
+  if (d_released.has_value() && !to_i64(d_released, row.d_released)) {
+    return std::nullopt;
+  }
+  const auto d_missed = json_field(line, "d_missed");
+  if (d_missed.has_value() && !to_i64(d_missed, row.d_missed)) {
     return std::nullopt;
   }
   return row;
@@ -404,6 +419,8 @@ CampaignAggregate aggregate_rows(const std::vector<ResultRow>& rows,
     agg.cycles += row.cycles;
     agg.plan_swaps += row.plan_swaps;
     agg.failovers += row.failovers;
+    agg.d_released += row.d_released;
+    agg.d_missed += row.d_missed;
     if (row.degraded) ++agg.degraded_plans;
     agg.miss_ratio_mean += row.miss_ratio;
     agg.miss_ratio_max = std::max(agg.miss_ratio_max, row.miss_ratio);
@@ -440,6 +457,10 @@ std::string render_report_text(const CampaignAggregate& agg,
                 "instances : released=%" PRId64 " delivered=%" PRId64
                 " missed=%" PRId64 " source_lost=%" PRId64 "\n",
                 agg.released, agg.delivered, agg.missed, agg.source_lost);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "dynamic   : released=%" PRId64 " missed=%" PRId64 "\n",
+                agg.d_released, agg.d_missed);
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "miss      : mean=%s max=%s | degraded_plans=%" PRId64
@@ -499,6 +520,8 @@ std::string render_report_json(const CampaignAggregate& agg,
   out += ",\"degraded_plans\":" + std::to_string(agg.degraded_plans);
   out += ",\"plan_swaps\":" + std::to_string(agg.plan_swaps);
   out += ",\"failovers\":" + std::to_string(agg.failovers);
+  out += ",\"d_released\":" + std::to_string(agg.d_released);
+  out += ",\"d_missed\":" + std::to_string(agg.d_missed);
   out += ",\"miss_ratio_mean\":" + format_double(agg.miss_ratio_mean);
   out += ",\"miss_ratio_max\":" + format_double(agg.miss_ratio_max);
   out += ',';

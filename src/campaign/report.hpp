@@ -54,6 +54,11 @@ struct ResultRow {
   /// ProbWcrt envelope speaks about). 0 on rows from older campaigns.
   std::int64_t s_released = 0;
   std::int64_t s_missed = 0;
+  /// Dynamic-segment instance counts (the population the analytic
+  /// DynWcrt envelope speaks about). 0 on rows from older campaigns,
+  /// which the dynamic cross-check therefore skips.
+  std::int64_t d_released = 0;
+  std::int64_t d_missed = 0;
 };
 
 [[nodiscard]] ResultRow make_row(const ScenarioSpec& spec,
@@ -103,6 +108,10 @@ struct CampaignAggregate {
   std::int64_t degraded_plans = 0;
   std::int64_t plan_swaps = 0;
   std::int64_t failovers = 0;
+  /// Dynamic-segment instance totals (0 on campaigns from older row
+  /// schemas, whose rows carry no d_* counters).
+  std::int64_t d_released = 0;
+  std::int64_t d_missed = 0;
   double miss_ratio_mean = 0.0;  ///< mean of per-cell ratios (ok cells)
   double miss_ratio_max = 0.0;
   std::map<std::string, GroupStat> by_scheme;

@@ -27,6 +27,38 @@ TEST(RuleCatalogTest, IdsAreUniqueAndNamespaced) {
   EXPECT_NE(find_rule("schedule.macrotick-roundtrip"), nullptr);
 }
 
+TEST(RuleCatalogTest, CatalogIntegrityEveryRuleIsFullyDocumented) {
+  // Hardened-catalog contract: every rule carries a unique id, a
+  // non-empty description, and a non-empty help URI (surfaced in both
+  // SARIF output and --list-rules), and the rendered rule list mentions
+  // every id exactly once.
+  const std::string listing = render_rule_list();
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rule_catalog()) {
+    ASSERT_NE(r.id, nullptr);
+    ASSERT_NE(r.summary, nullptr);
+    ASSERT_NE(r.help_uri, nullptr);
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_NE(std::string(r.summary), "") << r.id << " lacks a description";
+    EXPECT_NE(std::string(r.help_uri), "") << r.id << " lacks a help URI";
+    EXPECT_NE(listing.find(r.id), std::string::npos)
+        << r.id << " missing from render_rule_list()";
+    EXPECT_NE(listing.find(r.help_uri), std::string::npos)
+        << r.id << "'s help URI missing from render_rule_list()";
+  }
+  // The dynamic-segment rules landed with DESIGN.md §15 and must anchor
+  // there (the help URI is a stable deep link, not decoration).
+  for (const char* id : {"analysis.dyn-miss-exceeds-target",
+                         "analysis.dyn-starvation",
+                         "analysis.dyn-vs-campaign-divergence"}) {
+    const RuleInfo* rule = find_rule(id);
+    ASSERT_NE(rule, nullptr) << id;
+    EXPECT_NE(std::string(rule->help_uri).find("dyn_wcrt"),
+              std::string::npos)
+        << id << " should anchor at the §15 DESIGN.md section";
+  }
+}
+
 TEST(RuleCatalogTest, FindRuleRoundTripsAndRejectsUnknown) {
   for (const RuleInfo& r : rule_catalog()) {
     const RuleInfo* found = find_rule(r.id);
@@ -90,6 +122,13 @@ TEST(ReportTest, RenderSarifListsCatalogAndEscapesMessages) {
             std::string::npos);
   EXPECT_NE(sarif.find("bad \\\"quote\\\"\\nand newline"), std::string::npos);
   EXPECT_EQ(sarif.find('\n'), std::string::npos);  // single-line JSON
+  // Every catalog rule ships its help URI into the SARIF rules array.
+  EXPECT_NE(sarif.find("\"helpUri\":\""), std::string::npos);
+  for (const RuleInfo& r : rule_catalog()) {
+    EXPECT_NE(sarif.find(std::string("\"helpUri\":\"") + r.help_uri + '"'),
+              std::string::npos)
+        << r.id << " help URI missing from the SARIF rules array";
+  }
 }
 
 TEST(StrformatTest, FormatsLikePrintf) {

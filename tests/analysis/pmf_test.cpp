@@ -147,5 +147,85 @@ TEST(PmfEdge, ConvolveAndAccumulateRejectQuantumMismatch) {
   EXPECT_THROW(a.accumulate(b, 0.5), std::invalid_argument);
 }
 
+// --- with_cycle_slips (DESIGN.md §15: geometric cycle-slip operator) ---
+
+Pmf unit_at(sim::Time t, sim::Time quantum, std::size_t bins) {
+  Pmf pmf(quantum, bins);
+  pmf.add_mass(t, 1.0);
+  return pmf;
+}
+
+TEST(CycleSlips, ZeroSlipProbabilityIsIdentityPlusNothing) {
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 64);
+  const Pmf out = with_cycle_slips(first, 0.0, sim::millis(1), 8);
+  EXPECT_NEAR(out.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(out.overflow(), 0.0, kTol);
+  EXPECT_NEAR(out.tail_above(sim::micros(100)), 0.0, kTol);
+  EXPECT_NEAR(out.tail_above(sim::micros(50)), 1.0, kTol);
+  EXPECT_EQ(out.quantile(0.999), sim::micros(100));
+}
+
+TEST(CycleSlips, CertainSlipSendsAllMassToOverflow) {
+  // p_slip = 1: no term of the geometric series ever lands, so the whole
+  // unit mass must be conserved in the overflow bucket (certain miss),
+  // never silently dropped.
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 64);
+  const Pmf out = with_cycle_slips(first, 1.0, sim::millis(1), 16);
+  EXPECT_NEAR(out.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(out.overflow(), 1.0, kTol);
+  EXPECT_EQ(out.quantile(0.999), sim::Time::max());
+}
+
+TEST(CycleSlips, GeometricWeightsConserveMassAndMatchClosedForm) {
+  const double p = 0.25;
+  const sim::Time cycle = sim::millis(1);
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 4096);
+  const Pmf out = with_cycle_slips(first, p, cycle, 32);
+  EXPECT_NEAR(out.total_mass(), 1.0, 1e-9);
+  // P(response > j cycles + first) = p^(j+1): the tail just above the
+  // j-th landing point is exactly the not-yet-served geometric tail.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out.tail_above(cycle * j + sim::micros(100)),
+                std::pow(p, j + 1), 1e-12)
+        << "after slip " << j;
+  }
+}
+
+TEST(CycleSlips, TruncationResidualLandsInOverflowAtTheSlipCap) {
+  // max_slips = 2 keeps terms j=0..2; the residual p^3 must be overflow
+  // so every deadline-miss tail stays an upper bound after truncation.
+  const double p = 0.5;
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 4096);
+  const Pmf out = with_cycle_slips(first, p, sim::millis(1), 2);
+  EXPECT_NEAR(out.total_mass(), 1.0, kTol);
+  EXPECT_NEAR(out.overflow(), 0.125, kTol);
+  EXPECT_NEAR(out.tail_above(sim::seconds(1)), 0.125, kTol);
+}
+
+TEST(CycleSlips, GridExhaustionAtTheCutoffStillConserves) {
+  // The shifted copies march off a deliberately tiny grid: shifted()
+  // moves the late mass into overflow, and the operator's own residual
+  // joins it — total mass stays 1 whatever the cap.
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 8);
+  const Pmf out = with_cycle_slips(first, 0.5, sim::millis(5), 64);
+  EXPECT_NEAR(out.total_mass(), 1.0, 1e-9);
+  EXPECT_NEAR(out.overflow(), 0.5, 1e-9);  // every slipped term overflows
+  EXPECT_NEAR(out.tail_above(sim::micros(100)), 0.5, 1e-9);
+}
+
+TEST(CycleSlips, RejectsMalformedParameters) {
+  const Pmf first = unit_at(sim::micros(100), sim::micros(50), 8);
+  EXPECT_THROW((void)with_cycle_slips(first, -0.1, sim::millis(1), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)with_cycle_slips(first, 1.1, sim::millis(1), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)with_cycle_slips(first, std::nan(""), sim::millis(1), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)with_cycle_slips(first, 0.5, sim::millis(1), -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)with_cycle_slips(first, 0.5, sim::millis(-1), 4),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace coeff::analysis

@@ -95,6 +95,41 @@ TEST(CrossCheck, FiltersIneligibleRowsAndHonorsCellCap) {
   EXPECT_EQ(summary.checked, 2u);
   EXPECT_EQ(summary.diverged,
             report.count_rule("analysis.prob-vs-campaign-divergence"));
+  // None of these rows recorded a dynamic population (d_released == 0),
+  // so the dynamic leg must skip them all — a legacy campaign is never
+  // miscounted as clean-measured dynamic evidence.
+  EXPECT_EQ(summary.dyn_eligible, 0u);
+  EXPECT_EQ(summary.dyn_checked, 0u);
+  EXPECT_EQ(summary.dyn_diverged, 0u);
+  EXPECT_EQ(report.count_rule("analysis.dyn-vs-campaign-divergence"), 0u);
+}
+
+TEST(CrossCheck, DynamicLegCountsOnlyRowsWithRecordedDynamicPopulation) {
+  CampaignManifest manifest;
+  manifest.seed = 20260809;
+  manifest.cells = 8;
+
+  std::vector<ResultRow> rows;
+  for (std::int64_t cell = 0; cell < 3; ++cell) {
+    ResultRow row = ok_row(cell);
+    row.d_released = 400;
+    row.d_missed = 0;
+    rows.push_back(row);
+  }
+  ResultRow legacy = ok_row(3);  // d_released stays 0: pre-schema row
+  rows.push_back(legacy);
+
+  CrossCheckOptions options;
+  options.max_cells = 2;
+  analysis::Report report;
+  const CrossCheckSummary summary =
+      cross_check_prob(manifest, rows, options, report);
+  EXPECT_EQ(summary.dyn_eligible, 3u);
+  // Capped like the static leg; a regenerated cell without a dynamic
+  // message set contributes eligibility but no analytic sample.
+  EXPECT_LE(summary.dyn_checked, 2u);
+  EXPECT_EQ(summary.dyn_diverged,
+            report.count_rule("analysis.dyn-vs-campaign-divergence"));
 }
 
 }  // namespace

@@ -32,7 +32,19 @@ ResultRow ok_row(std::int64_t cell) {
   row.copies_sent = 140;
   row.cycles = 20;
   row.miss_ratio = 0.02;
+  row.d_released = 30;
+  row.d_missed = 1;
   return row;
+}
+
+/// Strip the d_* fields from a rendered row, producing the exact line an
+/// older campaign (pre-dynamic-counters schema) would have written.
+std::string strip_dynamic_counters(std::string line) {
+  const auto start = line.find(",\"d_released\"");
+  const auto end = line.rfind('}');
+  EXPECT_NE(start, std::string::npos);
+  line.erase(start, end - start);
+  return line;
 }
 
 TEST(ResultRow, RendersAndParsesRoundTrip) {
@@ -47,8 +59,32 @@ TEST(ResultRow, RendersAndParsesRoundTrip) {
   EXPECT_EQ(parsed->released, row.released);
   EXPECT_EQ(parsed->missed, row.missed);
   EXPECT_DOUBLE_EQ(parsed->miss_ratio, row.miss_ratio);
+  EXPECT_EQ(parsed->d_released, row.d_released);
+  EXPECT_EQ(parsed->d_missed, row.d_missed);
   // Canonical: render(parse(render(x))) == render(x).
   EXPECT_EQ(render_row(*parsed), render_row(row));
+}
+
+TEST(ResultRow, LegacyRowsWithoutDynamicCountersParseToZero) {
+  // Rows from campaigns that predate the d_* counters must keep parsing
+  // and default to 0 — the dynamic cross-check then skips them instead
+  // of treating them as clean-measured cells.
+  const std::string legacy = strip_dynamic_counters(render_row(ok_row(7)));
+  const auto parsed = parse_row(legacy);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, 7);
+  EXPECT_EQ(parsed->released, 100);
+  EXPECT_EQ(parsed->d_released, 0);
+  EXPECT_EQ(parsed->d_missed, 0);
+}
+
+TEST(ResultRow, GarbledDynamicCountersRejectTheRow) {
+  std::string line = render_row(ok_row(7));
+  const auto pos = line.find("\"d_released\":30");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, std::string("\"d_released\":30").size(),
+               "\"d_released\":oops");
+  EXPECT_FALSE(parse_row(line).has_value());
 }
 
 TEST(ResultRow, FailedRowCarriesReproHandle) {
@@ -138,6 +174,8 @@ TEST(Aggregate, FoldsAndRendersDeterministically) {
   EXPECT_EQ(aggregate.shed, 1);
   EXPECT_EQ(aggregate.missing, 2);
   EXPECT_EQ(aggregate.released, 4 * 100);
+  EXPECT_EQ(aggregate.d_released, 4 * 30);
+  EXPECT_EQ(aggregate.d_missed, 4 * 1);
   ASSERT_EQ(aggregate.quarantined.size(), 1u);
   EXPECT_EQ(aggregate.quarantined[0].cell, 3);
   ASSERT_EQ(aggregate.missing_cells.size(), 2u);
@@ -149,6 +187,28 @@ TEST(Aggregate, FoldsAndRendersDeterministically) {
       render_report_json(aggregate_rows(rows, 8), manifest);
   EXPECT_EQ(once, twice);
   EXPECT_NE(once.find("\"ok\":4"), std::string::npos);
+  EXPECT_NE(once.find("\"d_released\":120"), std::string::npos);
+  EXPECT_NE(once.find("\"d_missed\":4"), std::string::npos);
+}
+
+TEST(Aggregate, LegacyRowsAggregateWithZeroDynamicCounters) {
+  // A mixed campaign — some rows written before the d_* schema — must
+  // aggregate exactly the modern rows' dynamic counters, not reject or
+  // miscount the legacy ones.
+  std::vector<ResultRow> rows;
+  for (std::int64_t cell = 0; cell < 4; ++cell) {
+    const std::string line =
+        cell < 2 ? strip_dynamic_counters(render_row(ok_row(cell)))
+                 : render_row(ok_row(cell));
+    const auto parsed = parse_row(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    rows.push_back(*parsed);
+  }
+  const CampaignAggregate aggregate = aggregate_rows(rows, 4);
+  EXPECT_EQ(aggregate.ok, 4);
+  EXPECT_EQ(aggregate.released, 4 * 100);  // static counters unaffected
+  EXPECT_EQ(aggregate.d_released, 2 * 30);
+  EXPECT_EQ(aggregate.d_missed, 2 * 1);
 }
 
 }  // namespace

@@ -165,6 +165,9 @@ void analyze_usage() {
       "                          miss ratios against the analytic envelope\n"
       "  --quantum-us N          Pmf quantization step (default: 50)\n"
       "  --max-bins N            Pmf grid size (default: 4096)\n"
+      "  --no-dyn                skip the dynamic-segment pass (DESIGN.md §15)\n"
+      "  --dyn-max-slips N       cycle-slip cap of the nominal dynamic\n"
+      "                          response model (default: 64)\n"
       "  exit status: 0 clean, 1 error-severity diagnostics, 2 usage error");
 }
 
@@ -523,10 +526,7 @@ int lint_main(int argc, char** argv) {
     return 2;
   }
   if (opt.list_rules) {
-    for (const auto& rule : analysis::rule_catalog()) {
-      std::printf("%-32s %-8s %s\n", rule.id, analysis::to_string(rule.severity),
-                  rule.summary);
-    }
+    std::fputs(analysis::render_rule_list().c_str(), stdout);
     return 0;
   }
 
@@ -662,15 +662,47 @@ int analyze_main(int argc, char** argv) {
     const analysis::ProbWcrtResult result =
         analysis::analyze_prob_wcrt(setup->input);
 
+    // Dynamic-segment pass (DESIGN.md §15): runs whenever the workload
+    // carries dynamic messages, unless --no-dyn opts out.
+    const bool run_dyn = setup->has_dynamics && !cli.options.no_dyn;
+    analysis::DynWcrtResult dyn_result;
+    if (run_dyn) {
+      setup->dyn_input.max_slips =
+          static_cast<int>(cli.options.dyn_max_slips);
+      dyn_result = analysis::analyze_dyn_wcrt(setup->dyn_input);
+    }
+
     if (cli.options.json) {
-      std::printf("%s\n",
-                  analysis::render_prob_json(setup->input, result).c_str());
+      std::string json = analysis::render_prob_json(setup->input, result);
+      if (run_dyn) {
+        // Graft the dynamic sections into the top-level object.
+        json.pop_back();
+        json += ",\"dynamic\":" +
+                analysis::render_dyn_json(setup->dyn_input, dyn_result);
+        json += ",\"end_to_end_classes\":" +
+                analysis::render_end_to_end_json(analysis::merge_class_envelopes(
+                    result.classes, dyn_result.classes));
+        json += '}';
+      }
+      std::printf("%s\n", json.c_str());
     } else {
       std::printf("%s",
                   analysis::render_prob_text(setup->input, result).c_str());
+      if (run_dyn) {
+        std::printf(
+            "%s",
+            analysis::render_dyn_text(setup->dyn_input, dyn_result).c_str());
+        std::printf("%s", analysis::render_end_to_end_text(
+                              analysis::merge_class_envelopes(
+                                  result.classes, dyn_result.classes))
+                              .c_str());
+      }
     }
 
     analysis::Report report = analysis::lint_prob(setup->input, result);
+    if (run_dyn) {
+      report.merge(analysis::lint_dyn(setup->dyn_input, dyn_result));
+    }
 
     if (!cli.options.campaign_dir.empty()) {
       const auto load = campaign::load_manifest(
@@ -686,19 +718,22 @@ int analyze_main(int argc, char** argv) {
       const campaign::CrossCheckSummary summary = campaign::cross_check_prob(
           load.manifest, scan.rows, cross, report);
       std::printf("cross-check: %zu/%zu eligible cell(s) checked, "
-                  "%zu diverged\n",
-                  summary.checked, summary.eligible, summary.diverged);
+                  "%zu diverged | dynamic %zu/%zu checked, %zu diverged\n",
+                  summary.checked, summary.eligible, summary.diverged,
+                  summary.dyn_checked, summary.dyn_eligible,
+                  summary.dyn_diverged);
     }
 
     if (!cli.options.json) {
       std::printf("%s", report.render_text().c_str());
       std::printf("coeff-analyze: %zu error(s), %zu warning(s), %zu note(s) "
-                  "[%s, %zu static messages]\n",
+                  "[%s, %zu static + %zu dynamic messages]\n",
                   report.count(analysis::Severity::kError),
                   report.count(analysis::Severity::kWarning),
                   report.count(analysis::Severity::kNote),
                   analysis::to_string(setup->input.discipline),
-                  config.statics.size());
+                  config.statics.size(),
+                  run_dyn ? config.dynamics.size() : std::size_t{0});
     }
     if (!cli.options.sarif_path.empty()) {
       const std::string sarif = report.render_sarif();
@@ -942,8 +977,10 @@ int campaign_report_main(const CampaignCli& cli) {
     const campaign::CrossCheckSummary summary = campaign::cross_check_prob(
         load.manifest, scan.rows, campaign::CrossCheckOptions{}, report);
     std::printf("cross-check: %zu/%zu eligible cell(s) checked, "
-                "%zu diverged\n",
-                summary.checked, summary.eligible, summary.diverged);
+                "%zu diverged | dynamic %zu/%zu checked, %zu diverged\n",
+                summary.checked, summary.eligible, summary.diverged,
+                summary.dyn_checked, summary.dyn_eligible,
+                summary.dyn_diverged);
     std::printf("%s", report.render_text().c_str());
     if (report.has_errors()) return 1;
   }
