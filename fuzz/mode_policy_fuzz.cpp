@@ -1,0 +1,42 @@
+// libFuzzer harness for the mixed-criticality CLI parsers.
+//
+// Contract under test: parse_mode_policy and parse_criticality_spec
+// never throw and never trip a sanitizer on ANY byte sequence — they
+// sit directly behind the --mode-policy / --criticality coeffctl flags
+// and behind campaign manifests regenerated from disk. Acceptance has
+// its own invariant: any policy parse_mode_policy accepts must pass
+// ModePolicy::validate() (the scheduler constructs a ModeManager from
+// it unconditionally), and an accepted criticality spec must only name
+// the three known levels.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "sched/criticality.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const auto policy = coeff::sched::parse_mode_policy(bytes);
+  if (policy.has_value()) {
+    try {
+      policy->validate();
+    } catch (...) {
+      __builtin_trap();  // accepted policy must be constructible
+    }
+    coeff::sched::ModeManager manager(*policy);
+    (void)manager.evaluate(1.0, false);
+  }
+
+  const auto crit = coeff::sched::parse_criticality_spec(bytes);
+  if (crit.has_value()) {
+    for (const auto& [id, level] : crit->overrides) {
+      if (id < 0 || static_cast<int>(level) < 0 ||
+          static_cast<int>(level) > 2) {
+        __builtin_trap();  // accepted spec must stay in the level range
+      }
+    }
+  }
+  return 0;
+}

@@ -73,6 +73,8 @@ constexpr const char* kHelpProb =
     "analysispmf";
 constexpr const char* kHelpDyn =
     "DESIGN.md#15-dynamic-segment-probabilistic-verifier-analysisdyn_wcrt";
+constexpr const char* kHelpMode =
+    "DESIGN.md#16-mixed-criticality-mode-change-protocol-schedcriticality";
 
 }  // namespace
 
@@ -208,6 +210,18 @@ const std::vector<RuleInfo>& rule_catalog() {
        "analytic P(miss) confidence envelope (modeling or implementation "
        "bug)",
        kHelpDyn},
+      // --- Mixed-criticality mode protocol (DESIGN.md §16) ----------------
+      {"trace.mode-change-boundary", Severity::kError,
+       "criticality mode change not aligned to a cycle boundary",
+       kHelpMode},
+      {"trace.shed-outside-degraded", Severity::kError,
+       "dynamic frame shed by criticality while the replayed mode was "
+       "NORMAL (or with a mode tag disagreeing with the replay)",
+       kHelpMode},
+      {"trace.matchup-before-recovery", Severity::kError,
+       "shed traffic re-admitted while degraded, or before the recovery "
+       "window after the return to NORMAL elapsed",
+       kHelpMode},
   };
   return kCatalog;
 }

@@ -76,6 +76,14 @@ Report lint_trace(const TraceLintInput& input) {
   // Rounds discipline: (sender, frame id) pairs already transmitted.
   std::set<std::pair<std::int64_t, std::int64_t>> seen_frames;
   bool degraded = input.initial_degraded;
+  // Mixed-criticality mode state replayed from kModeChange records:
+  // current mode (0 = NORMAL), and the earliest time match-up may
+  // legally re-admit (the last return-to-NORMAL plus its recovery
+  // window — the machine opens once NORMAL has held for the window's
+  // d cycles, i.e. d-1 cycles after the change record).
+  int mc_mode = 0;
+  bool saw_normal_return = false;
+  sim::Time matchup_ready_at;
   // Structural fault state replayed from the trace.
   std::set<std::int64_t> nodes_down;
   bool chan_down[flexray::kNumChannels] = {};
@@ -155,6 +163,91 @@ Report lint_trace(const TraceLintInput& input) {
                             "was not degraded",
                             static_cast<long long>(r.a),
                             sim::to_string(r.at).c_str()),
+                  record_loc(idx));
+        }
+        break;
+      }
+      case sim::TraceKind::kModeChange: {
+        // a=from, b=to, c=cycle, d=recovery window. Mode swaps are
+        // decided exactly once per cycle, at the boundary.
+        if (r.at % cycle != sim::Time::zero() ||
+            (r.c >= 0 && r.c != r.at / cycle)) {
+          out.add("trace.mode-change-boundary",
+                  strformat("record %lld: mode change at %s is not aligned "
+                            "to cycle %lld of the %s grid",
+                            static_cast<long long>(idx),
+                            sim::to_string(r.at).c_str(),
+                            static_cast<long long>(r.c),
+                            sim::to_string(cycle).c_str()),
+                  record_loc(idx));
+        }
+        if (r.a < 0 || r.a >= 3 || r.b < 0 || r.b >= 3 || r.a == r.b) {
+          out.add("trace.kind-valid",
+                  strformat("record %lld: mode-change tags %lld -> %lld out "
+                            "of range",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            static_cast<long long>(r.b)),
+                  record_loc(idx));
+          break;
+        }
+        mc_mode = static_cast<int>(r.b);
+        if (mc_mode == 0) {
+          saw_normal_return = true;
+          const std::int64_t window = r.d > 0 ? r.d : 1;
+          matchup_ready_at = r.at + cycle * (window - 1);
+        }
+        break;
+      }
+      case sim::TraceKind::kShedByMode: {
+        // a=message, b=node, c=mode, d=criticality. Criticality-based
+        // shedding exists only while a degraded mode is active.
+        if (mc_mode == 0) {
+          out.add("trace.shed-outside-degraded",
+                  strformat("record %lld: message %lld shed by mode at %s "
+                            "while the replayed mode was NORMAL",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            sim::to_string(r.at).c_str()),
+                  record_loc(idx));
+        } else if (r.c >= 0 && r.c != mc_mode) {
+          out.add("trace.shed-outside-degraded",
+                  strformat("record %lld: shed tagged mode %lld disagrees "
+                            "with the replayed mode %d",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.c), mc_mode),
+                  record_loc(idx));
+        }
+        break;
+      }
+      case sim::TraceKind::kMatchUp: {
+        // a=message, b=node, c=cycle, d=criticality. Re-admission is
+        // legal only back in NORMAL, after the recovery window the
+        // change-to-NORMAL record announced has elapsed.
+        if (mc_mode != 0) {
+          out.add("trace.matchup-before-recovery",
+                  strformat("record %lld: message %lld matched up at %s "
+                            "while still in degraded mode %d",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            sim::to_string(r.at).c_str(), mc_mode),
+                  record_loc(idx));
+        } else if (!saw_normal_return) {
+          out.add("trace.matchup-before-recovery",
+                  strformat("record %lld: message %lld matched up at %s "
+                            "with no prior mode change back to NORMAL",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            sim::to_string(r.at).c_str()),
+                  record_loc(idx));
+        } else if (r.at < matchup_ready_at) {
+          out.add("trace.matchup-before-recovery",
+                  strformat("record %lld: message %lld matched up at %s "
+                            "before the recovery window elapsed (%s)",
+                            static_cast<long long>(idx),
+                            static_cast<long long>(r.a),
+                            sim::to_string(r.at).c_str(),
+                            sim::to_string(matchup_ready_at).c_str()),
                   record_loc(idx));
         }
         break;

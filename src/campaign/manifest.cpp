@@ -109,6 +109,9 @@ std::string render_manifest(const CampaignManifest& manifest) {
   }
   kv("schemes", schemes);
   kv("window_ms", std::to_string(d.window_ms));
+  // Written only when enabled: manifests of campaigns without the
+  // mixed-criticality axis stay byte-identical to older builds.
+  if (d.criticality) kv("criticality", "on");
   kv("status", manifest.status);
   char crc_line[24];
   std::snprintf(crc_line, sizeof crc_line, "#crc32=%08" PRIX32, crc32(body));
@@ -235,6 +238,14 @@ ManifestLoad parse_manifest(std::string_view bytes) {
       ok = ok && !d.schemes.empty();
     } else if (key == "window_ms") {
       ok = parse_i64_field(value, d.window_ms);
+    } else if (key == "criticality") {
+      if (value == "on") {
+        d.criticality = true;
+      } else if (value == "off") {
+        d.criticality = false;
+      } else {
+        ok = false;
+      }
     } else if (key == "status") {
       m.status = value;
     } else {

@@ -193,6 +193,13 @@ ResultRow make_row(const ScenarioSpec& spec,
   row.s_missed = run.statics.missed;
   row.d_released = run.dynamics.released;
   row.d_missed = run.dynamics.missed;
+  row.m_changes = run.mode_changes;
+  row.m_shed = run.mode_sheds;
+  row.m_matchup = run.matchups;
+  row.m_dwell_l1 = run.mode_cycles_l1;
+  row.m_dwell_l2 = run.mode_cycles_l2;
+  row.e_total_uj = run.energy_total_uj;
+  row.e_sleep_uj = run.energy_sleep_saved_uj;
   return row;
 }
 
@@ -261,6 +268,13 @@ std::string render_row(const ResultRow& row) {
   out += ",\"s_missed\":" + std::to_string(row.s_missed);
   out += ",\"d_released\":" + std::to_string(row.d_released);
   out += ",\"d_missed\":" + std::to_string(row.d_missed);
+  out += ",\"m_changes\":" + std::to_string(row.m_changes);
+  out += ",\"m_shed\":" + std::to_string(row.m_shed);
+  out += ",\"m_matchup\":" + std::to_string(row.m_matchup);
+  out += ",\"m_dwell_l1\":" + std::to_string(row.m_dwell_l1);
+  out += ",\"m_dwell_l2\":" + std::to_string(row.m_dwell_l2);
+  out += ",\"e_total_uj\":" + format_double(row.e_total_uj);
+  out += ",\"e_sleep_uj\":" + format_double(row.e_sleep_uj);
   out += '}';
   return out;
 }
@@ -344,6 +358,36 @@ std::optional<ResultRow> parse_row(std::string_view line) {
   if (d_missed.has_value() && !to_i64(d_missed, row.d_missed)) {
     return std::nullopt;
   }
+  // Mode/energy counters arrived with the mixed-criticality protocol
+  // (DESIGN.md §16): absent = 0, rejected only when present-but-garbled.
+  const auto m_changes = json_field(line, "m_changes");
+  if (m_changes.has_value() && !to_i64(m_changes, row.m_changes)) {
+    return std::nullopt;
+  }
+  const auto m_shed = json_field(line, "m_shed");
+  if (m_shed.has_value() && !to_i64(m_shed, row.m_shed)) {
+    return std::nullopt;
+  }
+  const auto m_matchup = json_field(line, "m_matchup");
+  if (m_matchup.has_value() && !to_i64(m_matchup, row.m_matchup)) {
+    return std::nullopt;
+  }
+  const auto m_dwell_l1 = json_field(line, "m_dwell_l1");
+  if (m_dwell_l1.has_value() && !to_i64(m_dwell_l1, row.m_dwell_l1)) {
+    return std::nullopt;
+  }
+  const auto m_dwell_l2 = json_field(line, "m_dwell_l2");
+  if (m_dwell_l2.has_value() && !to_i64(m_dwell_l2, row.m_dwell_l2)) {
+    return std::nullopt;
+  }
+  const auto e_total_uj = json_field(line, "e_total_uj");
+  if (e_total_uj.has_value() && !to_double(e_total_uj, row.e_total_uj)) {
+    return std::nullopt;
+  }
+  const auto e_sleep_uj = json_field(line, "e_sleep_uj");
+  if (e_sleep_uj.has_value() && !to_double(e_sleep_uj, row.e_sleep_uj)) {
+    return std::nullopt;
+  }
   return row;
 }
 
@@ -421,6 +465,13 @@ CampaignAggregate aggregate_rows(const std::vector<ResultRow>& rows,
     agg.failovers += row.failovers;
     agg.d_released += row.d_released;
     agg.d_missed += row.d_missed;
+    agg.m_changes += row.m_changes;
+    agg.m_shed += row.m_shed;
+    agg.m_matchup += row.m_matchup;
+    agg.m_dwell_l1 += row.m_dwell_l1;
+    agg.m_dwell_l2 += row.m_dwell_l2;
+    agg.e_total_uj += row.e_total_uj;
+    agg.e_sleep_uj += row.e_sleep_uj;
     if (row.degraded) ++agg.degraded_plans;
     agg.miss_ratio_mean += row.miss_ratio;
     agg.miss_ratio_max = std::max(agg.miss_ratio_max, row.miss_ratio);
@@ -473,6 +524,17 @@ std::string render_report_text(const CampaignAggregate& agg,
                 "wire      : copies_sent=%" PRId64 " cycles=%" PRId64 "\n",
                 agg.copies_sent, agg.cycles);
   out += buf;
+  std::snprintf(buf, sizeof buf,
+                "mode      : changes=%" PRId64 " shed=%" PRId64
+                " matchup=%" PRId64 " dwell_l1=%" PRId64 " dwell_l2=%" PRId64
+                "\n",
+                agg.m_changes, agg.m_shed, agg.m_matchup, agg.m_dwell_l1,
+                agg.m_dwell_l2);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "energy    : total_uj=%s sleep_saved_uj=%s\n",
+                format_double(agg.e_total_uj).c_str(),
+                format_double(agg.e_sleep_uj).c_str());
+  out += buf;
   render_groups(out, "by scheme", agg.by_scheme);
   render_groups(out, "by fault model", agg.by_fault);
   render_groups(out, "by structural fault", agg.by_structural);
@@ -522,6 +584,13 @@ std::string render_report_json(const CampaignAggregate& agg,
   out += ",\"failovers\":" + std::to_string(agg.failovers);
   out += ",\"d_released\":" + std::to_string(agg.d_released);
   out += ",\"d_missed\":" + std::to_string(agg.d_missed);
+  out += ",\"m_changes\":" + std::to_string(agg.m_changes);
+  out += ",\"m_shed\":" + std::to_string(agg.m_shed);
+  out += ",\"m_matchup\":" + std::to_string(agg.m_matchup);
+  out += ",\"m_dwell_l1\":" + std::to_string(agg.m_dwell_l1);
+  out += ",\"m_dwell_l2\":" + std::to_string(agg.m_dwell_l2);
+  out += ",\"e_total_uj\":" + format_double(agg.e_total_uj);
+  out += ",\"e_sleep_uj\":" + format_double(agg.e_sleep_uj);
   out += ",\"miss_ratio_mean\":" + format_double(agg.miss_ratio_mean);
   out += ",\"miss_ratio_max\":" + format_double(agg.miss_ratio_max);
   out += ',';

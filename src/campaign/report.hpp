@@ -59,6 +59,17 @@ struct ResultRow {
   /// which the dynamic cross-check therefore skips.
   std::int64_t d_released = 0;
   std::int64_t d_missed = 0;
+  /// Mixed-criticality mode protocol counters (DESIGN.md §16). 0 on
+  /// rows from older campaigns and on cells with the protocol off.
+  std::int64_t m_changes = 0;
+  std::int64_t m_shed = 0;
+  std::int64_t m_matchup = 0;
+  std::int64_t m_dwell_l1 = 0;  ///< cycles dwelt in DEGRADED-L1
+  std::int64_t m_dwell_l2 = 0;  ///< cycles dwelt in DEGRADED-L2
+  /// Energy axis (flexray::EnergyMeter totals, microjoules). 0 on rows
+  /// from older campaigns and on cells with the power model off.
+  double e_total_uj = 0.0;
+  double e_sleep_uj = 0.0;  ///< energy saved by transceiver sleep
 };
 
 [[nodiscard]] ResultRow make_row(const ScenarioSpec& spec,
@@ -112,6 +123,14 @@ struct CampaignAggregate {
   /// schemas, whose rows carry no d_* counters).
   std::int64_t d_released = 0;
   std::int64_t d_missed = 0;
+  /// Mode/energy totals (0 on campaigns from older row schemas).
+  std::int64_t m_changes = 0;
+  std::int64_t m_shed = 0;
+  std::int64_t m_matchup = 0;
+  std::int64_t m_dwell_l1 = 0;
+  std::int64_t m_dwell_l2 = 0;
+  double e_total_uj = 0.0;
+  double e_sleep_uj = 0.0;
   double miss_ratio_mean = 0.0;  ///< mean of per-cell ratios (ok cells)
   double miss_ratio_max = 0.0;
   std::map<std::string, GroupStat> by_scheme;

@@ -15,6 +15,7 @@ namespace {
 constexpr std::uint64_t kStaticsSalt = 0xC0FFEE0000000001ULL;
 constexpr std::uint64_t kDynamicsSalt = 0xC0FFEE0000000002ULL;
 constexpr std::uint64_t kStructuralSalt = 0xC0FFEE0000000003ULL;
+constexpr std::uint64_t kCriticalitySalt = 0xC0FFEE0000000004ULL;
 
 /// The cell's repro seed: stateless in (campaign_seed, cell) so any
 /// shard can materialize any cell in any order.
@@ -290,6 +291,41 @@ core::ExperimentConfig ScenarioGenerator::config(
         break;
     }
     config.structural.validate();
+  }
+
+  // --- Mixed-criticality / energy axis (DESIGN.md §16) -----------------
+  if (dist_.criticality) {
+    sim::Rng rng(spec.seed ^ kCriticalitySalt);
+    config.mode_policy = *sched::parse_mode_policy(
+        rng.bernoulli(0.5) ? "aggressive" : "conservative");
+    sched::CriticalitySpec crit;
+    crit.static_default = net::Criticality::kHigh;
+    crit.dynamic_default = net::Criticality::kLow;
+    // A quarter of the dynamics are promoted to medium so DEGRADED-L1
+    // sheds a strict subset of what DEGRADED-L2 sheds.
+    for (const auto& m : config.dynamics.messages()) {
+      if (rng.bernoulli(0.25)) {
+        crit.overrides.emplace_back(m.id, net::Criticality::kMedium);
+      }
+    }
+    config.statics = sched::with_criticality(config.statics, crit);
+    config.dynamics = sched::with_criticality(config.dynamics, crit);
+    config.power.enabled = true;
+    // The mode machine feeds on the monitor's drift ratio; half the
+    // cells get a BER burst (step up, step back down) so the campaign
+    // exercises the degrade -> match-up trajectory, not just NORMAL.
+    config.enable_monitor = true;
+    config.monitor.window_cycles = 50;
+    config.monitor.min_window_frames = 200;
+    config.monitor.cooldown_cycles = 1000000;  // mode machine, not re-plan
+    if (rng.bernoulli(0.5)) {
+      const std::int64_t w = spec.window_ms;
+      config.ber_step_at = draw_window_time(rng, w, 0.2, 0.4);
+      config.ber_step = config.ber * rng.uniform(20.0, 200.0);
+      config.ber_step2_at =
+          config.ber_step_at + draw_window_time(rng, w, 0.2, 0.35);
+      config.ber_step2 = config.ber;
+    }
   }
 
   config.seed = spec.seed;

@@ -52,6 +52,11 @@ struct ScenarioDistribution {
   std::vector<core::SchemeKind> schemes = {core::SchemeKind::kCoEfficient};
   /// Simulated batch window per cell.
   std::int64_t window_ms = 1000;
+  /// Mixed-criticality axis (DESIGN.md §16): when set, every cell runs
+  /// the mode-change protocol + power model with a per-cell drawn
+  /// policy preset and criticality assignment. Drawn from its own salt
+  /// stream, so enabling it never perturbs the other cell draws.
+  bool criticality = false;
 
   /// Throws std::invalid_argument naming the first violated constraint.
   void validate() const;

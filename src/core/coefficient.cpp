@@ -39,6 +39,24 @@ CoEfficientScheduler::CoEfficientScheduler(const flexray::ClusterConfig& cfg,
           options_.ber, options_.monitor);
     }
   }
+  if (options_.mode_policy.enabled) {
+    mode_mgr_ = std::make_unique<sched::ModeManager>(options_.mode_policy);
+    for (const auto& m : statics_.messages()) {
+      if (m.criticality != net::Criticality::kLow) {
+        any_criticality_assigned_ = true;
+      }
+    }
+    for (const auto& m : dynamics_.messages()) {
+      if (m.criticality != net::Criticality::kLow) {
+        any_criticality_assigned_ = true;
+      }
+    }
+  }
+  if (options_.power.enabled) {
+    energy_ = std::make_unique<flexray::EnergyMeter>(
+        options_.power, static_cast<int>(cfg_.num_nodes),
+        static_cast<double>(cfg_.bus_bit_rate));
+  }
   if (options_.use_fp_admission) {
     // Model the bus as a preemptive fixed-priority processor: each static
     // message is a periodic task whose cost is its wire time (§III-A).
@@ -192,6 +210,25 @@ void CoEfficientScheduler::on_dynamic_release(
     }
     return;
   }
+  // Mixed-criticality admission: a degraded mode sheds dynamic releases
+  // below its criticality floor at release time (queues stay untouched,
+  // so the compiled fast path and the slack-peek cache are unaffected).
+  // The shed message is remembered for match-up once NORMAL returns.
+  if (mode_mgr_ != nullptr && mode_mgr_->degraded()) {
+    const net::Criticality level =
+        sched::effective_criticality(m, any_criticality_assigned_);
+    if (level < sched::admission_floor(mode_mgr_->mode())) {
+      ++stats_.mode_sheds;
+      shed_backlog_[m.id] =
+          ShedEntry{m.node, level, inst.release};  // keep-latest dedupe
+      if (trace_ != nullptr) {
+        trace_->emit(inst.release, sim::TraceKind::kShedByMode, m.id, m.node,
+                     static_cast<std::int64_t>(mode_mgr_->mode()),
+                     static_cast<std::int64_t>(level));
+      }
+      return;
+    }
+  }
   add_copies(inst, 1);
   nodes_.at(static_cast<std::size_t>(m.node)).dynamic_queue().push(pending);
 }
@@ -219,6 +256,62 @@ void CoEfficientScheduler::on_cycle_start_hook(units::CycleIndex cycle,
                    plan_.degraded ? 1 : 0);
     }
     rebuild_template(TemplateRebuildWhy::kPlanSwap, cycle, at);
+  }
+
+  // Mixed-criticality mode machine: one evaluation per cycle, at the
+  // boundary, from decide-side inputs only (the monitor's latched drift
+  // ratio and the dynamic queue backlog) — so the mode trajectory is
+  // identical across engines and job counts.
+  if (mode_mgr_ != nullptr) {
+    const double ratio = monitor_ != nullptr ? monitor_->drift_ratio() : 1.0;
+    bool overloaded = false;
+    if (options_.mode_policy.overload_backlog > 0) {
+      std::int64_t backlog = 0;
+      for (const auto& node : nodes_) {
+        backlog +=
+            static_cast<std::int64_t>(node.dynamic_queue().contents().size());
+      }
+      overloaded = backlog > options_.mode_policy.overload_backlog;
+    }
+    const sched::ModeDecision decision = mode_mgr_->evaluate(ratio, overloaded);
+    if (decision.changed) {
+      ++stats_.mode_changes;
+      if (trace_ != nullptr) {
+        char note[48];
+        std::snprintf(note, sizeof note, "ratio=%g", ratio);
+        trace_->emit(at, sim::TraceKind::kModeChange,
+                     static_cast<std::int64_t>(decision.from),
+                     static_cast<std::int64_t>(decision.to), cycle.value(),
+                     options_.mode_policy.recovery_cycles, note);
+      }
+    }
+    // Match-up: once NORMAL has held for a full recovery window, re-admit
+    // shed messages in id order, at most matchup_burst per cycle, as
+    // fresh releases. Entries older than the match-up window carry stale
+    // data and are abandoned instead.
+    if (mode_mgr_->matchup_open() && !shed_backlog_.empty()) {
+      const sim::Time window =
+          cycle_duration_ * options_.mode_policy.matchup_window_cycles;
+      int burst = options_.mode_policy.matchup_burst;
+      for (auto it = shed_backlog_.begin();
+           it != shed_backlog_.end() && burst > 0;) {
+        if (it->second.shed_at + window < at) {
+          ++stats_.matchup_abandoned;
+          it = shed_backlog_.erase(it);
+          continue;
+        }
+        const int id = it->first;
+        const ShedEntry entry = it->second;
+        it = shed_backlog_.erase(it);
+        --burst;
+        ++stats_.matchups;
+        if (trace_ != nullptr) {
+          trace_->emit(at, sim::TraceKind::kMatchUp, id, entry.node,
+                       cycle.value(), static_cast<std::int64_t>(entry.level));
+        }
+        add_dynamic_arrival(id, at);
+      }
+    }
   }
 
   // Silent-node detection: register who the schedule expects on the
@@ -562,6 +655,10 @@ std::int64_t CoEfficientScheduler::dynamic_next_frame(
 
 void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
   account_outcome(outcome);
+  // Energy: the driver paid for every bit it clocked out — corrupted
+  // and dark-channel copies included. Outcome-side accumulator, read
+  // only at the cycle boundary (compiled-walk contract).
+  cycle_tx_bits_ += outcome.request.payload_bits;
   if (outcome.request.retransmission) {
     ++stats_.retransmission_copies_sent;
   }
@@ -582,6 +679,32 @@ void CoEfficientScheduler::on_tx_complete(const flexray::TxOutcome& outcome) {
 
 void CoEfficientScheduler::on_cycle_end(units::CycleIndex cycle, sim::Time at) {
   SchedulerBase::on_cycle_end(cycle, at);
+  if (energy_ != nullptr) {
+    const std::int64_t idle_slots = idle_slot_counter_ - last_idle_counter_;
+    // Transceivers may gate off through idle slack only when no queued
+    // retransmission copy could claim it next cycle (decide-side state,
+    // identical across engines).
+    const bool may_sleep = retx_jobs_.empty();
+    const int dvfs_level =
+        mode_mgr_ != nullptr ? static_cast<int>(mode_mgr_->mode()) : 0;
+    energy_->on_cycle(cycle_duration_, cycle_tx_bits_, idle_slots,
+                      cfg_.static_slot_duration(), may_sleep, dvfs_level);
+    stats_.energy_total_uj = energy_->total_uj();
+    stats_.energy_sleep_saved_uj = energy_->sleep_saved_uj();
+    stats_.energy_cycles = energy_->cycles();
+    stats_.slots_slept = energy_->slots_slept();
+  }
+  last_idle_counter_ = idle_slot_counter_;
+  cycle_tx_bits_ = 0;
+  if (mode_mgr_ != nullptr) {
+    stats_.mode_cycles_normal =
+        mode_mgr_->cycles_in(sched::CriticalityMode::kNormal);
+    stats_.mode_cycles_l1 =
+        mode_mgr_->cycles_in(sched::CriticalityMode::kDegradedL1);
+    stats_.mode_cycles_l2 =
+        mode_mgr_->cycles_in(sched::CriticalityMode::kDegradedL2);
+    stats_.final_mode = static_cast<int>(mode_mgr_->mode());
+  }
   if (detector_ == nullptr) return;
   for (const units::NodeId node : detector_->on_cycle_end()) {
     ++stats_.silent_node_detections;

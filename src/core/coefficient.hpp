@@ -21,6 +21,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -28,6 +29,8 @@
 #include "fault/monitor.hpp"
 #include "fault/reliability.hpp"
 #include "fault/structural.hpp"
+#include "flexray/power.hpp"
+#include "sched/criticality.hpp"
 #include "sched/slack_stealer.hpp"
 
 namespace coeff::core {
@@ -69,6 +72,21 @@ struct CoEfficientOptions {
   bool silent_node_detection = false;
   int silent_cycle_threshold = 2;
 
+  // --- Mixed-criticality mode protocol (DESIGN.md §16) -----------------
+  /// When enabled, a three-mode state machine (NORMAL → DEGRADED-L1 →
+  /// DEGRADED-L2) driven by the monitor's hysteresis drift latch and
+  /// dynamic-backlog overload sheds low-criticality dynamic traffic at
+  /// release and matches it up (bounded re-admission bursts) once the
+  /// drift clears. Orthogonal to the plan-infeasibility degraded flag,
+  /// which keeps its legacy shed-everything semantics.
+  sched::ModePolicy mode_policy;
+
+  // --- Per-node DVFS/DPM power model (DESIGN.md §16) -------------------
+  /// When power.enabled, an EnergyMeter accounts each cycle: DVFS level
+  /// follows the criticality mode, and transceivers sleep through idle
+  /// static slots whenever no retransmission copy is queued.
+  flexray::PowerConfig power;
+
   // --- Ablation switches (DESIGN.md §6) --------------------------------
   /// Replace the differentiated plan with the uniform one (same k for
   /// every message) at the same reliability goal.
@@ -97,6 +115,23 @@ class CoEfficientScheduler : public SchedulerBase {
   /// True while the active plan cannot meet rho at its solve-time BER;
   /// dynamic-segment load is shed to keep slack free for hard copies.
   [[nodiscard]] bool degraded_mode() const { return degraded_mode_; }
+  /// Current criticality mode (kNormal when the mode protocol is off).
+  [[nodiscard]] sched::CriticalityMode mode() const {
+    return mode_mgr_ != nullptr ? mode_mgr_->mode()
+                                : sched::CriticalityMode::kNormal;
+  }
+  /// Nullptr unless mode_policy.enabled.
+  [[nodiscard]] const sched::ModeManager* mode_manager() const {
+    return mode_mgr_.get();
+  }
+  /// Nullptr unless power.enabled.
+  [[nodiscard]] const flexray::EnergyMeter* energy_meter() const {
+    return energy_.get();
+  }
+  /// Messages shed by mode still awaiting match-up.
+  [[nodiscard]] std::size_t shed_backlog_size() const {
+    return shed_backlog_.size();
+  }
   /// Nullptr unless silent_node_detection.
   [[nodiscard]] const fault::SilentNodeDetector* detector() const {
     return detector_.get();
@@ -213,6 +248,27 @@ class CoEfficientScheduler : public SchedulerBase {
   std::unique_ptr<fault::SilentNodeDetector> detector_;
   std::vector<char> member_dead_;  ///< excluded from the plan, by node
   bool degraded_mode_ = false;
+
+  // --- Mixed-criticality mode protocol (DESIGN.md §16) -----------------
+  /// One shed dynamic message awaiting match-up. Keyed by message id
+  /// with keep-latest dedupe, so the backlog is bounded by the dynamic
+  /// set size and match-up re-admission walks ids in deterministic
+  /// order.
+  struct ShedEntry {
+    int node = 0;
+    net::Criticality level = net::Criticality::kLow;
+    sim::Time shed_at;  ///< release time of the shed instance
+  };
+  std::unique_ptr<sched::ModeManager> mode_mgr_;  ///< when mode_policy.enabled
+  std::map<int, ShedEntry> shed_backlog_;         ///< by message id
+  /// True when any message carries an explicit (non-kLow) level; when
+  /// false, effective_criticality applies the kind defaults.
+  bool any_criticality_assigned_ = false;
+
+  // --- Energy accounting (flexray::EnergyMeter) ------------------------
+  std::unique_ptr<flexray::EnergyMeter> energy_;  ///< when power.enabled
+  std::int64_t cycle_tx_bits_ = 0;     ///< wire bits this cycle (outcome side)
+  std::int64_t last_idle_counter_ = 0; ///< idle_slot_counter_ at last cycle end
 
   // Slack-peek cache (compiled walk only; see peek_dynamic_cached).
   mutable std::uint64_t slack_peek_stamp_ = 0;

@@ -68,6 +68,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     opt.vote_replicas = config.vote_replicas;
     opt.silent_node_detection = config.silent_node_detection;
     opt.silent_cycle_threshold = config.silent_cycle_threshold;
+    opt.mode_policy = config.mode_policy;
+    opt.power = config.power;
     auto coeff = std::make_unique<CoEfficientScheduler>(
         config.cluster, config.statics, config.dynamics, config.batch_window,
         opt);
@@ -112,6 +114,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   const auto fault_model = fault::make_fault_model(fm, config.seed);
   if (config.ber_step >= 0.0 && config.ber_step_at > sim::Time::zero()) {
     fault_model->schedule_ber_step(config.ber_step_at, config.ber_step);
+  }
+  if (config.ber_step2 >= 0.0 && config.ber_step2_at > sim::Time::zero()) {
+    fault_model->schedule_ber_step(config.ber_step2_at, config.ber_step2);
   }
   flexray::Cluster cluster(engine, config.cluster, *sched,
                            fault_model->as_corruption_fn(), config.trace);

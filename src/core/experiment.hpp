@@ -14,7 +14,9 @@
 #include "fault/structural.hpp"
 #include "flexray/cluster.hpp"
 #include "flexray/config.hpp"
+#include "flexray/power.hpp"
 #include "net/workloads.hpp"
+#include "sched/criticality.hpp"
 #include "sim/trace.hpp"
 
 namespace coeff::core {
@@ -77,6 +79,10 @@ struct ExperimentConfig {
   /// (disabled while ber_step < 0 or ber_step_at <= 0).
   sim::Time ber_step_at;
   double ber_step = -1.0;
+  /// Optional second step (same disable convention): a burst profile
+  /// steps up at ber_step_at and back down at ber_step2_at.
+  sim::Time ber_step2_at;
+  double ber_step2 = -1.0;
   /// Runtime reliability monitoring + online re-planning (CoEfficient).
   bool enable_monitor = false;
   fault::ReliabilityMonitorOptions monitor;
@@ -92,6 +98,13 @@ struct ExperimentConfig {
   int vote_replicas = 0;
   bool silent_node_detection = false;
   int silent_cycle_threshold = 2;
+
+  // --- Mixed-criticality modes + energy (DESIGN.md §16) ----------------
+  /// Mode-change protocol (CoEfficient only). Criticality levels are
+  /// carried on the message sets themselves (sched::with_criticality).
+  sched::ModePolicy mode_policy;
+  /// Per-node DVFS/DPM power model (CoEfficient only).
+  flexray::PowerConfig power;
   /// Optional structured-trace sink (single runs only: sweep cells
   /// sharing one Trace would interleave nondeterministically).
   sim::Trace* trace = nullptr;

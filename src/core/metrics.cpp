@@ -41,7 +41,7 @@ double RunStats::overall_miss_ratio() const {
 }
 
 std::string RunStats::summary() const {
-  char buf[1792];
+  char buf[2304];
   std::snprintf(
       buf, sizeof buf,
       "running_time=%s\n"
@@ -57,7 +57,11 @@ std::string RunStats::summary() const {
       "struct : crashes=%lld restarts=%lld outages=%lld down_cycles=%lld "
       "lost=%lld src_lost=%lld\n"
       "recover: failovers=%lld fo_latency=%.3fms silent_detect=%lld "
-      "member_replans=%lld votes=%lld/%lld\n",
+      "member_replans=%lld votes=%lld/%lld\n"
+      "mode   : changes=%lld shed=%lld matchup=%lld abandoned=%lld "
+      "dwell=%lld/%lld/%lld final=%d\n"
+      "energy : total=%.3fmJ per_cycle=%.3fuJ saved=%.3fmJ "
+      "slept_slots=%lld\n",
       sim::to_string(running_time).c_str(),
       static_cast<long long>(statics.released),
       static_cast<long long>(statics.delivered),
@@ -91,7 +95,15 @@ std::string RunStats::summary() const {
       static_cast<long long>(silent_node_detections),
       static_cast<long long>(membership_replans),
       static_cast<long long>(votes_accepted),
-      static_cast<long long>(votes_rejected));
+      static_cast<long long>(votes_rejected),
+      static_cast<long long>(mode_changes),
+      static_cast<long long>(mode_sheds), static_cast<long long>(matchups),
+      static_cast<long long>(matchup_abandoned),
+      static_cast<long long>(mode_cycles_normal),
+      static_cast<long long>(mode_cycles_l1),
+      static_cast<long long>(mode_cycles_l2), final_mode,
+      energy_total_uj * 1e-3, energy_per_cycle_uj(),
+      energy_sleep_saved_uj * 1e-3, static_cast<long long>(slots_slept));
   return buf;
 }
 

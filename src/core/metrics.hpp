@@ -87,6 +87,28 @@ struct RunStats {
   double plan_target_log_r = 0.0;       ///< log rho the current plan aimed at
   double plan_achieved_log_r = 0.0;     ///< log R the current plan achieves
 
+  /// Mixed-criticality mode-change protocol (DESIGN.md §16).
+  std::int64_t mode_changes = 0;        ///< cycle-boundary mode swaps
+  std::int64_t mode_sheds = 0;          ///< dynamic releases shed by criticality
+  std::int64_t matchups = 0;            ///< shed releases re-admitted
+  std::int64_t matchup_abandoned = 0;   ///< shed releases expired un-admitted
+  std::int64_t mode_cycles_normal = 0;  ///< cycles dwelt in NORMAL
+  std::int64_t mode_cycles_l1 = 0;      ///< cycles dwelt in DEGRADED-L1
+  std::int64_t mode_cycles_l2 = 0;      ///< cycles dwelt in DEGRADED-L2
+  int final_mode = 0;                   ///< mode when the run ended (0/1/2)
+
+  /// Energy accounting (flexray::EnergyMeter; 0 when power disabled).
+  double energy_total_uj = 0.0;
+  double energy_sleep_saved_uj = 0.0;
+  std::int64_t energy_cycles = 0;       ///< cycles the meter accounted
+  std::int64_t slots_slept = 0;         ///< idle slots spent sleeping
+
+  [[nodiscard]] double energy_per_cycle_uj() const {
+    return energy_cycles == 0
+               ? 0.0
+               : energy_total_uj / static_cast<double>(energy_cycles);
+  }
+
   /// Structural fault domain: availability / failover / voting.
   std::int64_t node_crashes = 0;
   std::int64_t node_restarts = 0;       ///< reintegrations at cycle boundaries

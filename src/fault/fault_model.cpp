@@ -51,9 +51,9 @@ std::optional<FaultModelKind> parse_fault_model_kind(std::string_view name) {
 
 bool FaultModel::corrupted(const flexray::TxRequest& req,
                            flexray::ChannelId channel, sim::Time start) {
-  if (pending_step_.has_value() && start >= pending_step_->at) {
-    apply_ber_step(pending_step_->ber);
-    pending_step_.reset();
+  while (!pending_steps_.empty() && start >= pending_steps_.back().at) {
+    apply_ber_step(pending_steps_.back().ber);
+    pending_steps_.pop_back();
   }
   const bool fault = draw_verdict(req, channel, start);
   ++verdicts_;
@@ -85,7 +85,12 @@ flexray::BatchCorruptionFn FaultModel::as_batch_fn() {
 
 void FaultModel::schedule_ber_step(sim::Time at, double ber) {
   check_probability("ber_step", ber);
-  pending_step_ = BerStep{at, ber};
+  // Keep the earliest step at the back (applied first). Insertion sort
+  // is fine: drift profiles hold a handful of steps at most.
+  BerStep step{at, ber};
+  auto it = pending_steps_.begin();
+  while (it != pending_steps_.end() && it->at > step.at) ++it;
+  pending_steps_.insert(it, step);
 }
 
 // --- Gilbert–Elliott ----------------------------------------------------

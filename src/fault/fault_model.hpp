@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fault/ber.hpp"
 #include "flexray/bus.hpp"
@@ -83,6 +84,9 @@ class FaultModel {
 
   /// Schedule an environment drift: every verdict with start >= `at`
   /// sees the model re-targeted to `ber` (interpretation is per model).
+  /// May be called more than once to build a piecewise-constant drift
+  /// profile (e.g. a burst: up at t0, back down at t1); steps are
+  /// applied in time order regardless of scheduling order.
   void schedule_ber_step(sim::Time at, double ber);
 
   [[nodiscard]] std::int64_t verdicts() const { return verdicts_; }
@@ -105,7 +109,9 @@ class FaultModel {
     sim::Time at;
     double ber;
   };
-  std::optional<BerStep> pending_step_;
+  /// Pending steps sorted by `at`, earliest at the back (applied and
+  /// popped as simulated time passes them).
+  std::vector<BerStep> pending_steps_;
   std::int64_t verdicts_ = 0;
   std::int64_t faults_ = 0;
   std::array<std::int64_t, flexray::kNumChannels> ch_verdicts_{};

@@ -22,6 +22,19 @@ enum class MessageKind : std::uint8_t { kStatic, kDynamic };
   return k == MessageKind::kStatic ? "static" : "dynamic";
 }
 
+/// ASIL-style message criticality (three levels). The mode-change
+/// protocol sheds kLow dynamics in DEGRADED-L1 and everything below
+/// kHigh in DEGRADED-L2; static traffic defaults to kHigh and dynamic
+/// traffic to kLow, which reproduces the pre-criticality behaviour of
+/// the binary degraded flag when no explicit levels are assigned.
+enum class Criticality : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+[[nodiscard]] constexpr const char* to_string(Criticality c) {
+  return c == Criticality::kLow      ? "low"
+         : c == Criticality::kMedium ? "medium"
+                                     : "high";
+}
+
 struct Message {
   int id = 0;          ///< unique within its MessageSet
   std::string name;
@@ -34,6 +47,11 @@ struct Message {
   /// Assigned frame ID: static slot number, or dynamic frame id
   /// (doubles as FTDMA priority — lower is more urgent). 0 = unassigned.
   int frame_id = 0;
+  /// ASIL-style level the mode-change protocol sheds/admits by. The
+  /// schedulers apply the kind-dependent default (static → kHigh,
+  /// dynamic → kLow) when a workload leaves every message at kLow and
+  /// a criticality spec does not override it.
+  Criticality criticality = Criticality::kLow;
 };
 
 class MessageSet {

@@ -42,6 +42,17 @@ enum class TraceKind : std::uint8_t {
                   ///< c=clean replicas, d=replica count k
   kTemplateRebuild,  ///< compiled cycle template rebuilt; a=cycle,
                      ///< b=template version, c=trigger (see TemplateRebuildWhy)
+  // Mixed-criticality mode-change protocol. Mode swaps happen only at
+  // cycle boundaries (trace.mode-change-boundary); sheds only in a
+  // degraded mode (trace.shed-outside-degraded); match-up re-admission
+  // only after the recovery window has elapsed back in NORMAL
+  // (trace.matchup-before-recovery).
+  kModeChange,  ///< criticality mode swapped; a=from, b=to, c=cycle,
+                ///< d=recovery window (cycles), note carries drift ratio
+  kShedByMode,  ///< degraded mode shed a dynamic frame by criticality;
+                ///< a=message id, b=node, c=current mode, d=criticality
+  kMatchUp,     ///< shed traffic re-admitted after recovery; a=message id,
+                ///< b=node, c=cycle, d=criticality
   kInfo,
 };
 

@@ -383,6 +383,92 @@ TEST(TraceLintTest, RecordedStructuralRunPassesTemplateInvalidation) {
       << report.render_text();
 }
 
+TEST(TraceLintTest, ModeChangeOffBoundaryIsFlagged) {
+  Fixture f;
+  // a=from, b=to, c=cycle: half a millisecond into the 1 ms cycle grid.
+  f.trace.emit(sim::micros(500), TraceKind::kModeChange, 0, 1, 0, 10);
+  EXPECT_TRUE(f.lint().has_rule("trace.mode-change-boundary"));
+}
+
+TEST(TraceLintTest, ModeChangeWrongCycleTagIsFlagged) {
+  Fixture f;
+  // Aligned timestamp, but the recorded cycle tag says cycle 5.
+  f.trace.emit(sim::millis(2), TraceKind::kModeChange, 0, 1, 5, 10);
+  EXPECT_TRUE(f.lint().has_rule("trace.mode-change-boundary"));
+}
+
+TEST(TraceLintTest, ModeChangeSelfLoopIsKindInvalid) {
+  Fixture f;
+  // from == to is not a transition; out-of-range tags ride the same
+  // check.
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 1, 1, 1, 10);
+  EXPECT_TRUE(f.lint().has_rule("trace.kind-valid"));
+  Fixture g;
+  g.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 3, 1, 10);
+  EXPECT_TRUE(g.lint().has_rule("trace.kind-valid"));
+}
+
+TEST(TraceLintTest, ShedOutsideDegradedIsFlagged) {
+  Fixture f;
+  // No kModeChange before it: the replayed mode is still NORMAL.
+  f.trace.emit(sim::millis(1), TraceKind::kShedByMode, 1001, 0, 1, 0);
+  EXPECT_TRUE(f.lint().has_rule("trace.shed-outside-degraded"));
+}
+
+TEST(TraceLintTest, ShedModeTagMustMatchReplayedMode) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 1, 1, 10);
+  // Shed claims mode 2 while the replay says DEGRADED-L1.
+  f.trace.emit(sim::millis(1) + sim::micros(100), TraceKind::kShedByMode,
+               1001, 0, 2, 0);
+  EXPECT_TRUE(f.lint().has_rule("trace.shed-outside-degraded"));
+}
+
+TEST(TraceLintTest, ShedInDegradedModeIsClean) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 1, 1, 10);
+  f.trace.emit(sim::millis(1) + sim::micros(100), TraceKind::kShedByMode,
+               1001, 0, 1, 0);
+  EXPECT_FALSE(f.lint().has_rule("trace.shed-outside-degraded"));
+}
+
+TEST(TraceLintTest, MatchupWhileDegradedIsFlagged) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 1, 1, 10);
+  f.trace.emit(sim::millis(2), TraceKind::kMatchUp, 1001, 0, 2, 0);
+  EXPECT_TRUE(f.lint().has_rule("trace.matchup-before-recovery"));
+}
+
+TEST(TraceLintTest, MatchupWithoutNormalReturnIsFlagged) {
+  Fixture f;
+  // NORMAL from the start, but nothing was ever shed/recovered: a
+  // match-up record with no prior return-to-NORMAL is causally wrong.
+  f.trace.emit(sim::millis(2), TraceKind::kMatchUp, 1001, 0, 2, 0);
+  EXPECT_TRUE(f.lint().has_rule("trace.matchup-before-recovery"));
+}
+
+TEST(TraceLintTest, MatchupBeforeRecoveryWindowIsFlagged) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 1, 1, 4);
+  // Back to NORMAL at cycle 3 with a 4-cycle recovery window: match-up
+  // opens at cycle 6 (the window counts the return cycle itself).
+  f.trace.emit(sim::millis(3), TraceKind::kModeChange, 1, 0, 3, 4);
+  f.trace.emit(sim::millis(4), TraceKind::kMatchUp, 1001, 0, 4, 0);
+  EXPECT_TRUE(f.lint().has_rule("trace.matchup-before-recovery"));
+}
+
+TEST(TraceLintTest, MatchupAfterRecoveryWindowIsClean) {
+  Fixture f;
+  f.trace.emit(sim::millis(1), TraceKind::kModeChange, 0, 1, 1, 4);
+  f.trace.emit(sim::millis(3), TraceKind::kModeChange, 1, 0, 3, 4);
+  f.trace.emit(sim::millis(6), TraceKind::kMatchUp, 1001, 0, 6, 0);
+  const Report report = f.lint();
+  EXPECT_FALSE(report.has_rule("trace.matchup-before-recovery"))
+      << report.render_text();
+  EXPECT_FALSE(report.has_rule("trace.mode-change-boundary"));
+  EXPECT_FALSE(report.has_rule("trace.shed-outside-degraded"));
+}
+
 TEST(TraceLintTest, FloodedRuleIsCapped) {
   Fixture f;
   for (int i = 0; i < 20; ++i) {

@@ -34,6 +34,13 @@ ResultRow ok_row(std::int64_t cell) {
   row.miss_ratio = 0.02;
   row.d_released = 30;
   row.d_missed = 1;
+  row.m_changes = 2;
+  row.m_shed = 5;
+  row.m_matchup = 4;
+  row.m_dwell_l1 = 6;
+  row.m_dwell_l2 = 1;
+  row.e_total_uj = 12.5;
+  row.e_sleep_uj = 1.25;
   return row;
 }
 
@@ -41,6 +48,16 @@ ResultRow ok_row(std::int64_t cell) {
 /// older campaign (pre-dynamic-counters schema) would have written.
 std::string strip_dynamic_counters(std::string line) {
   const auto start = line.find(",\"d_released\"");
+  const auto end = line.rfind('}');
+  EXPECT_NE(start, std::string::npos);
+  line.erase(start, end - start);
+  return line;
+}
+
+/// Strip only the mode/energy fields, producing the line a campaign
+/// from the dynamic-counters era (pre-mode-protocol schema) wrote.
+std::string strip_mode_energy_counters(std::string line) {
+  const auto start = line.find(",\"m_changes\"");
   const auto end = line.rfind('}');
   EXPECT_NE(start, std::string::npos);
   line.erase(start, end - start);
@@ -61,8 +78,49 @@ TEST(ResultRow, RendersAndParsesRoundTrip) {
   EXPECT_DOUBLE_EQ(parsed->miss_ratio, row.miss_ratio);
   EXPECT_EQ(parsed->d_released, row.d_released);
   EXPECT_EQ(parsed->d_missed, row.d_missed);
+  EXPECT_EQ(parsed->m_changes, row.m_changes);
+  EXPECT_EQ(parsed->m_shed, row.m_shed);
+  EXPECT_EQ(parsed->m_matchup, row.m_matchup);
+  EXPECT_EQ(parsed->m_dwell_l1, row.m_dwell_l1);
+  EXPECT_EQ(parsed->m_dwell_l2, row.m_dwell_l2);
+  EXPECT_DOUBLE_EQ(parsed->e_total_uj, row.e_total_uj);
+  EXPECT_DOUBLE_EQ(parsed->e_sleep_uj, row.e_sleep_uj);
   // Canonical: render(parse(render(x))) == render(x).
   EXPECT_EQ(render_row(*parsed), render_row(row));
+}
+
+TEST(ResultRow, LegacyRowsWithoutModeCountersParseToZero) {
+  // Rows from campaigns that predate the mode/energy counters keep
+  // parsing; the new fields default to 0 (the "protocol off" reading)
+  // while every older field survives untouched.
+  const std::string legacy = strip_mode_energy_counters(render_row(ok_row(7)));
+  const auto parsed = parse_row(legacy);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, 7);
+  EXPECT_EQ(parsed->d_released, 30);  // dynamic-era fields still there
+  EXPECT_EQ(parsed->m_changes, 0);
+  EXPECT_EQ(parsed->m_shed, 0);
+  EXPECT_EQ(parsed->m_matchup, 0);
+  EXPECT_EQ(parsed->m_dwell_l1, 0);
+  EXPECT_EQ(parsed->m_dwell_l2, 0);
+  EXPECT_DOUBLE_EQ(parsed->e_total_uj, 0.0);
+  EXPECT_DOUBLE_EQ(parsed->e_sleep_uj, 0.0);
+}
+
+TEST(ResultRow, GarbledModeCountersRejectTheRow) {
+  // Present-but-unreadable is a corrupt row, not a legacy row.
+  std::string line = render_row(ok_row(7));
+  const auto pos = line.find("\"m_shed\":5");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, std::string("\"m_shed\":5").size(), "\"m_shed\":xyz");
+  EXPECT_FALSE(parse_row(line).has_value());
+
+  std::string eline = render_row(ok_row(7));
+  const auto epos = eline.find("\"e_total_uj\":");
+  ASSERT_NE(epos, std::string::npos);
+  const auto evalue_end = eline.find_first_of(",}", epos + 13);
+  eline.replace(epos + 13, evalue_end - (epos + 13), "bogus");
+  EXPECT_FALSE(parse_row(eline).has_value());
 }
 
 TEST(ResultRow, LegacyRowsWithoutDynamicCountersParseToZero) {
@@ -209,6 +267,40 @@ TEST(Aggregate, LegacyRowsAggregateWithZeroDynamicCounters) {
   EXPECT_EQ(aggregate.released, 4 * 100);  // static counters unaffected
   EXPECT_EQ(aggregate.d_released, 2 * 30);
   EXPECT_EQ(aggregate.d_missed, 2 * 1);
+}
+
+TEST(Aggregate, ModeAndEnergyCountersFoldAcrossEras) {
+  // Two legacy rows (mode/energy absent => 0) and two modern rows: the
+  // fold must sum exactly the modern contributions, and the report JSON
+  // must carry the new keys.
+  std::vector<ResultRow> rows;
+  for (std::int64_t cell = 0; cell < 4; ++cell) {
+    const std::string line =
+        cell < 2 ? strip_mode_energy_counters(render_row(ok_row(cell)))
+                 : render_row(ok_row(cell));
+    const auto parsed = parse_row(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    rows.push_back(*parsed);
+  }
+  const CampaignAggregate aggregate = aggregate_rows(rows, 4);
+  EXPECT_EQ(aggregate.ok, 4);
+  EXPECT_EQ(aggregate.m_changes, 2 * 2);
+  EXPECT_EQ(aggregate.m_shed, 2 * 5);
+  EXPECT_EQ(aggregate.m_matchup, 2 * 4);
+  EXPECT_EQ(aggregate.m_dwell_l1, 2 * 6);
+  EXPECT_EQ(aggregate.m_dwell_l2, 2 * 1);
+  EXPECT_DOUBLE_EQ(aggregate.e_total_uj, 2 * 12.5);
+  EXPECT_DOUBLE_EQ(aggregate.e_sleep_uj, 2 * 1.25);
+
+  CampaignManifest manifest;
+  manifest.cells = 4;
+  const std::string json = render_report_json(aggregate, manifest);
+  EXPECT_NE(json.find("\"m_shed\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"m_matchup\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"e_total_uj\":"), std::string::npos);
+  const std::string text = render_report_text(aggregate, manifest);
+  EXPECT_NE(text.find("mode"), std::string::npos);
+  EXPECT_NE(text.find("energy"), std::string::npos);
 }
 
 }  // namespace

@@ -107,6 +107,41 @@ TEST(ScenarioGenerator, MaterializedConfigsAreValid) {
   }
 }
 
+TEST(ScenarioGenerator, CriticalityAxisNeverPerturbsTheOtherDraws) {
+  // The criticality axis draws from its own salted stream: enabling it
+  // must leave every spec() field byte-identical (existing campaigns
+  // keep their cell assignments) and only decorate the materialized
+  // config with a mode policy, criticality levels and the power model.
+  auto dist = small_dist();
+  const ScenarioGenerator plain(42, dist);
+  dist.criticality = true;
+  const ScenarioGenerator crit(42, dist);
+  for (std::int64_t cell = 0; cell < 32; ++cell) {
+    const ScenarioSpec a = plain.spec(cell);
+    const ScenarioSpec b = crit.spec(cell);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.num_statics, b.num_statics);
+    EXPECT_EQ(a.fault_model.kind, b.fault_model.kind);
+    EXPECT_EQ(a.structural, b.structural);
+
+    const core::ExperimentConfig off = plain.config(a);
+    const core::ExperimentConfig on = crit.config(b);
+    EXPECT_FALSE(off.mode_policy.enabled);
+    EXPECT_FALSE(off.power.enabled);
+    EXPECT_TRUE(on.mode_policy.enabled) << "cell " << cell;
+    EXPECT_TRUE(on.power.enabled);
+    EXPECT_EQ(off.statics.messages().size(), on.statics.messages().size());
+    // Deterministic per seed: re-materializing draws the same policy.
+    const core::ExperimentConfig again = crit.config(b);
+    EXPECT_EQ(on.mode_policy.min_dwell_cycles,
+              again.mode_policy.min_dwell_cycles);
+    EXPECT_DOUBLE_EQ(on.mode_policy.enter_l1_factor,
+                     again.mode_policy.enter_l1_factor);
+  }
+}
+
 TEST(ScenarioTags, RoundTrip) {
   for (const auto scheme :
        {core::SchemeKind::kCoEfficient, core::SchemeKind::kFspec,

@@ -167,6 +167,90 @@ TEST(MonitorTest, ChannelRecoveryRestoresEstimate) {
   EXPECT_DOUBLE_EQ(mon.estimated_ber(ChannelId::kA), 0.0);
 }
 
+TEST(MonitorTest, HysteresisLatchEntersAtTriggerFactor) {
+  // 2% frame errors at 1000 bits estimate ~2e-5 against planned 1e-7:
+  // ratio ~200, far past trigger_factor=5 — the latch must set and the
+  // ratio must be exposed for the mode protocol.
+  ReliabilityMonitor mon(1e-7, small_window());
+  EXPECT_FALSE(mon.drift_active());
+  EXPECT_DOUBLE_EQ(mon.drift_ratio(), 1.0);
+  feed_cycle(mon, 50, 1);
+  (void)mon.on_cycle_end();
+  EXPECT_TRUE(mon.drift_active());
+  EXPECT_GT(mon.drift_ratio(), 5.0);
+}
+
+TEST(MonitorTest, HysteresisLatchIgnoresReplanCooldown) {
+  // The one-shot detection return is cooldown-gated, but the latched
+  // signal is not: the mode protocol has its own dwell damping and must
+  // keep seeing the drift while the re-planner is cooling down.
+  ReliabilityMonitor mon(1e-7, small_window());
+  feed_cycle(mon, 50, 1);
+  ASSERT_TRUE(mon.on_cycle_end());
+  mon.note_replanned(1e-7);  // baseline kept: drift ratio stays high
+  feed_cycle(mon, 50, 1);
+  EXPECT_FALSE(mon.on_cycle_end());  // cooldown suppresses redetection
+  EXPECT_TRUE(mon.drift_active());   // ...but the latch stays set
+}
+
+TEST(MonitorTest, HysteresisExitNeedsCalmDwell) {
+  auto opt = small_window();
+  opt.exit_factor = 2.0;
+  opt.min_dwell_cycles = 2;
+  ReliabilityMonitor mon(1e-7, opt);
+  feed_cycle(mon, 50, 1);
+  (void)mon.on_cycle_end();
+  ASSERT_TRUE(mon.drift_active());
+  // Clean cycles age the burst out of the 4-cycle window; the latch
+  // must hold through min_dwell_cycles=2 calm boundaries and release
+  // only on the one after (calm_cycles > min_dwell).
+  for (int c = 0; c < 6; ++c) {
+    feed_cycle(mon, 50, 0);
+    (void)mon.on_cycle_end();
+    if (mon.drift_ratio() >= opt.exit_factor) continue;  // still windowed
+    break;
+  }
+  ASSERT_LT(mon.drift_ratio(), opt.exit_factor);
+  EXPECT_TRUE(mon.drift_active());  // calm streak just started
+  feed_cycle(mon, 50, 0);
+  (void)mon.on_cycle_end();
+  EXPECT_TRUE(mon.drift_active());  // calm_cycles == 2 == min_dwell
+  feed_cycle(mon, 50, 0);
+  (void)mon.on_cycle_end();
+  EXPECT_FALSE(mon.drift_active());  // calm_cycles = 3 > min_dwell
+}
+
+TEST(MonitorTest, HysteresisFlapBetweenExitAndTriggerHoldsLatch) {
+  // A level between exit_factor and trigger_factor is the hysteresis
+  // band: it must neither set a clear latch nor clear a set one, no
+  // matter how long it flaps there.
+  auto opt = small_window();
+  opt.window_cycles = 1;  // estimate follows each cycle exactly
+  opt.exit_factor = 2.0;
+  opt.min_dwell_cycles = 1;
+  ReliabilityMonitor mon(1e-6, opt);
+  // ~3e-6 estimate: ratio ~3, inside (exit=2, trigger=5).
+  auto feed_band = [&] {
+    for (const auto ch : {ChannelId::kA, ChannelId::kB}) {
+      for (int i = 0; i < 1000; ++i) mon.record_tx(ch, 1000, i < 3);
+    }
+  };
+  for (int c = 0; c < 8; ++c) {
+    feed_band();
+    (void)mon.on_cycle_end();
+    EXPECT_FALSE(mon.drift_active()) << "cycle " << c;
+  }
+  // Now latch with a real burst, then flap in the band again: held.
+  feed_cycle(mon, 50, 5);
+  (void)mon.on_cycle_end();
+  ASSERT_TRUE(mon.drift_active());
+  for (int c = 0; c < 8; ++c) {
+    feed_band();
+    (void)mon.on_cycle_end();
+    EXPECT_TRUE(mon.drift_active()) << "cycle " << c;
+  }
+}
+
 TEST(MonitorTest, InvalidOptionsThrow) {
   ReliabilityMonitorOptions opt;
   EXPECT_THROW(ReliabilityMonitor(1.5, opt), std::invalid_argument);
@@ -180,6 +264,15 @@ TEST(MonitorTest, InvalidOptionsThrow) {
   EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
   opt = ReliabilityMonitorOptions{};
   opt.cooldown_cycles = -1;
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.exit_factor = 0.5;  // must be >= 1
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.exit_factor = opt.trigger_factor + 1.0;  // must be <= trigger
+  EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
+  opt = ReliabilityMonitorOptions{};
+  opt.min_dwell_cycles = -1;
   EXPECT_THROW(ReliabilityMonitor(1e-7, opt), std::invalid_argument);
   ReliabilityMonitor ok(1e-7, ReliabilityMonitorOptions{});
   EXPECT_THROW(ok.note_replanned(-1.0), std::invalid_argument);

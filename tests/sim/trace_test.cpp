@@ -66,7 +66,8 @@ TEST(TraceTest, AllKindsHaveNames) {
         TraceKind::kQueueDrop, TraceKind::kBerDrift, TraceKind::kPlanSwap,
         TraceKind::kLoadShed, TraceKind::kNodeCrash, TraceKind::kNodeRestart,
         TraceKind::kChannelDown, TraceKind::kChannelUp, TraceKind::kFailover,
-        TraceKind::kVoteResolved, TraceKind::kInfo}) {
+        TraceKind::kVoteResolved, TraceKind::kModeChange,
+        TraceKind::kShedByMode, TraceKind::kMatchUp, TraceKind::kInfo}) {
     EXPECT_STRNE(to_string(kind), "unknown");
   }
 }

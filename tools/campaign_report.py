@@ -79,6 +79,9 @@ def scan_rows(directory):
 def aggregate(rows, expected):
     agg = {"expected": expected, "ok": 0, "failed": 0, "shed": 0,
            "released": 0, "delivered": 0, "missed": 0, "copies_sent": 0,
+           "m_changes": 0, "m_shed": 0, "m_matchup": 0,
+           "m_dwell_l1": 0, "m_dwell_l2": 0,
+           "e_total_uj": 0.0, "e_sleep_uj": 0.0,
            "miss_ratio_max": 0.0, "by_scheme": {}, "quarantined": []}
     miss_sum = 0.0
     seen = set()
@@ -93,8 +96,13 @@ def aggregate(rows, expected):
             agg["shed"] += 1
             continue
         agg["ok"] += 1
-        for field in ("released", "delivered", "missed", "copies_sent"):
+        for field in ("released", "delivered", "missed", "copies_sent",
+                      "m_changes", "m_shed", "m_matchup",
+                      "m_dwell_l1", "m_dwell_l2"):
             agg[field] += int(row.get(field, 0))
+        # Mode/energy counters are absent on rows from older campaigns.
+        for field in ("e_total_uj", "e_sleep_uj"):
+            agg[field] += float(row.get(field, 0.0))
         ratio = float(row.get("miss_ratio", 0.0))
         miss_sum += ratio
         agg["miss_ratio_max"] = max(agg["miss_ratio_max"], ratio)
@@ -145,6 +153,12 @@ def main():
           f"delivered={agg['delivered']} missed={agg['missed']}")
     print(f"miss      : mean={agg['miss_ratio_mean']:.10g} "
           f"max={agg['miss_ratio_max']:.10g}")
+    if agg["m_changes"] or agg["m_shed"] or agg["e_total_uj"]:
+        print(f"mode      : changes={agg['m_changes']} shed={agg['m_shed']} "
+              f"matchup={agg['m_matchup']} dwell_l1={agg['m_dwell_l1']} "
+              f"dwell_l2={agg['m_dwell_l2']}")
+        print(f"energy    : total_uj={agg['e_total_uj']:.10g} "
+              f"sleep_saved_uj={agg['e_sleep_uj']:.10g}")
     if torn or unparsed or duplicates:
         print(f"recovered : torn={torn} unparsed={unparsed} "
               f"duplicates={duplicates} (kill/resume residue)")

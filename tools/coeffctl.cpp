@@ -36,6 +36,7 @@
 #include "core/sweep.hpp"
 #include "net/csv.hpp"
 #include "net/workloads.hpp"
+#include "sched/criticality.hpp"
 #include "sched/schedule_table.hpp"
 #include "sim/trace.hpp"
 
@@ -63,8 +64,15 @@ struct CliOptions {
   fault::FaultModelConfig fault_model;
   std::int64_t ber_step_ms = 0;  // 0 = no step
   double ber_step = -1.0;
+  std::int64_t ber_step2_ms = 0;  // 0 = no second step (burst profile)
+  double ber_step2 = -1.0;
   bool monitor = false;
   fault::ReliabilityMonitorOptions monitor_opt;
+
+  // --- mixed-criticality modes + energy (DESIGN.md §16) ----------------
+  std::string mode_policy;   // empty = protocol off
+  std::string criticality;   // empty = kind defaults
+  bool power = false;        // per-node DVFS/DPM energy accounting
 
   // --- structural fault domain -----------------------------------------
   fault::StructuralFaultConfig structural;
@@ -110,10 +118,19 @@ void usage() {
       "  --ge-ber-good X / --ge-ber-bad X  Gilbert-Elliott per-state BERs\n"
       "  --common-fraction X               common-mode share of fault events [0,1]\n"
       "  --ber-step-ms N --ber-step X      step the wire BER to X at N ms (drift)\n"
+      "  --ber-step2-ms N --ber-step2 X    second BER step (burst: up then back down)\n"
       "  --monitor                         runtime reliability monitor + online re-plan\n"
       "  --monitor-window N                monitor window in cycles (default: 200)\n"
       "  --monitor-factor X                drift trigger factor (default: 5)\n"
       "  --monitor-cooldown N              re-plan cooldown in cycles (default: 100)\n"
+      "  --mode-policy SPEC                mixed-criticality mode-change protocol\n"
+      "                                    (needs --monitor): preset off|conservative|\n"
+      "                                    aggressive and/or key=value pairs enter-l1,\n"
+      "                                    enter-l2, exit, dwell, recovery, burst,\n"
+      "                                    window, backlog (e.g. 'aggressive,dwell=10')\n"
+      "  --criticality SPEC                ASIL-style levels: static=high,dyn=low and\n"
+      "                                    per-id overrides like 7=medium\n"
+      "  --power                           per-node DVFS/DPM energy accounting\n"
       "  --crash NODE:START_MS:END_MS      scheduled ECU crash/restart (repeatable)\n"
       "  --blackout A|B:START_MS:END_MS    scheduled channel blackout (repeatable)\n"
       "  --babble NODE:SLOT:START_MS:END_MS[:A|B]\n"
@@ -206,6 +223,8 @@ void campaign_usage() {
       "  --schemes a,b,c         scheme mix: coefficient,fspec,hosa (all)\n"
       "  --min-nodes/--max-nodes N    cluster size range (2..64)\n"
       "  --min-util/--max-util X      static utilization range (0.15..0.70)\n"
+      "  --criticality           mixed-criticality axis: per-cell drawn mode\n"
+      "                          policy + criticality levels + power model\n"
       "  --no-fsync              skip per-record fsync (tests only)\n"
       "\n"
       "report options:\n"
@@ -361,6 +380,16 @@ bool parse(int argc, char** argv, CliOptions& opt) {
       opt.ber_step_ms = std::atoll(next(arg.c_str()));
     } else if (arg == "--ber-step") {
       opt.ber_step = std::atof(next(arg.c_str()));
+    } else if (arg == "--ber-step2-ms") {
+      opt.ber_step2_ms = std::atoll(next(arg.c_str()));
+    } else if (arg == "--ber-step2") {
+      opt.ber_step2 = std::atof(next(arg.c_str()));
+    } else if (arg == "--mode-policy") {
+      opt.mode_policy = next(arg.c_str());
+    } else if (arg == "--criticality") {
+      opt.criticality = next(arg.c_str());
+    } else if (arg == "--power") {
+      opt.power = true;
     } else if (arg == "--monitor") {
       opt.monitor = true;
     } else if (arg == "--monitor-window") {
@@ -474,8 +503,34 @@ bool build_config(const CliOptions& opt, core::ExperimentConfig& config) {
       config.ber_step_at = sim::millis(opt.ber_step_ms);
       config.ber_step = opt.ber_step;
     }
+    if (opt.ber_step2_ms > 0 && opt.ber_step2 >= 0.0) {
+      config.ber_step2_at = sim::millis(opt.ber_step2_ms);
+      config.ber_step2 = opt.ber_step2;
+    }
     config.enable_monitor = opt.monitor;
     config.monitor = opt.monitor_opt;
+
+    // Mixed-criticality modes + energy (DESIGN.md §16).
+    if (!opt.mode_policy.empty()) {
+      const auto policy = sched::parse_mode_policy(opt.mode_policy);
+      if (!policy.has_value()) {
+        std::fprintf(stderr, "coeffctl: bad --mode-policy '%s'\n",
+                     opt.mode_policy.c_str());
+        return false;
+      }
+      config.mode_policy = *policy;
+    }
+    if (!opt.criticality.empty()) {
+      const auto crit = sched::parse_criticality_spec(opt.criticality);
+      if (!crit.has_value()) {
+        std::fprintf(stderr, "coeffctl: bad --criticality '%s'\n",
+                     opt.criticality.c_str());
+        return false;
+      }
+      config.statics = sched::with_criticality(config.statics, *crit);
+      config.dynamics = sched::with_criticality(config.dynamics, *crit);
+    }
+    config.power.enabled = opt.power;
 
     // Structural fault domain: scheduled windows pass through verbatim;
     // stochastic processes run over the batch window on this cluster.
@@ -848,6 +903,8 @@ bool parse_campaign(int argc, char** argv, CampaignCli& cli) {
       d.min_util = std::atof(next("--min-util"));
     } else if (arg == "--max-util") {
       d.max_util = std::atof(next("--max-util"));
+    } else if (arg == "--criticality") {
+      d.criticality = true;
     } else if (arg == "--no-fsync") {
       cli.durable = false;
     } else if (arg == "--json") {
